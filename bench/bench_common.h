@@ -1,0 +1,44 @@
+// Shared configuration for the figure-reproduction benches: the paper's
+// evaluation trace, the per-pair deterministic seeds, and a reduced-cost
+// trainer configuration for quick runs (STURGEON_QUICK=1 environment
+// variable halves everything for smoke testing).
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "core/trainer.h"
+#include "workloads/load_trace.h"
+
+namespace sturgeon::bench {
+
+inline bool quick_mode() {
+  const char* v = std::getenv("STURGEON_QUICK");
+  return v != nullptr && v[0] == '1';
+}
+
+/// The paper's evaluation trace: load rises 20% -> 80% -> 20% of peak
+/// (Section VII-A). 240 s by default, 120 s in quick mode.
+inline LoadTrace evaluation_trace() {
+  return LoadTrace::ramp_up_down(0.2, 0.8, quick_mode() ? 120 : 240);
+}
+
+/// One profiling/training campaign per process (shared via the model
+/// registry); the seed is fixed so every bench sees the same models.
+inline core::TrainerConfig trainer_config() {
+  core::TrainerConfig cfg;
+  if (quick_mode()) {
+    cfg.ls_samples = 250;
+    cfg.ls_boundary_searches = 60;
+    cfg.be_samples = 200;
+  }
+  return cfg;
+}
+
+/// Deterministic per-pair seed (stable across benches).
+inline std::uint64_t pair_seed(const std::string& ls, const std::string& be) {
+  return 42 + std::hash<std::string>{}(ls + "/" + be) % 1000;
+}
+
+}  // namespace sturgeon::bench

@@ -1,0 +1,117 @@
+// Fig 3 reproduction: multiple feasible resource configurations exist,
+// and which one maximizes BE throughput depends on the load and the BE
+// application's preferences.
+//
+// For memcached at 20% and 35% of peak load, two *measured-feasible*
+// configurations are built for every BE application:
+//   core-rich : LS gets its measured just-enough slice (few cores), the
+//               BE side takes many cores at the highest frequency the
+//               power budget allows;
+//   freq-rich : LS gets twice the cores at a lower just-enough frequency,
+//               the BE side takes fewer cores but a higher frequency.
+// Both must meet QoS and the power budget; the table reports normalized
+// BE throughput of each and which wins.
+//
+// Paper shape: at 20% load the core-rich configuration wins for most
+// applications; at 35% the frequency-rich configuration wins for several
+// (preference flips with load and application).
+#include <iostream>
+#include <optional>
+
+#include "bench_common.h"
+#include "exp/ground_truth.h"
+#include "util/table.h"
+
+using namespace sturgeon;
+
+namespace {
+
+/// Highest BE P-state whose measured co-location stays within budget and
+/// keeps the LS service's QoS; nullopt if even the bottom state fails.
+std::optional<int> measured_max_be_freq(const LsProfile& ls,
+                                        const BeProfile& be, Partition p,
+                                        double load, double budget) {
+  const auto machine = MachineSpec::xeon_e5_2630_v4();
+  for (int f2 = machine.max_freq_level(); f2 >= 0; --f2) {
+    p.be.freq_level = f2;
+    const auto m = exp::measure_configuration(ls, be, p, load);
+    if (m.peak_power_w <= budget && m.qos_met) return f2;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = MachineSpec::xeon_e5_2630_v4();
+  const auto& ls = find_ls("memcached");
+
+  TablePrinter table({"load", "BE", "core-rich config", "thr",
+                      "freq-rich config", "thr", "winner"});
+  int core_rich_wins = 0, freq_rich_wins = 0;
+
+  for (double load : {0.20, 0.35}) {
+    const AppSlice min_ls = exp::measured_min_ls_allocation(ls, load, machine);
+
+    // Freq-rich variant: LS holds twice the cores (so the BE side is
+    // narrow but can clock higher), at the measured minimum frequency for
+    // that width. The LS way count stays moderate so the narrow BE slice
+    // is not additionally cache-starved (paper's B-configs leave the BE
+    // side ~8 ways).
+    AppSlice wide_ls = min_ls;
+    wide_ls.cores = std::min(machine.num_cores - 4, min_ls.cores * 2);
+    wide_ls.llc_ways = std::min(12, min_ls.llc_ways + 3);
+    {
+      // Just-enough frequency for the wide slice.
+      AppSlice probe = wide_ls;
+      for (int f = 0; f <= machine.max_freq_level(); ++f) {
+        probe.freq_level = f;
+        const Partition solo{probe, AppSlice{0, 0, 0}};
+        if (exp::measure_configuration(ls, be_catalog().front(), solo, load)
+                .qos_met) {
+          wide_ls.freq_level = f;
+          break;
+        }
+      }
+    }
+
+    for (const auto& be : be_catalog()) {
+      sim::SimulatedServer probe(ls, be, 7);
+      const double budget = probe.power_budget_w();
+
+      Partition core_rich{min_ls,
+                          complement_slice(machine, min_ls, 0)};
+      Partition freq_rich{wide_ls,
+                          complement_slice(machine, wide_ls, 0)};
+      const auto f2a =
+          measured_max_be_freq(ls, be, core_rich, load, budget);
+      const auto f2b =
+          measured_max_be_freq(ls, be, freq_rich, load, budget);
+      if (!f2a || !f2b) continue;
+      core_rich.be.freq_level = *f2a;
+      freq_rich.be.freq_level = *f2b;
+
+      const auto ma = exp::measure_configuration(ls, be, core_rich, load);
+      const auto mb = exp::measure_configuration(ls, be, freq_rich, load);
+      const bool a_wins = ma.be_throughput_norm >= mb.be_throughput_norm;
+      (a_wins ? core_rich_wins : freq_rich_wins)++;
+
+      table.add_row({TablePrinter::fmt_pct(load, 0), be.name,
+                     core_rich.to_string(machine),
+                     TablePrinter::fmt(ma.be_throughput_norm, 3),
+                     freq_rich.to_string(machine),
+                     TablePrinter::fmt(mb.be_throughput_norm, 3),
+                     a_wins ? "core-rich" : "freq-rich"});
+    }
+  }
+
+  std::cout << "Fig 3: normalized BE throughput under two measured-feasible "
+               "configurations\n(memcached co-location; both configs meet "
+               "QoS and the power budget)\n\n";
+  table.print(std::cout);
+  std::cout << "\ncore-rich wins " << core_rich_wins << ", freq-rich wins "
+            << freq_rich_wins
+            << " (paper: 13/18 core-rich vs 5/18 freq-rich across loads; "
+               "the split demonstrates the preference flip)\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Figs 6 & 7 reproduction: accuracy of the model families compared in
+// paper Section V-C.
+//
+//   Fig 6 (performance models): hold-out accuracy of the LS QoS
+//   classifier per family (DT, KNN, SV, MLP, LR) and hold-out R^2 of the
+//   BE IPC regressor per family.
+//   Fig 7 (power models): hold-out R^2 of the LS and BE power regressors
+//   per family.
+//
+// Paper shape: DT classification best for LS performance; KNN/MLP best
+// for BE performance; KNN regression best for power.
+// Also reports the Lasso feature-selection check from Section V-A (all
+// four inputs survive selection).
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "exp/model_registry.h"
+#include "util/table.h"
+
+using namespace sturgeon;
+
+namespace {
+
+std::string score_cell(const core::FamilyScores& scores, ml::ModelKind kind) {
+  for (const auto& [k, v] : scores) {
+    if (k == kind) return TablePrinter::fmt(v, 3);
+  }
+  return "-";
+}
+
+void print_scores(const std::string& title,
+                  const std::vector<std::pair<std::string,
+                                              const core::FamilyScores*>>&
+                      rows) {
+  std::vector<std::string> headers{"application"};
+  for (ml::ModelKind k : ml::paper_regression_kinds()) {
+    headers.push_back(ml::to_string(k));
+  }
+  TablePrinter table(headers);
+  for (const auto& [name, scores] : rows) {
+    std::vector<std::string> row{name};
+    for (ml::ModelKind k : ml::paper_regression_kinds()) {
+      row.push_back(score_cell(*scores, k));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << title << "\n";
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = bench::trainer_config();
+
+  std::vector<std::pair<std::string, const core::FamilyScores*>> ls_perf,
+      ls_power, be_perf, be_power;
+  for (const auto& ls : ls_catalog()) {
+    const auto& models = exp::ls_models_for(ls, cfg);
+    ls_perf.emplace_back(ls.name, &models.qos_accuracy);
+    ls_power.emplace_back(ls.name, &models.power_r2);
+  }
+  for (const auto& be : be_catalog()) {
+    const auto& models = exp::be_models_for(be, cfg);
+    be_perf.emplace_back(be.name, &models.ipc_r2);
+    be_power.emplace_back(be.name, &models.power_r2);
+  }
+
+  std::cout << "Fig 6: performance-model quality per family\n"
+               "(LS rows: hold-out classification accuracy of the QoS "
+               "model;\n BE rows: hold-out R^2 of the IPC model)\n\n";
+  print_scores("LS services (QoS classification accuracy):", ls_perf);
+  print_scores("BE applications (IPC regression R^2):", be_perf);
+
+  std::cout << "Fig 7: power-model quality per family (hold-out R^2)\n\n";
+  print_scores("LS services:", ls_power);
+  print_scores("BE applications:", be_power);
+
+  // Per-role winner counts (which family would be deployed).
+  const auto winners = [](const std::vector<std::pair<
+                              std::string, const core::FamilyScores*>>& rows) {
+    std::map<std::string, int> count;
+    for (const auto& [name, scores] : rows) {
+      (void)name;
+      ml::ModelKind best = scores->front().first;
+      double best_v = scores->front().second;
+      for (const auto& [k, v] : *scores) {
+        if (v > best_v) {
+          best_v = v;
+          best = k;
+        }
+      }
+      ++count[ml::to_string(best)];
+    }
+    std::string out;
+    for (const auto& [k, c] : count) {
+      out += k + " x" + std::to_string(c) + "  ";
+    }
+    return out;
+  };
+  std::cout << "Deployed families (hold-out winners):\n"
+            << "  LS QoS:     " << winners(ls_perf)
+            << " (paper: DT classification)\n"
+            << "  BE perf:    " << winners(be_perf)
+            << " (paper: KNN / MLP regression)\n"
+            << "  LS power:   " << winners(ls_power)
+            << " (paper: KNN regression)\n"
+            << "  BE power:   " << winners(be_power)
+            << " (paper: KNN regression)\n\n";
+
+  // Section V-A: Lasso keeps all four inputs.
+  const auto data = core::collect_ls_profiling(ls_catalog().front(), cfg);
+  const auto kept = core::lasso_selected_features(data.x, data.power_w, 0.05);
+  static const char* kFeatureNames[] = {"QPS", "cores", "frequency", "ways"};
+  std::cout << "Lasso feature selection on the memcached power dataset "
+               "keeps:";
+  for (std::size_t idx : kept) {
+    std::cout << " " << kFeatureNames[idx];
+  }
+  std::cout << "  (paper: all four features selected)\n";
+  return 0;
+}

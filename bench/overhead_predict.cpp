@@ -1,0 +1,65 @@
+// Section V-C overhead claim: "all models make a prediction within
+// 0.04 ms". Times single-row inference for every model family on models
+// trained over the memcached profiling dataset (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/trainer.h"
+#include "ml/factory.h"
+
+using namespace sturgeon;
+
+namespace {
+
+const core::LsProfilingData& profiling_data() {
+  static const core::LsProfilingData data = core::collect_ls_profiling(
+      find_ls("memcached"), bench::trainer_config());
+  return data;
+}
+
+void BM_RegressorPredict(benchmark::State& state) {
+  const auto kind = static_cast<ml::ModelKind>(state.range(0));
+  const auto& data = profiling_data();
+  ml::DataSet train;
+  for (std::size_t i = 0; i < data.x.size(); ++i) {
+    train.add(data.x[i], data.power_w[i]);
+  }
+  auto model = ml::make_regressor(kind, 1);
+  model->fit(train);
+  const ml::FeatureRow row = data.x[data.x.size() / 2];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->predict(row));
+  }
+  state.SetLabel(ml::to_string(kind) + " regression");
+}
+
+void BM_ClassifierPredict(benchmark::State& state) {
+  const auto kind = static_cast<ml::ModelKind>(state.range(0));
+  const auto& data = profiling_data();
+  auto model = ml::make_classifier(kind, 1);
+  model->fit(data.x, data.qos_ok);
+  const ml::FeatureRow row = data.x[data.x.size() / 2];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->predict(row));
+  }
+  state.SetLabel(ml::to_string(kind) + " classification");
+}
+
+}  // namespace
+
+BENCHMARK(BM_RegressorPredict)
+    ->Arg(static_cast<int>(ml::ModelKind::kLinear))
+    ->Arg(static_cast<int>(ml::ModelKind::kDecisionTree))
+    ->Arg(static_cast<int>(ml::ModelKind::kKnn))
+    ->Arg(static_cast<int>(ml::ModelKind::kSvm))
+    ->Arg(static_cast<int>(ml::ModelKind::kMlp))
+    ->Arg(static_cast<int>(ml::ModelKind::kRandomForest));
+
+BENCHMARK(BM_ClassifierPredict)
+    ->Arg(static_cast<int>(ml::ModelKind::kLinear))
+    ->Arg(static_cast<int>(ml::ModelKind::kDecisionTree))
+    ->Arg(static_cast<int>(ml::ModelKind::kKnn))
+    ->Arg(static_cast<int>(ml::ModelKind::kSvm))
+    ->Arg(static_cast<int>(ml::ModelKind::kMlp));
+
+BENCHMARK_MAIN();

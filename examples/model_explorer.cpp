@@ -1,0 +1,58 @@
+// Model explorer: how good are the offline models where the controller
+// actually uses them?
+//
+// Usage: model_explorer [ls] [load]
+//
+// Trains the LS models for one service, then sweeps core counts and
+// frequencies at the given load, printing predicted QoS feasibility and
+// power next to freshly *measured* ground truth -- the picture behind
+// paper Fig 5 and the accuracy claims of Figs 6-7.
+#include <iostream>
+
+#include "core/features.h"
+#include "core/predictor.h"
+#include "exp/ground_truth.h"
+#include "exp/model_registry.h"
+#include "util/table.h"
+
+using namespace sturgeon;
+
+int main(int argc, char** argv) {
+  const std::string ls_name = argc > 1 ? argv[1] : "memcached";
+  const double load = argc > 2 ? std::stod(argv[2]) : 0.35;
+  const auto& ls = find_ls(ls_name);
+  const auto& be = find_be("bs");  // any BE works; LS models are solo
+  const auto machine = MachineSpec::xeon_e5_2630_v4();
+
+  std::cout << "Training models for " << ls.name << "...\n";
+  const auto predictor = exp::predictor_for(ls, be);
+  const double qps = load * ls.peak_qps;
+
+  std::cout << "\nQoS feasibility and power at " << 100 * load
+            << "% load (" << qps << " QPS), 10 LLC ways:\n\n";
+  TablePrinter table({"cores", "freq", "predicted QoS", "measured p95(ms)",
+                      "measured QoS", "pred P(W)", "meas P(W)"});
+  for (int cores : {2, 4, 6, 8, 12, 16}) {
+    for (double ghz : {1.2, 1.7, 2.2}) {
+      AppSlice slice{cores, machine.level_for(ghz), 10};
+      const bool pred_ok = predictor->ls_qos_ok(qps, slice);
+      const double pred_power = predictor->ls_power_w(qps, slice);
+      const Partition solo{slice, AppSlice{0, 0, 0}};
+      const auto measured = exp::measure_configuration(ls, be, solo, load);
+      table.add_row({std::to_string(cores), TablePrinter::fmt(ghz, 1),
+                     pred_ok ? "ok" : "VIOLATE",
+                     TablePrinter::fmt(measured.p95_ms, 2),
+                     measured.qos_met ? "ok" : "VIOLATE",
+                     TablePrinter::fmt(pred_power, 1),
+                     TablePrinter::fmt(measured.peak_power_w, 1)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nMeasured just-enough LS allocation at this load: ";
+  const auto min_alloc = exp::measured_min_ls_allocation(ls, load, machine);
+  std::cout << min_alloc.cores << " cores @ "
+            << machine.freq_at(min_alloc.freq_level) << " GHz, "
+            << min_alloc.llc_ways << " ways\n";
+  return 0;
+}

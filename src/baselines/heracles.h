@@ -1,0 +1,47 @@
+// Heracles-style baseline (Lo et al., ISCA'15), the paper's other point
+// of comparison. Heracles guards the LS service with independent
+// subcontrollers and uses DVFS on the BE cores as its *only* power lever:
+//
+//   - power subcontroller: if measured package power nears the budget,
+//     step the BE frequency down; when there is headroom, step it up;
+//   - core subcontroller: grow the LS core allocation when slack is low,
+//     shrink it when slack is high;
+//   - cache subcontroller: grow the BE way allocation slowly while the LS
+//     service is healthy, claw it back quickly otherwise.
+//
+// The LS service always runs at the top P-state. Because the BE side
+// inherits whatever cores/ways remain and only frequency reacts to power,
+// Heracles misses configurations where a smaller, faster BE slice (or a
+// bigger, slower one) would yield more throughput -- the preference
+// blindness Sturgeon exploits (paper Sections II-C and III-C).
+#pragma once
+
+#include "core/policy.h"
+
+namespace sturgeon::baselines {
+
+struct HeraclesOptions {
+  double alpha = 0.10;
+  double beta = 0.20;
+  double power_budget_w = 100.0;
+  double power_guard = 0.98;  ///< step F2 down above guard * budget
+  double power_slack = 0.90;  ///< step F2 up below slack * budget
+};
+
+class HeraclesController : public core::Policy {
+ public:
+  HeraclesController(const MachineSpec& machine, double qos_target_ms,
+                     HeraclesOptions options);
+
+  std::string name() const override { return "Heracles"; }
+  void reset() override {}
+  Partition decide(const sim::ServerTelemetry& sample,
+                   const Partition& current) override;
+
+ private:
+  MachineSpec machine_;
+  double qos_target_ms_;
+  HeraclesOptions options_;
+};
+
+}  // namespace sturgeon::baselines

@@ -1,0 +1,70 @@
+// Enhanced PARTIES baseline (Chen, Delimitrou, Martinez, ASPLOS'19), the
+// paper's comparison system (Section VII-A).
+//
+// PARTIES is a feedback controller: each interval it adjusts ONE unit of
+// ONE resource type and watches the next interval's latency. Upsizing
+// (slack < alpha) gives the LS service a unit; if latency does not
+// improve, the unit is reverted and the next resource type is tried.
+// Downsizing (slack > beta) harvests a unit from the LS service; if the
+// consequent slack collapses, the unit is reverted. It has no models and
+// no notion of BE resource preference.
+//
+// The original system is power-oblivious; the paper enhances it so an
+// adjustment that overloads the measured power budget is reverted and
+// another type is tried. We additionally let the BE frequency drift up
+// only when measured power allows, matching the paper's description of
+// PARTIES "proactively adjusting the core frequencies of both co-located
+// applications". Even so, convergence takes several feedback iterations,
+// during which overload can be live -- the effect Fig 2/9 reports.
+#pragma once
+
+#include "core/policy.h"
+
+namespace sturgeon::baselines {
+
+struct PartiesOptions {
+  double alpha = 0.10;
+  double beta = 0.20;
+  double power_budget_w = 0.0;  ///< 0 = power-oblivious (original PARTIES)
+  /// Relative p95 improvement required to keep an upsizing step.
+  double improvement_threshold = 0.05;
+  /// PARTIES periodically probes whether the LS service can spare
+  /// resources: after this many consecutive intervals of healthy slack
+  /// (above the alpha bound but below beta), it attempts a downsize even
+  /// though slack never crossed beta.
+  int probe_patience_s = 4;
+};
+
+class PartiesController : public core::Policy {
+ public:
+  PartiesController(const MachineSpec& machine, double qos_target_ms,
+                    PartiesOptions options);
+
+  std::string name() const override;
+  void reset() override;
+  Partition decide(const sim::ServerTelemetry& sample,
+                   const Partition& current) override;
+
+ private:
+  enum class Resource { kCores, kFreq, kWays };
+  static constexpr int kNumResources = 3;
+
+  /// Apply one unit of `r` toward the LS service (`toward_ls`) or back to
+  /// the BE side; returns nullopt when not expressible.
+  std::optional<Partition> adjust(const Partition& p, Resource r,
+                                  bool toward_ls) const;
+
+  MachineSpec machine_;
+  double qos_target_ms_;
+  PartiesOptions options_;
+
+  int resource_idx_ = 0;           ///< round-robin cursor over types
+  bool pending_feedback_ = false;  ///< an adjustment awaits its next sample
+  bool pending_upsize_ = false;
+  Resource pending_resource_ = Resource::kCores;
+  double p95_before_ms_ = 0.0;
+  int healthy_streak_ = 0;         ///< consecutive in-band intervals
+  int cooldown_ = 0;               ///< probe lock-out after a violation
+};
+
+}  // namespace sturgeon::baselines

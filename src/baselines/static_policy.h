@@ -1,0 +1,27 @@
+// Fixed-partition policy: applies one configuration and never moves.
+// Used by the motivation experiments (Figs 2 and 3 evaluate fixed
+// configurations), by tests, and as the "no management" strawman.
+#pragma once
+
+#include "core/policy.h"
+
+namespace sturgeon::baselines {
+
+class StaticPolicy : public core::Policy {
+ public:
+  explicit StaticPolicy(Partition partition, std::string label = "Static")
+      : partition_(partition), label_(std::move(label)) {}
+
+  std::string name() const override { return label_; }
+  void reset() override {}
+  Partition decide(const sim::ServerTelemetry& /*sample*/,
+                   const Partition& /*current*/) override {
+    return partition_;
+  }
+
+ private:
+  Partition partition_;
+  std::string label_;
+};
+
+}  // namespace sturgeon::baselines

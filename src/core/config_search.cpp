@@ -1,0 +1,227 @@
+#include "core/config_search.h"
+
+#include <stdexcept>
+
+namespace sturgeon::core {
+
+ConfigSearch::ConfigSearch(const Predictor& predictor, double power_budget_w)
+    : predictor_(predictor), budget_w_(power_budget_w) {
+  if (power_budget_w <= 0.0) {
+    throw std::invalid_argument("ConfigSearch: bad power budget");
+  }
+}
+
+std::optional<int> ConfigSearch::min_ls_cores(double qps_real) const {
+  const MachineSpec& m = predictor_.machine();
+  AppSlice probe{m.num_cores, m.max_freq_level(), m.llc_ways};
+  if (!predictor_.ls_qos_ok(qps_real, probe)) return std::nullopt;
+  int lo = 1, hi = m.num_cores;  // invariant: hi feasible
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    probe.cores = mid;
+    if (predictor_.ls_qos_ok(qps_real, probe)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+int ConfigSearch::min_ls_ways(double qps_real, AppSlice slice) const {
+  const MachineSpec& m = predictor_.machine();
+  int lo = 1, hi = m.llc_ways;  // caller guarantees hi feasible
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    slice.llc_ways = mid;
+    if (predictor_.ls_qos_ok(qps_real, slice)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+int ConfigSearch::min_ls_freq(double qps_real, AppSlice slice) const {
+  const MachineSpec& m = predictor_.machine();
+  int lo = 0, hi = m.max_freq_level();  // caller guarantees hi feasible
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    slice.freq_level = mid;
+    if (predictor_.ls_qos_ok(qps_real, slice)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+std::optional<int> ConfigSearch::max_be_freq(double qps_real,
+                                             const AppSlice& ls,
+                                             AppSlice be) const {
+  const MachineSpec& m = predictor_.machine();
+  const auto fits = [&](int level) {
+    be.freq_level = level;
+    Partition p{ls, be};
+    return predictor_.total_power_w(qps_real, p) <= budget_w_;
+  };
+  if (!fits(0)) return std::nullopt;
+  int lo = 0, hi = m.max_freq_level();  // invariant: lo feasible
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    if (fits(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+SearchResult ConfigSearch::search(double qps_real) const {
+  const MachineSpec& m = predictor_.machine();
+  const std::uint64_t invocations_before = predictor_.model_invocations();
+  SearchResult result;
+  result.best = Partition::all_to_ls(m);
+
+  const auto c1_min = min_ls_cores(qps_real);
+  if (!c1_min) {
+    // Even the whole machine cannot hold QoS: keep everything on the LS
+    // service (Algorithm 1's conservative initial allocation).
+    result.model_invocations =
+        predictor_.model_invocations() - invocations_before;
+    return result;
+  }
+
+  // Sweep candidate LS core counts upward from the minimum; each candidate
+  // gives the BE side fewer cores but (potentially) a higher frequency.
+  for (int c1 = *c1_min; c1 < m.num_cores; ++c1) {
+    AppSlice ls{c1, m.max_freq_level(), m.llc_ways};
+    // Just-enough ways, then just-enough frequency (Section V-B order).
+    ls.llc_ways = min_ls_ways(qps_real, ls);
+    if (ls.llc_ways >= m.llc_ways) continue;  // nothing left for the BE app
+    ls.freq_level = min_ls_freq(qps_real, ls);
+
+    AppSlice be = complement_slice(m, ls, 0);
+    if (be.cores < 1 || be.llc_ways < 1) continue;
+    const auto f2 = max_be_freq(qps_real, ls, be);
+    if (!f2) continue;  // power infeasible even at the bottom P-state
+    be.freq_level = *f2;
+
+    Candidate cand;
+    cand.partition = Partition{ls, be};
+    cand.predicted_throughput = predictor_.be_throughput(be);
+    cand.predicted_power_w =
+        predictor_.total_power_w(qps_real, cand.partition);
+    result.candidates.push_back(cand);
+
+    if (!result.feasible ||
+        cand.predicted_throughput > result.predicted_throughput) {
+      result.feasible = true;
+      result.best = cand.partition;
+      result.predicted_throughput = cand.predicted_throughput;
+      result.predicted_power_w = cand.predicted_power_w;
+    }
+    // Once the BE slice already runs at the top P-state, shrinking it
+    // further cannot raise its frequency any more: stop (Section V-B).
+    if (*f2 == m.max_freq_level()) break;
+  }
+
+  result.model_invocations =
+      predictor_.model_invocations() - invocations_before;
+  return result;
+}
+
+SearchResult ConfigSearch::search_parallel(double qps_real,
+                                           ThreadPool& pool) const {
+  const MachineSpec& m = predictor_.machine();
+  const std::uint64_t invocations_before = predictor_.model_invocations();
+  SearchResult result;
+  result.best = Partition::all_to_ls(m);
+
+  const auto c1_min = min_ls_cores(qps_real);
+  if (!c1_min) {
+    result.model_invocations =
+        predictor_.model_invocations() - invocations_before;
+    return result;
+  }
+
+  // Evaluate every candidate C1 independently; the sequential sweep's
+  // early stop (first candidate whose F2 reaches the top P-state) is
+  // applied afterwards so the result is bit-identical.
+  const int first = *c1_min;
+  const int count = m.num_cores - first;
+  std::vector<std::optional<Candidate>> evaluated(
+      static_cast<std::size_t>(count));
+  pool.parallel_for(static_cast<std::size_t>(count), [&](std::size_t i) {
+    const int c1 = first + static_cast<int>(i);
+    AppSlice ls{c1, m.max_freq_level(), m.llc_ways};
+    ls.llc_ways = min_ls_ways(qps_real, ls);
+    if (ls.llc_ways >= m.llc_ways) return;
+    ls.freq_level = min_ls_freq(qps_real, ls);
+    AppSlice be = complement_slice(m, ls, 0);
+    if (be.cores < 1 || be.llc_ways < 1) return;
+    const auto f2 = max_be_freq(qps_real, ls, be);
+    if (!f2) return;
+    be.freq_level = *f2;
+    Candidate cand;
+    cand.partition = Partition{ls, be};
+    cand.predicted_throughput = predictor_.be_throughput(be);
+    cand.predicted_power_w = predictor_.total_power_w(qps_real,
+                                                      cand.partition);
+    evaluated[i] = cand;
+  });
+
+  for (const auto& cand : evaluated) {
+    if (!cand) continue;
+    result.candidates.push_back(*cand);
+    if (!result.feasible ||
+        cand->predicted_throughput > result.predicted_throughput) {
+      result.feasible = true;
+      result.best = cand->partition;
+      result.predicted_throughput = cand->predicted_throughput;
+      result.predicted_power_w = cand->predicted_power_w;
+    }
+    if (cand->partition.be.freq_level == m.max_freq_level()) break;
+  }
+  result.model_invocations =
+      predictor_.model_invocations() - invocations_before;
+  return result;
+}
+
+SearchResult ConfigSearch::exhaustive(double qps_real) const {
+  const MachineSpec& m = predictor_.machine();
+  const std::uint64_t invocations_before = predictor_.model_invocations();
+  SearchResult result;
+  result.best = Partition::all_to_ls(m);
+
+  for (int c1 = 1; c1 < m.num_cores; ++c1) {
+    for (int f1 = 0; f1 <= m.max_freq_level(); ++f1) {
+      for (int l1 = 1; l1 < m.llc_ways; ++l1) {
+        const AppSlice ls{c1, f1, l1};
+        if (!predictor_.ls_qos_ok(qps_real, ls)) continue;
+        for (int f2 = m.max_freq_level(); f2 >= 0; --f2) {
+          AppSlice be = complement_slice(m, ls, f2);
+          Partition p{ls, be};
+          if (predictor_.total_power_w(qps_real, p) > budget_w_) continue;
+          const double thr = predictor_.be_throughput(be);
+          if (!result.feasible || thr > result.predicted_throughput) {
+            result.feasible = true;
+            result.best = p;
+            result.predicted_throughput = thr;
+            result.predicted_power_w =
+                predictor_.total_power_w(qps_real, p);
+          }
+          break;  // lower F2 can only reduce throughput
+        }
+      }
+    }
+  }
+  result.model_invocations =
+      predictor_.model_invocations() - invocations_before;
+  return result;
+}
+
+}  // namespace sturgeon::core

@@ -1,0 +1,81 @@
+// Configuration search (paper Section V-B).
+//
+// The exhaustive space is N_C x N_F x N_L x N_F (40000+ configurations on
+// the paper platform). Sturgeon's search exploits monotonicity: BE
+// throughput only grows when the LS slice shrinks, so it is enough to
+// enumerate configurations with "just-enough" LS resources. For each
+// candidate LS core count C1 (starting from the binary-searched minimum),
+// the minimum feasible L1 and F1 are binary-searched, the BE slice takes
+// the remainder, and the maximum F2 under the power budget is binary-
+// searched. Candidates stop once F2 reaches the top P-state; the
+// candidate with the highest predicted BE throughput wins. Complexity
+// O(N log N) versus O(N^4) exhaustive, as derived in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/predictor.h"
+#include "util/thread_pool.h"
+
+namespace sturgeon::core {
+
+struct Candidate {
+  Partition partition;
+  double predicted_throughput = 0.0;
+  double predicted_power_w = 0.0;
+};
+
+struct SearchResult {
+  /// Best feasible partition; all-to-LS fallback when nothing fits the
+  /// QoS target (feasible == false) or nothing fits the power budget.
+  Partition best;
+  bool feasible = false;
+  double predicted_throughput = 0.0;
+  double predicted_power_w = 0.0;
+  std::vector<Candidate> candidates;      ///< all feasible candidates seen
+  std::uint64_t model_invocations = 0;    ///< predictions this search used
+};
+
+class ConfigSearch {
+ public:
+  /// `power_budget_w` is the node budget (LS-at-peak power, Section
+  /// III-B). The predictor is borrowed and must outlive the search.
+  ConfigSearch(const Predictor& predictor, double power_budget_w);
+
+  /// Sturgeon's O(N log N) search at real-scale load `qps_real`.
+  SearchResult search(double qps_real) const;
+
+  /// Same result as search(), but candidate LS core counts are evaluated
+  /// concurrently on `pool` (paper Section VII-E: "the search can also be
+  /// further accelerated using multithreading"). Deterministic: the
+  /// candidate set and winner match the sequential search.
+  SearchResult search_parallel(double qps_real, ThreadPool& pool) const;
+
+  /// Exhaustive O(N^4) reference search over the full grid; used by the
+  /// overhead experiment (Section VII-E) and as a search-quality oracle.
+  SearchResult exhaustive(double qps_real) const;
+
+  double power_budget_w() const { return budget_w_; }
+
+ private:
+  /// Smallest C1 in [1, num_cores] meeting QoS with F1, L1 maxed, or
+  /// nullopt if even the full machine fails.
+  std::optional<int> min_ls_cores(double qps_real) const;
+
+  /// Smallest feasible L1 (resp. F1) for a fixed slice; assumes
+  /// feasibility is monotone in the searched dimension.
+  int min_ls_ways(double qps_real, AppSlice slice) const;
+  int min_ls_freq(double qps_real, AppSlice slice) const;
+
+  /// Largest F2 whose total power fits the budget, or nullopt if even the
+  /// lowest P-state overshoots.
+  std::optional<int> max_be_freq(double qps_real, const AppSlice& ls,
+                                 AppSlice be) const;
+
+  const Predictor& predictor_;
+  double budget_w_;
+};
+
+}  // namespace sturgeon::core

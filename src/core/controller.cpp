@@ -1,0 +1,143 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/monitor.h"
+
+namespace sturgeon::core {
+
+SturgeonController::SturgeonController(
+    std::shared_ptr<const Predictor> predictor, double qos_target_ms,
+    double power_budget_w, SturgeonOptions options)
+    : predictor_(std::move(predictor)),
+      qos_target_ms_(qos_target_ms),
+      options_(options),
+      search_(*predictor_, power_budget_w),
+      balancer_(*predictor_, power_budget_w,
+                BalancerConfig{options.alpha, options.beta,
+                               options.balancer_granularity}) {
+  if (!predictor_) {
+    throw std::invalid_argument("SturgeonController: null predictor");
+  }
+  if (qos_target_ms <= 0.0) {
+    throw std::invalid_argument("SturgeonController: bad QoS target");
+  }
+  if (options.alpha < 0.0 || options.beta <= options.alpha) {
+    throw std::invalid_argument("SturgeonController: alpha/beta");
+  }
+}
+
+std::string SturgeonController::name() const {
+  return options_.enable_balancer ? "Sturgeon" : "Sturgeon-NoB";
+}
+
+void SturgeonController::reset() {
+  balancer_armed_ = false;
+  searches_ = 0;
+  balancer_actions_ = 0;
+  reserves_ = Reserves{};
+  calm_intervals_ = 0;
+}
+
+Partition SturgeonController::apply_reserves(Partition p) const {
+  if (p.be.cores == 0) return p;
+  const MachineSpec& m = predictor_->machine();
+  const int cores = std::min(reserves_.cores, p.be.cores - 1);
+  if (cores > 0) {
+    p.ls.cores += cores;
+    p.be.cores -= cores;
+  }
+  const int ways = std::min(reserves_.ways, p.be.llc_ways - 1);
+  if (ways > 0) {
+    p.ls.llc_ways += ways;
+    p.be.llc_ways -= ways;
+  }
+  if (reserves_.freq > 0) {
+    p.be.freq_level = std::max(0, p.be.freq_level - reserves_.freq);
+    p.ls.freq_level = std::min(m.max_freq_level(),
+                               p.ls.freq_level + reserves_.freq);
+  }
+  return p;
+}
+
+Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
+                                     const Partition& current) {
+  const double slack =
+      telemetry::latency_slack(sample.ls.p95_ms, qos_target_ms_);
+  const double qps = sample.qps_real;
+
+  // Decay the compensation reserves after sustained calm.
+  if (slack >= options_.alpha && !balancer_.active()) {
+    if (++calm_intervals_ >= options_.reserve_decay_interval_s) {
+      reserves_.cores /= 2;
+      reserves_.ways /= 2;
+      reserves_.freq /= 2;
+      calm_intervals_ = 0;
+    }
+  } else {
+    calm_intervals_ = 0;
+  }
+
+  // Slack inside the band: nothing to do (Algorithm 1 line 5). Let an
+  // in-flight balancer sequence observe the settled state.
+  if (slack >= options_.alpha && slack <= options_.beta) {
+    if (options_.enable_balancer && balancer_armed_) {
+      balancer_.step(slack, qps, current);  // disarms itself in-band
+    }
+    return current;
+  }
+
+  // A live balancer sequence continues before any new search: it is the
+  // feedback path that knows about unmodelled interference. Its net
+  // LS-ward movement accumulates into the reserves.
+  const auto run_balancer = [&](const Partition& base)
+      -> std::optional<Partition> {
+    const auto p = balancer_.step(slack, qps, base);
+    if (p) {
+      ++balancer_actions_;
+      reserves_.cores =
+          std::clamp(reserves_.cores + (p->ls.cores - base.ls.cores), 0,
+                     predictor_->machine().num_cores - 1);
+      reserves_.ways =
+          std::clamp(reserves_.ways + (p->ls.llc_ways - base.ls.llc_ways), 0,
+                     predictor_->machine().llc_ways - 1);
+      reserves_.freq = std::clamp(
+          reserves_.freq + (base.be.freq_level - p->be.freq_level), 0,
+          predictor_->machine().max_freq_level());
+    }
+    return p;
+  };
+
+  if (options_.enable_balancer && balancer_armed_ && balancer_.active()) {
+    if (const auto p = run_balancer(current)) return *p;
+  }
+
+  // Find and apply a new configuration with the predictor (line 6),
+  // shifted by the compensation reserves the balancer has accumulated.
+  SearchResult result = search_.search(qps);
+  ++searches_;
+  result.best = apply_reserves(result.best);
+  if (!(result.best == current)) {
+    if (options_.enable_balancer) {
+      balancer_.arm(result.best);
+      balancer_armed_ = true;
+    }
+    return result.best;
+  }
+
+  // The predictor proposes the configuration we are already running, yet
+  // slack is still bad: unmodelled interference. Only the feedback
+  // balancer can fix this (line 7: "fine-tune if necessary"); without it
+  // (Sturgeon-NoB) the violation persists -- exactly the paper's Fig 9.
+  if (slack < options_.alpha && options_.enable_balancer) {
+    if (!balancer_armed_) {
+      balancer_.arm(current);
+      balancer_armed_ = true;
+    }
+    if (const auto p = run_balancer(current)) return *p;
+  }
+  return current;
+}
+
+}  // namespace sturgeon::core

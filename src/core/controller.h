@@ -1,0 +1,87 @@
+// Sturgeon's top-level controller (paper Algorithm 1).
+//
+// Every second the controller reads the LS service's load and tail
+// latency, computes slack = (target - latency) / target, and when slack
+// leaves the [alpha, beta] band either re-runs the predictor-driven
+// configuration search (Section V) or lets the preference-aware balancer
+// fine-tune the allocation (Section VI). Setting
+// `options.enable_balancer = false` yields the paper's Sturgeon-NoB
+// ablation.
+//
+// Persistent compensation (extension): the offline models are blind to
+// co-runner contention by design (they are trained on solo profiling
+// runs), so a fresh search would re-install exactly the configuration the
+// balancer just spent several intervals compensating. The controller
+// therefore remembers the balancer's *net* harvests as per-resource
+// reserves and re-applies them on top of every search result; reserves
+// halve after a calm period so transient interference does not permanently
+// tax the BE application.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/balancer.h"
+#include "core/config_search.h"
+#include "core/policy.h"
+
+namespace sturgeon::core {
+
+struct SturgeonOptions {
+  double alpha = 0.10;          ///< paper default lower slack bound
+  double beta = 0.20;           ///< paper default upper slack bound
+  bool enable_balancer = true;  ///< false = Sturgeon-NoB
+  /// Initial balancer harvest granularity (fraction of BE holdings).
+  double balancer_granularity = 0.5;
+  /// Calm intervals (slack >= alpha, no balancer action) after which the
+  /// compensation reserves decay by half. See class comment.
+  int reserve_decay_interval_s = 20;
+};
+
+class SturgeonController : public Policy {
+ public:
+  /// `qos_target_ms` is the LS service's target; `power_budget_w` the
+  /// node budget. The predictor is shared (models are immutable).
+  SturgeonController(std::shared_ptr<const Predictor> predictor,
+                     double qos_target_ms, double power_budget_w,
+                     SturgeonOptions options = {});
+
+  std::string name() const override;
+  void reset() override;
+  Partition decide(const sim::ServerTelemetry& sample,
+                   const Partition& current) override;
+
+  /// Cumulative number of predictor searches run (overhead accounting).
+  std::uint64_t searches_run() const { return searches_; }
+
+  /// Cumulative balancer interventions applied.
+  std::uint64_t balancer_actions() const { return balancer_actions_; }
+
+  const ResourceBalancer& balancer() const { return balancer_; }
+
+  /// Current compensation reserves (for tracing/tests).
+  struct Reserves {
+    int cores = 0;
+    int ways = 0;
+    int freq = 0;  ///< BE P-state reduction
+  };
+  const Reserves& reserves() const { return reserves_; }
+
+ private:
+  /// Shift `p` LS-ward by the current reserves (clamped so the BE slice
+  /// stays minimally viable).
+  Partition apply_reserves(Partition p) const;
+
+  std::shared_ptr<const Predictor> predictor_;
+  double qos_target_ms_;
+  SturgeonOptions options_;
+  ConfigSearch search_;
+  ResourceBalancer balancer_;
+  bool balancer_armed_ = false;
+  std::uint64_t searches_ = 0;
+  std::uint64_t balancer_actions_ = 0;
+  Reserves reserves_;
+  int calm_intervals_ = 0;
+};
+
+}  // namespace sturgeon::core

@@ -1,0 +1,31 @@
+// Co-location policy interface: one decision per 1 s interval, mapping
+// the latest telemetry sample to the partition for the next interval.
+// Sturgeon, Sturgeon-NoB and the baseline controllers all implement this,
+// so the experiment harness can drive them interchangeably.
+#pragma once
+
+#include <string>
+
+#include "sim/server.h"
+#include "util/types.h"
+
+namespace sturgeon::core {
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Forget controller state (new run).
+  virtual void reset() = 0;
+
+  /// Observe the last interval's telemetry and choose the partition for
+  /// the next interval. Note: `sample.interference_factor` is simulator
+  /// ground truth and MUST NOT be read by policies -- controllers only
+  /// see what RAPL / latency instrumentation would expose.
+  virtual Partition decide(const sim::ServerTelemetry& sample,
+                           const Partition& current) = 0;
+};
+
+}  // namespace sturgeon::core

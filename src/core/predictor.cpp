@@ -1,0 +1,53 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/features.h"
+
+namespace sturgeon::core {
+
+Predictor::Predictor(const MachineSpec& machine, TrainedModels models)
+    : machine_(machine), models_(std::move(models)) {
+  if (!models_.ls_qos || !models_.ls_power || !models_.be_ipc ||
+      !models_.be_power) {
+    throw std::invalid_argument("Predictor: missing trained models");
+  }
+}
+
+bool Predictor::ls_qos_ok(double qps_real, const AppSlice& slice) const {
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  return models_.ls_qos->predict(ls_features(machine_, qps_real, slice)) == 1;
+}
+
+double Predictor::ls_power_w(double qps_real, const AppSlice& slice) const {
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  return models_.ls_power->predict(ls_features(machine_, qps_real, slice));
+}
+
+double Predictor::be_power_w(const AppSlice& slice) const {
+  if (slice.cores == 0) return 0.0;
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  return std::max(
+      0.0, models_.be_power->predict(
+               be_features(machine_, kNativeInputLevel, slice)));
+}
+
+double Predictor::be_ipc(const AppSlice& slice) const {
+  if (slice.cores == 0) return 0.0;
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+  return std::max(0.0, models_.be_ipc->predict(be_features(
+                           machine_, kNativeInputLevel, slice)));
+}
+
+double Predictor::be_throughput(const AppSlice& slice) const {
+  if (slice.cores == 0) return 0.0;
+  return be_ipc(slice) * static_cast<double>(slice.cores) *
+         machine_.freq_at(slice.freq_level);
+}
+
+double Predictor::total_power_w(double qps_real, const Partition& p) const {
+  return ls_power_w(qps_real, p.ls) + be_power_w(p.be);
+}
+
+}  // namespace sturgeon::core

@@ -1,0 +1,58 @@
+// Online performance/power predictor (paper Section V, Fig 5).
+//
+// For a configuration <C1,F1,L1; C2,F2,L2> at load Q the predictor
+// answers, using only the offline-trained models:
+//   - does the LS service meet its QoS target?       (ls_qos classifier)
+//   - what is the total package power?               (ls_power + be_power)
+//   - what BE throughput does the configuration buy? (be_ipc * C2 * F2)
+// Model invocations are counted so the overhead experiments (paper
+// Section VII-E) can report predictions-per-search.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/trainer.h"
+#include "util/types.h"
+
+namespace sturgeon::core {
+
+class Predictor {
+ public:
+  /// Takes ownership of the trained models.
+  Predictor(const MachineSpec& machine, TrainedModels models);
+
+  /// QoS feasibility of an LS slice at real-scale load `qps_real`.
+  bool ls_qos_ok(double qps_real, const AppSlice& slice) const;
+
+  /// Predicted package power of the LS side alone (includes uncore).
+  double ls_power_w(double qps_real, const AppSlice& slice) const;
+
+  /// Predicted incremental power of the BE slice.
+  double be_power_w(const AppSlice& slice) const;
+
+  /// Predicted BE IPC and throughput (IPC x cores x GHz).
+  double be_ipc(const AppSlice& slice) const;
+  double be_throughput(const AppSlice& slice) const;
+
+  /// Total package power of the co-location.
+  double total_power_w(double qps_real, const Partition& p) const;
+
+  const MachineSpec& machine() const { return machine_; }
+
+  /// Cumulative number of model invocations (overhead accounting).
+  /// Thread-safe: the parallel search invokes models concurrently.
+  std::uint64_t model_invocations() const {
+    return invocations_.load(std::memory_order_relaxed);
+  }
+  void reset_invocation_count() {
+    invocations_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  MachineSpec machine_;
+  TrainedModels models_;
+  mutable std::atomic<std::uint64_t> invocations_{0};
+};
+
+}  // namespace sturgeon::core

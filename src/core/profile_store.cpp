@@ -1,0 +1,154 @@
+#include "core/profile_store.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sturgeon::core {
+
+namespace {
+
+constexpr char kLsHeader[] = "sturgeon-ls-profile-v1";
+constexpr char kBeHeader[] = "sturgeon-be-profile-v1";
+
+std::vector<double> parse_row(const std::string& line, std::size_t expect,
+                              int lineno) {
+  std::vector<double> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    try {
+      std::size_t used = 0;
+      cells.push_back(std::stod(cell, &used));
+      if (used != cell.size()) throw std::invalid_argument(cell);
+    } catch (const std::exception&) {
+      throw std::runtime_error("profile_store: bad number '" + cell +
+                               "' on line " + std::to_string(lineno));
+    }
+  }
+  if (cells.size() != expect) {
+    throw std::runtime_error("profile_store: expected " +
+                             std::to_string(expect) + " cells on line " +
+                             std::to_string(lineno) + ", got " +
+                             std::to_string(cells.size()));
+  }
+  return cells;
+}
+
+void expect_header(std::istream& is, const char* header) {
+  std::string line;
+  if (!std::getline(is, line) || line != header) {
+    throw std::runtime_error(std::string("profile_store: missing header '") +
+                             header + "'");
+  }
+}
+
+}  // namespace
+
+void save_ls_profiling(std::ostream& os, const LsProfilingData& data) {
+  os << kLsHeader << '\n';
+  os << "kqps,cores,freq_ghz,ways,qos_ok,power_w\n";
+  os.precision(10);
+  for (std::size_t i = 0; i < data.x.size(); ++i) {
+    const auto& r = data.x[i];
+    os << r[0] << ',' << r[1] << ',' << r[2] << ',' << r[3] << ','
+       << data.qos_ok[i] << ',' << data.power_w[i] << '\n';
+  }
+}
+
+void save_be_profiling(std::ostream& os, const BeProfilingData& data) {
+  os << kBeHeader << '\n';
+  os << "idle_power_w," << data.idle_power_w << '\n';
+  os << "input,cores,freq_ghz,ways,ipc,power_w\n";
+  os.precision(10);
+  for (std::size_t i = 0; i < data.x.size(); ++i) {
+    const auto& r = data.x[i];
+    os << r[0] << ',' << r[1] << ',' << r[2] << ',' << r[3] << ','
+       << data.ipc[i] << ',' << data.power_w[i] << '\n';
+  }
+}
+
+LsProfilingData load_ls_profiling(std::istream& is) {
+  expect_header(is, kLsHeader);
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("profile_store: missing LS column header");
+  }
+  LsProfilingData data;
+  int lineno = 2;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto cells = parse_row(line, 6, lineno);
+    data.x.push_back({cells[0], cells[1], cells[2], cells[3]});
+    const int label = static_cast<int>(cells[4]);
+    if (label != 0 && label != 1) {
+      throw std::runtime_error("profile_store: qos_ok must be 0/1 on line " +
+                               std::to_string(lineno));
+    }
+    data.qos_ok.push_back(label);
+    data.power_w.push_back(cells[5]);
+  }
+  return data;
+}
+
+BeProfilingData load_be_profiling(std::istream& is) {
+  expect_header(is, kBeHeader);
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("idle_power_w,", 0) != 0) {
+    throw std::runtime_error("profile_store: missing idle_power_w line");
+  }
+  BeProfilingData data;
+  data.idle_power_w = std::stod(line.substr(std::string("idle_power_w,").size()));
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("profile_store: missing BE column header");
+  }
+  int lineno = 3;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto cells = parse_row(line, 6, lineno);
+    data.x.push_back({cells[0], cells[1], cells[2], cells[3]});
+    data.ipc.push_back(cells[4]);
+    data.power_w.push_back(cells[5]);
+  }
+  return data;
+}
+
+namespace {
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("profile_store: cannot write " + path);
+  return os;
+}
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("profile_store: cannot read " + path);
+  return is;
+}
+}  // namespace
+
+void save_ls_profiling_file(const std::string& path,
+                            const LsProfilingData& data) {
+  auto os = open_out(path);
+  save_ls_profiling(os, data);
+}
+
+void save_be_profiling_file(const std::string& path,
+                            const BeProfilingData& data) {
+  auto os = open_out(path);
+  save_be_profiling(os, data);
+}
+
+LsProfilingData load_ls_profiling_file(const std::string& path) {
+  auto is = open_in(path);
+  return load_ls_profiling(is);
+}
+
+BeProfilingData load_be_profiling_file(const std::string& path) {
+  auto is = open_in(path);
+  return load_be_profiling(is);
+}
+
+}  // namespace sturgeon::core

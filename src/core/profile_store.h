@@ -1,0 +1,32 @@
+// Persistence for profiling campaigns. The paper's deployment stores
+// offline-trained models on every server (Section V-C); this store
+// persists the *profiling datasets* (CSV, versioned header) so nodes can
+// retrain any model family in milliseconds without re-running the
+// profiling cluster, and so campaigns are auditable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/trainer.h"
+
+namespace sturgeon::core {
+
+/// Serialize a profiling dataset as CSV with a schema-version header.
+void save_ls_profiling(std::ostream& os, const LsProfilingData& data);
+void save_be_profiling(std::ostream& os, const BeProfilingData& data);
+
+/// Parse datasets written by the save functions. Throws
+/// std::runtime_error on version/schema mismatch or malformed rows.
+LsProfilingData load_ls_profiling(std::istream& is);
+BeProfilingData load_be_profiling(std::istream& is);
+
+/// File-path convenience wrappers; throw std::runtime_error on IO errors.
+void save_ls_profiling_file(const std::string& path,
+                            const LsProfilingData& data);
+void save_be_profiling_file(const std::string& path,
+                            const BeProfilingData& data);
+LsProfilingData load_ls_profiling_file(const std::string& path);
+BeProfilingData load_be_profiling_file(const std::string& path);
+
+}  // namespace sturgeon::core

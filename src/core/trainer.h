@@ -1,0 +1,125 @@
+// Offline model training (paper Section V-A/V-C).
+//
+// In the paper, a dedicated cluster's telemetry provides training samples
+// of latency / IPC / peak power under different resource configurations.
+// Here the SimulatedServer plays the telemetry source: each sample is a
+// short *measured* profiling run at one configuration -- the trainer
+// observes only what instrumentation would expose (p95 latency, IPC,
+// RAPL power), never the simulator internals.
+//
+// Per-application models (paper Fig 5):
+//   LS service:      ls_qos  (classification) -- does <qps, C1, F1, L1>
+//                    meet the target?
+//                    ls_power (regression) -- LS-solo package peak power
+//   BE application:  be_ipc  (regression) -- IPC at <I, C2, F2, L2>
+//                    be_power (regression) -- BE slice incremental power
+// Power labels use the interval-peak, matching the paper's conservative
+// choice (Section V-A). LS models are independent of the co-runner and
+// vice versa, so each service/application is profiled once and the
+// models are shared across all co-location pairs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ml/factory.h"
+#include "sim/server.h"
+#include "workloads/app_profile.h"
+
+namespace sturgeon::core {
+
+struct TrainerConfig {
+  int ls_samples = 500;        ///< uniform profiling configs per LS service
+  /// Boundary-focused profiling campaigns: each draws a random (load,
+  /// frequency) and binary-searches the measured minimum feasible core
+  /// count and way count, labeling every probe. Concentrates samples
+  /// where the QoS classifier's decision boundary lives -- the adaptive
+  /// sampling a real profiling cluster would run.
+  int ls_boundary_searches = 120;
+  int be_samples = 400;        ///< profiling configurations per BE app
+  int intervals_per_sample = 3;  ///< 1 s measurements per configuration
+  double test_fraction = 0.25;   ///< hold-out share for model selection
+  /// A configuration is labeled QoS-feasible only if its profiled p95
+  /// stays within margin * target. The margin aligns the classifier
+  /// boundary with the controller's alpha slack band so the search does
+  /// not hand out configurations that sit exactly on the latency cliff
+  /// (the paper's conservative-training spirit, Section V-A).
+  double qos_label_margin = 0.85;
+  std::uint64_t seed = 0xfeedULL;
+  sim::ServerConfig server;      ///< profiling-cluster machine (defaults)
+};
+
+/// Raw LS profiling dataset. Features are {kQPS, C1, F1, L1}.
+struct LsProfilingData {
+  std::vector<ml::FeatureRow> x;
+  std::vector<int> qos_ok;       // 1 = p95 within margin*target, all runs
+  std::vector<double> power_w;   // peak package power, LS solo
+};
+
+/// Raw BE profiling dataset. Features are {I, C2, F2, L2}.
+struct BeProfilingData {
+  std::vector<ml::FeatureRow> x;
+  std::vector<double> ipc;
+  std::vector<double> power_w;   // peak package power minus idle probe
+  double idle_power_w = 0.0;
+};
+
+/// Profile an LS service across randomized solo configurations
+/// (interference disabled: a quiet profiling cluster, as the paper
+/// assumes).
+LsProfilingData collect_ls_profiling(const LsProfile& ls,
+                                     const TrainerConfig& config);
+
+/// Profile a BE application across randomized solo configurations.
+BeProfilingData collect_be_profiling(const BeProfile& be,
+                                     const TrainerConfig& config);
+
+/// Per-family hold-out scores, the data behind Figs 6 and 7.
+using FamilyScores = std::vector<std::pair<ml::ModelKind, double>>;
+
+/// Trained LS-side models. Shared pointers: the same trained models back
+/// every co-location pair involving this service.
+struct LsModels {
+  std::shared_ptr<const ml::Classifier> qos;
+  std::shared_ptr<const ml::Regressor> power;
+  FamilyScores qos_accuracy;  ///< hold-out accuracy per family (Fig 6)
+  FamilyScores power_r2;      ///< hold-out R^2 per family (Fig 7)
+};
+
+struct BeModels {
+  std::shared_ptr<const ml::Regressor> ipc;
+  std::shared_ptr<const ml::Regressor> power;
+  double idle_power_w = 0.0;
+  FamilyScores ipc_r2;    ///< Fig 6 (BE performance)
+  FamilyScores power_r2;  ///< Fig 7
+};
+
+/// Train every paper model family per role, score on a hold-out set, and
+/// deploy the best ("the most suitable one", Section V-C).
+LsModels train_ls_models(const LsProfilingData& data,
+                         const TrainerConfig& config);
+BeModels train_be_models(const BeProfilingData& data,
+                         const TrainerConfig& config);
+
+/// The model bundle backing one co-location pair's Predictor.
+struct TrainedModels {
+  std::shared_ptr<const ml::Classifier> ls_qos;
+  std::shared_ptr<const ml::Regressor> ls_power;
+  std::shared_ptr<const ml::Regressor> be_ipc;
+  std::shared_ptr<const ml::Regressor> be_power;
+  double idle_power_w = 0.0;
+};
+
+TrainedModels assemble_models(const LsModels& ls, const BeModels& be);
+
+/// Convenience: profile + train + assemble for one pair.
+TrainedModels train_for_pair(const LsProfile& ls, const BeProfile& be,
+                             const TrainerConfig& config = {});
+
+/// Lasso feature-selection report: indices of the retained features
+/// (paper says all four inputs survive selection).
+std::vector<std::size_t> lasso_selected_features(
+    const std::vector<ml::FeatureRow>& x, const std::vector<double>& y,
+    double lambda = 0.05);
+
+}  // namespace sturgeon::core

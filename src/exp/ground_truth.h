@@ -1,0 +1,38 @@
+// Measured (simulator-ground-truth) characterizations used by the
+// motivation experiments. Fig 2 and Fig 3 of the paper report *measured*
+// behaviour of fixed configurations -- no models involved -- so these
+// helpers evaluate configurations by actually running quiet profiling
+// intervals, the way the authors measured their testbed.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/server.h"
+#include "workloads/app_profile.h"
+
+namespace sturgeon::exp {
+
+struct MeasuredPoint {
+  double p95_ms = 0.0;        ///< worst interval p95
+  double peak_power_w = 0.0;  ///< interval-peak package power
+  double be_throughput_norm = 0.0;
+  bool qos_met = false;
+};
+
+/// Measure a fixed partition at a fixed load over `intervals` quiet
+/// seconds (interference disabled, fresh server seeded by `seed`).
+MeasuredPoint measure_configuration(const LsProfile& ls, const BeProfile& be,
+                                    const Partition& partition, double load,
+                                    int intervals = 4,
+                                    std::uint64_t seed = 99);
+
+/// Measured just-enough LS allocation at `load`: minimize cores (at max
+/// frequency and full LLC), then ways, then frequency, with feasibility
+/// decided by measured p95 <= target on LS-solo runs. This reproduces the
+/// paper's Section III-B measurement ("4 cores at 1.6 GHz and 6 LLC ways
+/// are enough for memcached at 20% load").
+AppSlice measured_min_ls_allocation(const LsProfile& ls, double load,
+                                    const MachineSpec& machine,
+                                    std::uint64_t seed = 99);
+
+}  // namespace sturgeon::exp

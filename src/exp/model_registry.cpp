@@ -1,0 +1,85 @@
+#include "exp/model_registry.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace sturgeon::exp {
+
+namespace {
+std::mutex g_mu;
+std::map<std::string, core::LsModels> g_ls_models;
+std::map<std::string, core::BeModels> g_be_models;
+std::map<std::pair<std::string, std::string>,
+         std::shared_ptr<const core::Predictor>>
+    g_cache;
+std::uint64_t g_seed_in_use = 0;
+bool g_seed_set = false;
+
+void check_seed_locked(std::uint64_t seed) {
+  if (g_seed_set && g_seed_in_use != seed) {
+    throw std::logic_error(
+        "model registry: one profiling campaign (seed) per process; call "
+        "clear_predictor_cache() to retrain with a different seed");
+  }
+  g_seed_in_use = seed;
+  g_seed_set = true;
+}
+}  // namespace
+
+const core::LsModels& ls_models_for(const LsProfile& ls,
+                                    const core::TrainerConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    check_seed_locked(config.seed);
+    const auto it = g_ls_models.find(ls.name);
+    if (it != g_ls_models.end()) return it->second;
+  }
+  auto trained =
+      core::train_ls_models(core::collect_ls_profiling(ls, config), config);
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_ls_models.emplace(ls.name, std::move(trained)).first->second;
+}
+
+const core::BeModels& be_models_for(const BeProfile& be,
+                                    const core::TrainerConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    check_seed_locked(config.seed);
+    const auto it = g_be_models.find(be.name);
+    if (it != g_be_models.end()) return it->second;
+  }
+  auto trained =
+      core::train_be_models(core::collect_be_profiling(be, config), config);
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_be_models.emplace(be.name, std::move(trained)).first->second;
+}
+
+std::shared_ptr<const core::Predictor> predictor_for(
+    const LsProfile& ls, const BeProfile& be,
+    const core::TrainerConfig& config) {
+  const auto key = std::make_pair(ls.name, be.name);
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    check_seed_locked(config.seed);
+    const auto it = g_cache.find(key);
+    if (it != g_cache.end()) return it->second;
+  }
+  const auto& ls_models = ls_models_for(ls, config);
+  const auto& be_models = be_models_for(be, config);
+  auto predictor = std::make_shared<const core::Predictor>(
+      config.server.machine, core::assemble_models(ls_models, be_models));
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_cache[key] = predictor;
+  return g_cache[key];
+}
+
+void clear_predictor_cache() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_cache.clear();
+  g_ls_models.clear();
+  g_be_models.clear();
+  g_seed_set = false;
+}
+
+}  // namespace sturgeon::exp

@@ -1,0 +1,33 @@
+// Process-wide cache of trained models, mirroring the paper's deployment
+// where "all offline-trained models are stored on the server and the most
+// suitable one can be deployed" (Section V-C). LS models are independent
+// of the co-runner (and vice versa), so each LS service and BE
+// application is profiled once per process and shared by every pair.
+#pragma once
+
+#include <memory>
+
+#include "core/predictor.h"
+#include "core/trainer.h"
+
+namespace sturgeon::exp {
+
+/// Trained predictor for an (LS service, BE application) pair; profiles
+/// and trains the per-service model sets on first use. All calls in one
+/// process must use the same TrainerConfig seed (one profiling campaign),
+/// enforced with std::logic_error.
+std::shared_ptr<const core::Predictor> predictor_for(
+    const LsProfile& ls, const BeProfile& be,
+    const core::TrainerConfig& config = {});
+
+/// The underlying per-service model sets (with their per-family hold-out
+/// scores, the data of Figs 6-7). Same caching discipline as above.
+const core::LsModels& ls_models_for(const LsProfile& ls,
+                                    const core::TrainerConfig& config = {});
+const core::BeModels& be_models_for(const BeProfile& be,
+                                    const core::TrainerConfig& config = {});
+
+/// Drop all cached models (tests that need fresh training).
+void clear_predictor_cache();
+
+}  // namespace sturgeon::exp

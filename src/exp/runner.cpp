@@ -1,0 +1,45 @@
+#include "exp/runner.h"
+
+#include "isolation/enforcer.h"
+#include "isolation/sim_backend.h"
+
+namespace sturgeon::exp {
+
+RunResult run_colocation(const LsProfile& ls, const BeProfile& be,
+                         core::Policy& policy, const LoadTrace& trace,
+                         const RunConfig& config) {
+  sim::SimulatedServer server(ls, be, config.seed, config.server);
+  isolation::SimBackend backend(server);
+  isolation::ResourceEnforcer enforcer(server.machine(), backend.cpuset(),
+                                       backend.cat(), backend.freq());
+  policy.reset();
+
+  RunResult result;
+  result.power_budget_w = server.power_budget_w();
+  telemetry::RunMetrics metrics(result.power_budget_w);
+  auto recorder =
+      std::make_shared<telemetry::TraceRecorder>(server.machine());
+
+  for (int t = 0; t < trace.duration_s(); ++t) {
+    const auto sample = server.step(trace.at(t));
+    backend.observe(sample);
+    metrics.observe(sample);
+    if (config.record_trace) {
+      recorder->record(t, sample, enforcer.current());
+    }
+    const Partition next = policy.decide(sample, enforcer.current());
+    if (!(next == enforcer.current())) {
+      enforcer.apply(next);
+    }
+  }
+
+  result.qos_guarantee_rate = metrics.qos_guarantee_rate();
+  result.mean_be_throughput_norm = metrics.mean_be_throughput_norm();
+  result.interval_qos_rate = metrics.interval_qos_rate();
+  result.power_overshoot_fraction = metrics.power_overshoot_fraction();
+  result.max_power_ratio = metrics.max_power_ratio();
+  if (config.record_trace) result.trace = recorder;
+  return result;
+}
+
+}  // namespace sturgeon::exp

@@ -1,0 +1,42 @@
+// Co-location experiment runner: drives a policy against the simulated
+// server through the isolation layer, exactly as the runtime daemon would
+// run on a real node -- policy decisions flow through the ResourceEnforcer
+// and the Table III tool interfaces, never directly into the simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/policy.h"
+#include "telemetry/monitor.h"
+#include "telemetry/recorder.h"
+#include "workloads/load_trace.h"
+
+namespace sturgeon::exp {
+
+struct RunConfig {
+  std::uint64_t seed = 1;
+  sim::ServerConfig server;
+  bool record_trace = false;
+};
+
+struct RunResult {
+  // Fig 9 / Fig 10 metrics.
+  double qos_guarantee_rate = 0.0;
+  double mean_be_throughput_norm = 0.0;
+  double interval_qos_rate = 0.0;
+  // Power behaviour.
+  double power_budget_w = 0.0;
+  double power_overshoot_fraction = 0.0;
+  double max_power_ratio = 0.0;
+  // Optional per-second trace (Fig 11).
+  std::shared_ptr<telemetry::TraceRecorder> trace;
+};
+
+/// Run `policy` over `trace` for one LS/BE pair. The policy is reset()
+/// before the run. Deterministic for a given (seed, trace, policy).
+RunResult run_colocation(const LsProfile& ls, const BeProfile& be,
+                         core::Policy& policy, const LoadTrace& trace,
+                         const RunConfig& config = {});
+
+}  // namespace sturgeon::exp

@@ -1,0 +1,87 @@
+#include "isolation/enforcer.h"
+
+#include <stdexcept>
+
+namespace sturgeon::isolation {
+
+ResourceEnforcer::ResourceEnforcer(const MachineSpec& machine,
+                                   CpusetController& cpuset,
+                                   CatController& cat, FreqDriver& freq)
+    : machine_(machine),
+      cpuset_(cpuset),
+      cat_(cat),
+      freq_(freq),
+      current_(Partition::all_to_ls(machine)) {}
+
+std::vector<int> ResourceEnforcer::ls_core_list(int count) const {
+  std::vector<int> cores;
+  cores.reserve(static_cast<std::size_t>(count));
+  for (int c = 0; c < count; ++c) cores.push_back(c);
+  return cores;
+}
+
+std::vector<int> ResourceEnforcer::be_core_list(int count) const {
+  // BE occupies the top of the core range so LS growth from the bottom
+  // never collides mid-transition.
+  std::vector<int> cores;
+  cores.reserve(static_cast<std::size_t>(count));
+  for (int c = machine_.num_cores - count; c < machine_.num_cores; ++c) {
+    cores.push_back(c);
+  }
+  return cores;
+}
+
+void ResourceEnforcer::apply(const Partition& target) {
+  const bool be_empty = target.be.cores == 0;
+  if (!be_empty && !target.valid_for(machine_)) {
+    throw std::invalid_argument("ResourceEnforcer::apply: invalid target " +
+                                target.to_string(machine_));
+  }
+  if (be_empty &&
+      (target.ls.cores < 1 || target.ls.cores > machine_.num_cores ||
+       target.ls.llc_ways < 1 || target.ls.llc_ways > machine_.llc_ways ||
+       target.ls.freq_level < 0 ||
+       target.ls.freq_level >= machine_.num_freq_levels())) {
+    throw std::invalid_argument("ResourceEnforcer::apply: bad LS slice");
+  }
+
+  const auto ls_cores = ls_core_list(target.ls.cores);
+  const auto be_cores = be_core_list(target.be.cores);
+  const std::uint32_t ls_mask = contiguous_mask(target.ls.llc_ways, 0);
+  const std::uint32_t be_mask = contiguous_mask(
+      target.be.llc_ways, machine_.llc_ways - target.be.llc_ways);
+
+  // Shrink before grow, per resource type, so co-located apps never hold
+  // the same core or way at any point in the sequence.
+  const bool ls_core_shrink = target.ls.cores < current_.ls.cores;
+  const bool ls_way_shrink = target.ls.llc_ways < current_.ls.llc_ways;
+
+  if (ls_core_shrink) {
+    cpuset_.set_cpuset(AppId::kLs, ls_cores);
+    cpuset_.set_cpuset(AppId::kBe, be_cores);
+  } else {
+    cpuset_.set_cpuset(AppId::kBe, be_cores);
+    cpuset_.set_cpuset(AppId::kLs, ls_cores);
+  }
+  actuations_ += 2;
+
+  if (ls_way_shrink) {
+    cat_.set_way_mask(AppId::kLs, ls_mask);
+    cat_.set_way_mask(AppId::kBe, be_mask);
+  } else {
+    cat_.set_way_mask(AppId::kBe, be_mask);
+    cat_.set_way_mask(AppId::kLs, ls_mask);
+  }
+  actuations_ += 2;
+
+  freq_.set_frequency_level(ls_cores, target.ls.freq_level);
+  ++actuations_;
+  if (!be_cores.empty()) {
+    freq_.set_frequency_level(be_cores, target.be.freq_level);
+    ++actuations_;
+  }
+
+  current_ = target;
+}
+
+}  // namespace sturgeon::isolation

@@ -1,0 +1,46 @@
+// ResourceEnforcer: turns a target <C1,F1,L1;C2,F2,L2> partition into the
+// concrete tool actions of Table III -- explicit core lists for cpuset,
+// contiguous disjoint way masks for CAT, per-cpuset P-states -- and
+// sequences them so co-located apps never overlap mid-transition.
+// Controllers above this layer deal only in Partition values.
+#pragma once
+
+#include <cstdint>
+
+#include "isolation/controllers.h"
+#include "util/types.h"
+
+namespace sturgeon::isolation {
+
+class ResourceEnforcer {
+ public:
+  /// The enforcer borrows the tool interfaces; `machine` fixes layout.
+  ResourceEnforcer(const MachineSpec& machine, CpusetController& cpuset,
+                   CatController& cat, FreqDriver& freq);
+
+  /// Apply `target`. LS cores are laid out from core 0 upward and LS ways
+  /// from bit 0 upward; BE takes the top of each range, so growth of one
+  /// app never collides with the other. Shrinks are staged before grows.
+  /// Throws std::invalid_argument for partitions the machine cannot
+  /// express (an empty BE slice is allowed).
+  void apply(const Partition& target);
+
+  /// The partition most recently applied.
+  const Partition& current() const { return current_; }
+
+  /// Total tool invocations issued (actuation cost metric).
+  std::uint64_t actuation_count() const { return actuations_; }
+
+ private:
+  std::vector<int> ls_core_list(int count) const;
+  std::vector<int> be_core_list(int count) const;
+
+  MachineSpec machine_;
+  CpusetController& cpuset_;
+  CatController& cat_;
+  FreqDriver& freq_;
+  Partition current_;
+  std::uint64_t actuations_ = 0;
+};
+
+}  // namespace sturgeon::isolation

@@ -1,0 +1,142 @@
+#include "ml/factory.h"
+
+#include <stdexcept>
+
+#include "ml/forest.h"
+#include "ml/knn.h"
+#include "ml/linear.h"
+#include "ml/logistic.h"
+#include "ml/mlp.h"
+#include "ml/svm.h"
+#include "ml/tree.h"
+#include "util/stats.h"
+
+namespace sturgeon::ml {
+
+std::string to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLinear: return "LR";
+    case ModelKind::kLasso: return "Lasso";
+    case ModelKind::kDecisionTree: return "DT";
+    case ModelKind::kRandomForest: return "RF";
+    case ModelKind::kKnn: return "KNN";
+    case ModelKind::kSvm: return "SV";
+    case ModelKind::kMlp: return "MLP";
+  }
+  return "?";
+}
+
+std::vector<ModelKind> paper_regression_kinds() {
+  return {ModelKind::kDecisionTree, ModelKind::kKnn, ModelKind::kSvm,
+          ModelKind::kMlp, ModelKind::kLinear};
+}
+
+std::vector<ModelKind> paper_classification_kinds() {
+  return {ModelKind::kDecisionTree, ModelKind::kKnn, ModelKind::kSvm,
+          ModelKind::kMlp, ModelKind::kLinear};
+}
+
+RegressorPtr make_regressor(ModelKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kLinear:
+      return std::make_unique<LinearRegression>();
+    case ModelKind::kLasso:
+      return std::make_unique<LassoRegression>(0.01);
+    case ModelKind::kDecisionTree: {
+      TreeParams tp;
+      tp.max_depth = 14;
+      tp.min_samples_leaf = 2;
+      tp.seed = seed;
+      return std::make_unique<DecisionTreeRegressor>(tp);
+    }
+    case ModelKind::kRandomForest: {
+      ForestParams fp;
+      fp.num_trees = 30;
+      fp.seed = seed;
+      return std::make_unique<RandomForestRegressor>(fp);
+    }
+    case ModelKind::kKnn:
+      return std::make_unique<KnnRegressor>(5, /*weighted=*/true);
+    case ModelKind::kSvm:
+      return std::make_unique<SvRegressor>(10.0, 0.05, 120, seed);
+    case ModelKind::kMlp: {
+      MlpParams mp;
+      mp.hidden = {16};
+      mp.epochs = 150;
+      mp.seed = seed;
+      return std::make_unique<MlpRegressor>(mp);
+    }
+  }
+  throw std::invalid_argument("make_regressor: unknown kind");
+}
+
+ClassifierPtr make_classifier(ModelKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kLinear:
+      return std::make_unique<LogisticRegression>();
+    case ModelKind::kDecisionTree: {
+      TreeParams tp;
+      tp.max_depth = 14;
+      tp.min_samples_leaf = 2;
+      tp.seed = seed;
+      return std::make_unique<DecisionTreeClassifier>(tp);
+    }
+    case ModelKind::kRandomForest: {
+      ForestParams fp;
+      fp.num_trees = 30;
+      fp.seed = seed;
+      return std::make_unique<RandomForestClassifier>(fp);
+    }
+    case ModelKind::kKnn:
+      return std::make_unique<KnnClassifier>(7);
+    case ModelKind::kSvm:
+      return std::make_unique<SvmClassifier>(1e-3, 60, seed);
+    case ModelKind::kMlp: {
+      MlpParams mp;
+      mp.hidden = {16};
+      mp.epochs = 150;
+      mp.seed = seed;
+      return std::make_unique<MlpClassifier>(mp);
+    }
+    case ModelKind::kLasso:
+      break;  // Lasso has no classification analogue here
+  }
+  throw std::invalid_argument("make_classifier: unsupported kind " +
+                              to_string(kind));
+}
+
+double holdout_r2(Regressor& model, const DataSet& train,
+                  const DataSet& test) {
+  model.fit(train);
+  return r_squared(test.y, model.predict_batch(test.x));
+}
+
+double holdout_accuracy(Classifier& model,
+                        const std::vector<FeatureRow>& train_x,
+                        const std::vector<int>& train_labels,
+                        const std::vector<FeatureRow>& test_x,
+                        const std::vector<int>& test_labels) {
+  model.fit(train_x, train_labels);
+  return accuracy(test_labels, model.predict_batch(test_x));
+}
+
+double kfold_r2(ModelKind kind, const DataSet& data, int folds,
+                std::uint64_t seed) {
+  data.validate();
+  const auto fold_idx = kfold_indices(data.size(), folds, seed);
+  double total = 0.0;
+  for (std::size_t f = 0; f < fold_idx.size(); ++f) {
+    std::vector<std::size_t> train_idx;
+    for (std::size_t g = 0; g < fold_idx.size(); ++g) {
+      if (g == f) continue;
+      train_idx.insert(train_idx.end(), fold_idx[g].begin(),
+                       fold_idx[g].end());
+    }
+    auto model = make_regressor(kind, seed + f);
+    total += holdout_r2(*model, subset(data, train_idx),
+                        subset(data, fold_idx[f]));
+  }
+  return total / static_cast<double>(fold_idx.size());
+}
+
+}  // namespace sturgeon::ml

@@ -1,0 +1,52 @@
+// Model-family enumeration and factory, mirroring the set compared in
+// paper Section V-C / Figs 6-7, plus evaluation helpers (hold-out R²,
+// hold-out accuracy, k-fold scores) used by the trainer to pick the best
+// family per model role.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace sturgeon::ml {
+
+enum class ModelKind {
+  kLinear,        ///< linear regression / logistic regression
+  kLasso,         ///< lasso regression (regression only)
+  kDecisionTree,
+  kRandomForest,  ///< extension beyond the paper's set
+  kKnn,
+  kSvm,
+  kMlp,
+};
+
+std::string to_string(ModelKind kind);
+
+/// The families the paper compares for regression / classification roles
+/// (Figs 6-7): LR, DT, KNN, SV, MLP.
+std::vector<ModelKind> paper_regression_kinds();
+std::vector<ModelKind> paper_classification_kinds();
+
+/// Construct a model of the given family with sensible defaults for the
+/// 4-feature Sturgeon workload (paper Section V-A). `seed` controls any
+/// stochastic training.
+RegressorPtr make_regressor(ModelKind kind, std::uint64_t seed = 1);
+ClassifierPtr make_classifier(ModelKind kind, std::uint64_t seed = 1);
+
+/// Fit on `train`, score R² on `test`.
+double holdout_r2(Regressor& model, const DataSet& train, const DataSet& test);
+
+/// Fit on train rows/labels, score accuracy on test rows/labels.
+double holdout_accuracy(Classifier& model,
+                        const std::vector<FeatureRow>& train_x,
+                        const std::vector<int>& train_labels,
+                        const std::vector<FeatureRow>& test_x,
+                        const std::vector<int>& test_labels);
+
+/// Mean k-fold R² for a fresh model of `kind` per fold.
+double kfold_r2(ModelKind kind, const DataSet& data, int folds,
+                std::uint64_t seed);
+
+}  // namespace sturgeon::ml

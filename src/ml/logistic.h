@@ -1,0 +1,32 @@
+// Binary logistic regression trained by full-batch gradient descent with
+// L2 regularization on standardized features. One of the classification
+// families compared for the LS performance model (paper Fig 6, "LR").
+#pragma once
+
+#include "ml/model.h"
+
+namespace sturgeon::ml {
+
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(double learning_rate = 0.5, int max_iter = 500,
+                              double l2 = 1e-4);
+
+  void fit(const std::vector<FeatureRow>& x,
+           const std::vector<int>& labels) override;
+  int predict(const FeatureRow& row) const override;
+  std::string name() const override { return "LogisticRegression"; }
+
+  /// P(label == 1 | row).
+  double predict_proba(const FeatureRow& row) const;
+
+ private:
+  double lr_;
+  int max_iter_;
+  double l2_;
+  StandardScaler scaler_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace sturgeon::ml

@@ -1,0 +1,48 @@
+// Abstract model interfaces. The predictor layer (src/core) talks only to
+// these, so any model family can back a performance or power model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace sturgeon::ml {
+
+/// Real-valued prediction model (power models, BE performance models).
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fit on the dataset; throws std::invalid_argument on empty/ragged data.
+  virtual void fit(const DataSet& data) = 0;
+
+  /// Predict a single row; models must be fitted first.
+  virtual double predict(const FeatureRow& row) const = 0;
+
+  virtual std::string name() const = 0;
+
+  std::vector<double> predict_batch(const std::vector<FeatureRow>& x) const;
+};
+
+/// Integer-label classifier (LS QoS met / violated, paper Section V-C).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// `labels` parallel to data.x; data.y is ignored by classifiers.
+  virtual void fit(const std::vector<FeatureRow>& x,
+                   const std::vector<int>& labels) = 0;
+
+  virtual int predict(const FeatureRow& row) const = 0;
+
+  virtual std::string name() const = 0;
+
+  std::vector<int> predict_batch(const std::vector<FeatureRow>& x) const;
+};
+
+using RegressorPtr = std::unique_ptr<Regressor>;
+using ClassifierPtr = std::unique_ptr<Classifier>;
+
+}  // namespace sturgeon::ml

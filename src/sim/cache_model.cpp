@@ -1,0 +1,37 @@
+#include "sim/cache_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sturgeon::sim {
+
+double ways_to_mb(const MachineSpec& m, int ways) {
+  if (ways < 0 || ways > m.llc_ways) {
+    throw std::invalid_argument("ways_to_mb: ways outside [0, llc_ways]");
+  }
+  return m.llc_mb * static_cast<double>(ways) /
+         static_cast<double>(m.llc_ways);
+}
+
+double miss_ratio(const MachineSpec& m, int ways, double wss_mb) {
+  if (wss_mb <= 0.0) return 0.0;
+  const double alloc = ways_to_mb(m, ways);
+  const double base = wss_mb / (wss_mb + alloc);
+  return base * base;
+}
+
+double cache_inflation(const MachineSpec& m, int ways, double wss_mb,
+                       double sensitivity) {
+  if (sensitivity < 0.0) {
+    throw std::invalid_argument("cache_inflation: negative sensitivity");
+  }
+  return 1.0 + sensitivity * miss_ratio(m, ways, wss_mb);
+}
+
+double bw_fraction(const MachineSpec& m, int ways, double wss_mb) {
+  const double at_one_way = miss_ratio(m, 1, wss_mb);
+  if (at_one_way <= 0.0) return 0.0;
+  return miss_ratio(m, ways, wss_mb) / at_one_way;
+}
+
+}  // namespace sturgeon::sim

@@ -1,0 +1,33 @@
+// LLC way-partitioning model. Intel CAT assigns whole ways; an
+// application's effective cache is its way count times the per-way
+// capacity. Miss ratio follows a saturating working-set curve with a
+// knee: with allocation `a` MB against working set `w` MB,
+// miss = (w / (w + a))^2. This produces the qualitative CAT behaviour
+// Sturgeon relies on: diminishing returns per extra way, and a steep
+// penalty when an LLC-hungry application is squeezed into few ways.
+#pragma once
+
+#include "util/types.h"
+
+namespace sturgeon::sim {
+
+/// Effective capacity of `ways` LLC ways on machine `m`, in MB.
+double ways_to_mb(const MachineSpec& m, int ways);
+
+/// Miss ratio in [0,1) for a working set `wss_mb` given `ways` ways.
+double miss_ratio(const MachineSpec& m, int ways, double wss_mb);
+
+/// Demand/throughput inflation factor >= 1: 1 + sensitivity * miss_ratio.
+/// LS per-request demand is multiplied by this; BE throughput is divided
+/// by it.
+double cache_inflation(const MachineSpec& m, int ways, double wss_mb,
+                       double sensitivity);
+
+/// Memory-bandwidth multiplier in [0,1]: the fraction of an application's
+/// worst-case (all-miss) bandwidth demand it actually generates with
+/// `ways` ways. Equal to the miss ratio normalized by the miss ratio at
+/// one way, so fewer ways -> more traffic (the indirect-regulation effect
+/// the balancer exploits, paper Section VII-C).
+double bw_fraction(const MachineSpec& m, int ways, double wss_mb);
+
+}  // namespace sturgeon::sim

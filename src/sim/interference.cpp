@@ -1,0 +1,38 @@
+#include "sim/interference.h"
+
+#include <stdexcept>
+
+namespace sturgeon::sim {
+
+InterferenceProcess::InterferenceProcess(InterferenceConfig config,
+                                         std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config.episode_rate_per_s < 0.0 || config.min_factor < 1.0 ||
+      config.max_factor < config.min_factor ||
+      config.min_duration_s < 0.0 ||
+      config.max_duration_s < config.min_duration_s) {
+    throw std::invalid_argument("InterferenceConfig: bad parameters");
+  }
+}
+
+double InterferenceProcess::step() {
+  if (!config_.enabled) return 1.0;
+  if (remaining_s_ > 0) {
+    --remaining_s_;
+    return factor_;
+  }
+  // One Bernoulli draw per second approximates the Poisson onset.
+  if (rng_.bernoulli(config_.episode_rate_per_s)) {
+    remaining_s_ = static_cast<int>(
+        rng_.uniform(config_.min_duration_s, config_.max_duration_s) + 0.5);
+    factor_ = rng_.uniform(config_.min_factor, config_.max_factor);
+    if (remaining_s_ > 0) {
+      --remaining_s_;
+      return factor_;
+    }
+  }
+  factor_ = 1.0;
+  return 1.0;
+}
+
+}  // namespace sturgeon::sim

@@ -1,0 +1,41 @@
+// Unpredictable-interference process: occasional multi-second episodes
+// (OS interrupt storms, network bursts, contention on unmanaged hardware)
+// that inflate LS service demand by a factor the offline-trained models
+// cannot know about. This is precisely the disturbance the paper's
+// resource balancer exists to absorb (Section VI); with the balancer
+// disabled ("Sturgeon-NoB") these episodes surface as QoS violations.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace sturgeon::sim {
+
+struct InterferenceConfig {
+  double episode_rate_per_s = 0.008;  ///< Poisson onset rate
+  double min_duration_s = 2.0;
+  double max_duration_s = 5.0;
+  double min_factor = 1.12;  ///< LS demand multiplier during an episode
+  double max_factor = 1.30;
+  bool enabled = true;
+};
+
+class InterferenceProcess {
+ public:
+  InterferenceProcess(InterferenceConfig config, std::uint64_t seed);
+
+  /// Advance one second; returns the LS demand multiplier (>= 1) in
+  /// effect for that second.
+  double step();
+
+  bool active() const { return remaining_s_ > 0; }
+
+ private:
+  InterferenceConfig config_;
+  Rng rng_;
+  int remaining_s_ = 0;
+  double factor_ = 1.0;
+};
+
+}  // namespace sturgeon::sim

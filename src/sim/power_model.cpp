@@ -1,0 +1,41 @@
+#include "sim/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sturgeon::sim {
+
+PowerModel::PowerModel(const MachineSpec& machine, PowerCoefficients coeffs)
+    : machine_(machine), coeffs_(coeffs) {
+  if (coeffs_.uncore_w < 0 || coeffs_.core_static_w < 0 || coeffs_.k_dyn < 0 ||
+      coeffs_.alpha <= 0 || coeffs_.util_floor < 0 ||
+      coeffs_.util_floor > 1.0 || coeffs_.k_bw_w_per_gbps < 0) {
+    throw std::invalid_argument("PowerModel: bad coefficients");
+  }
+}
+
+double PowerModel::slice_power_w(int cores, int freq_level, double util,
+                                 double activity) const {
+  if (cores < 0 || cores > machine_.num_cores) {
+    throw std::invalid_argument("slice_power_w: bad core count");
+  }
+  if (cores == 0) return 0.0;
+  const double f = machine_.freq_at(freq_level);
+  util = std::clamp(util, 0.0, 1.0);
+  const double u = coeffs_.util_floor + (1.0 - coeffs_.util_floor) * util;
+  const double dyn = activity * coeffs_.k_dyn * std::pow(f, coeffs_.alpha) * u;
+  return static_cast<double>(cores) * (coeffs_.core_static_w + dyn);
+}
+
+double PowerModel::package_power_w(const AppSlice& ls, double ls_util,
+                                   double ls_activity, const AppSlice& be,
+                                   double be_util, double be_activity,
+                                   double total_bw_gbps) const {
+  return coeffs_.uncore_w +
+         slice_power_w(ls.cores, ls.freq_level, ls_util, ls_activity) +
+         slice_power_w(be.cores, be.freq_level, be_util, be_activity) +
+         coeffs_.k_bw_w_per_gbps * std::max(0.0, total_bw_gbps);
+}
+
+}  // namespace sturgeon::sim

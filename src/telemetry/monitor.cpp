@@ -1,0 +1,79 @@
+#include "telemetry/monitor.h"
+
+#include <stdexcept>
+
+namespace sturgeon::telemetry {
+
+double latency_slack(double p95_ms, double target_ms) {
+  if (target_ms <= 0.0) throw std::invalid_argument("latency_slack: target");
+  return (target_ms - p95_ms) / target_ms;
+}
+
+QosMonitor::QosMonitor(double qos_target_ms, std::size_t window)
+    : qos_target_ms_(qos_target_ms), window_(window) {
+  if (qos_target_ms <= 0.0 || window == 0) {
+    throw std::invalid_argument("QosMonitor: bad parameters");
+  }
+}
+
+void QosMonitor::observe(const sim::ServerTelemetry& sample) {
+  last_p95_ms_ = sample.ls.p95_ms;
+  last_power_w_ = sample.power_w;
+  last_qps_ = sample.qps_real;
+  recent_p95_.push_back(sample.ls.p95_ms);
+  while (recent_p95_.size() > window_) recent_p95_.pop_front();
+  ++count_;
+}
+
+double QosMonitor::slack() const {
+  if (count_ == 0) return 1.0;
+  return latency_slack(last_p95_ms_, qos_target_ms_);
+}
+
+double QosMonitor::window_p95_ms() const {
+  if (recent_p95_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : recent_p95_) sum += v;
+  return sum / static_cast<double>(recent_p95_.size());
+}
+
+RunMetrics::RunMetrics(double power_budget_w) : budget_w_(power_budget_w) {
+  if (power_budget_w <= 0.0) {
+    throw std::invalid_argument("RunMetrics: bad budget");
+  }
+}
+
+void RunMetrics::observe(const sim::ServerTelemetry& sample) {
+  ++intervals_;
+  completed_ += sample.ls.completed;
+  violations_ += sample.ls.qos_violations;
+  if (sample.power_w > budget_w_) ++overshoot_intervals_;
+  if (sample.qos_met()) ++qos_ok_intervals_;
+  max_power_ratio_ = std::max(max_power_ratio_, sample.power_w / budget_w_);
+  be_thr_.add(sample.be_throughput_norm);
+}
+
+double RunMetrics::qos_guarantee_rate() const {
+  if (completed_ == 0) return 1.0;
+  const std::uint64_t ok =
+      completed_ >= violations_ ? completed_ - violations_ : 0;
+  return static_cast<double>(ok) / static_cast<double>(completed_);
+}
+
+double RunMetrics::mean_be_throughput_norm() const { return be_thr_.mean(); }
+
+double RunMetrics::power_overshoot_fraction() const {
+  return intervals_ == 0 ? 0.0
+                         : static_cast<double>(overshoot_intervals_) /
+                               static_cast<double>(intervals_);
+}
+
+double RunMetrics::max_power_ratio() const { return max_power_ratio_; }
+
+double RunMetrics::interval_qos_rate() const {
+  return intervals_ == 0 ? 1.0
+                         : static_cast<double>(qos_ok_intervals_) /
+                               static_cast<double>(intervals_);
+}
+
+}  // namespace sturgeon::telemetry

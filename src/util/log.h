@@ -1,0 +1,45 @@
+// Leveled logging for the runtime daemon. Defaults to WARN so benchmark
+// output stays clean; experiments flip to INFO/DEBUG for traceability.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sturgeon {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message at `level` (thread-safe, single write to stderr).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, ss_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+#define STURGEON_LOG(level)                                    \
+  if (static_cast<int>(level) < static_cast<int>(::sturgeon::log_level())) { \
+  } else                                                       \
+    ::sturgeon::detail::LogLine(level)
+
+#define LOG_DEBUG STURGEON_LOG(::sturgeon::LogLevel::kDebug)
+#define LOG_INFO STURGEON_LOG(::sturgeon::LogLevel::kInfo)
+#define LOG_WARN STURGEON_LOG(::sturgeon::LogLevel::kWarn)
+#define LOG_ERROR STURGEON_LOG(::sturgeon::LogLevel::kError)
+
+}  // namespace sturgeon

@@ -1,0 +1,50 @@
+// Console table and CSV emitters for the benchmark harness. Every
+// figure/table bench prints an aligned text table (the "paper row" view)
+// and can optionally mirror it to CSV for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sturgeon {
+
+/// Fixed-schema text table with right-aligned numeric formatting.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; cells are stringified with `fmt_double` for doubles.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_pct(double fraction, int precision = 2);
+
+  /// Render with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer for experiment traces.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> headers);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& cells);
+
+ private:
+  std::ostream& os_;
+  std::size_t num_cols_;
+};
+
+}  // namespace sturgeon

@@ -1,0 +1,82 @@
+// Shared resource-partition types used across the Sturgeon codebase.
+//
+// A co-location partitions the server between one latency-sensitive (LS)
+// service and one best-effort (BE) application. Following the paper's
+// notation, a configuration <C1,F1,L1; C2,F2,L2> assigns C1 cores at
+// frequency F1 and L1 LLC ways to the LS service, and C2/F2/L2 to the BE
+// application. Frequencies are carried as indices into the machine's
+// P-state table so that controllers can do integer binary search over them.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sturgeon {
+
+/// Static description of the managed server.
+///
+/// Mirrors Table II of the paper (Xeon E5-2630 v4): 20 logical cores,
+/// DVFS range 1.2-2.2 GHz, 20-way 25 MB LLC. All Sturgeon components are
+/// parameterized on this spec; nothing hard-codes the paper platform.
+struct MachineSpec {
+  int num_cores = 20;              ///< schedulable logical cores
+  std::vector<double> freq_ghz;    ///< available P-states, ascending
+  int llc_ways = 20;               ///< allocatable LLC ways (CAT granularity)
+  double llc_mb = 25.0;            ///< total LLC capacity
+  double mem_bw_gbps = 24.0;       ///< usable memory bandwidth (unmanaged)
+
+  /// The paper's evaluation platform.
+  static MachineSpec xeon_e5_2630_v4();
+
+  int num_freq_levels() const { return static_cast<int>(freq_ghz.size()); }
+  int max_freq_level() const { return num_freq_levels() - 1; }
+  double min_freq_ghz() const { return freq_ghz.front(); }
+  double max_freq_ghz() const { return freq_ghz.back(); }
+
+  /// Frequency in GHz for a P-state index; throws std::out_of_range.
+  double freq_at(int level) const;
+
+  /// Closest P-state index for a GHz value (clamped to the table).
+  int level_for(double ghz) const;
+
+  /// Total size of the <C1,F1,L1;C2,F2,L2> search space, as counted in
+  /// Section V-B of the paper (cores x freq x ways x freq).
+  std::uint64_t config_space_size() const;
+};
+
+/// Resources assigned to one co-located application.
+struct AppSlice {
+  int cores = 0;
+  int freq_level = 0;  ///< index into MachineSpec::freq_ghz
+  int llc_ways = 0;
+
+  bool operator==(const AppSlice&) const = default;
+};
+
+/// A full co-location configuration <C1,F1,L1; C2,F2,L2>.
+struct Partition {
+  AppSlice ls;  ///< latency-sensitive service share
+  AppSlice be;  ///< best-effort application share
+
+  bool operator==(const Partition&) const = default;
+
+  /// True iff the partition is expressible on `m`: per-slice bounds hold,
+  /// core and way totals fit, and both slices are non-empty.
+  bool valid_for(const MachineSpec& m) const;
+
+  /// Paper-style rendering, e.g. "<8C, 1.2F, 7L; 12C, 2.2F, 13L>".
+  std::string to_string(const MachineSpec& m) const;
+
+  /// Partition giving everything to the LS service at max frequency --
+  /// the controller's initial allocation (Algorithm 1, line 1). The BE
+  /// slice is left empty.
+  static Partition all_to_ls(const MachineSpec& m);
+};
+
+/// Remainder helper: BE gets every core/way the LS slice does not hold.
+AppSlice complement_slice(const MachineSpec& m, const AppSlice& ls,
+                          int be_freq_level);
+
+}  // namespace sturgeon

@@ -1,0 +1,168 @@
+#include "workloads/app_profile.h"
+
+#include <stdexcept>
+
+namespace sturgeon {
+
+// Calibration notes
+// -----------------
+// LS `work_ghz_ms` values are calibrated against the paper's measured
+// anchor points (Section III-B): at 20% of peak load, ~4 cores at
+// 1.6-1.8 GHz with 5-6 LLC ways are "just enough" to hold the p95 target,
+// and at peak load the full machine at 2.2 GHz meets QoS with headroom.
+// tests/sim/calibration_test.cpp asserts these anchors against the DES.
+//
+// memcached is simulated at a 10x reduced arrival rate (sim_scale 0.1);
+// displayed QPS are always real-scale (60K peak, as in the paper).
+//
+// BE profiles encode the preference diversity the paper observes in
+// PARSEC: bs/sp are compute-bound frequency-lovers; fe scales almost
+// linearly with cores but gains little from frequency (pipeline
+// parallelism, memory-stalled); fd is bandwidth-bound; fa/rt sit between,
+// with rt strongly LLC-sensitive. Power activity factors exceed the LS
+// services' (the root cause of the paper's Fig 2 overload).
+
+const std::vector<LsProfile>& ls_catalog() {
+  static const std::vector<LsProfile> catalog = [] {
+    std::vector<LsProfile> v;
+
+    LsProfile memcached;
+    memcached.name = "memcached";
+    memcached.qos_target_ms = 10.0;
+    memcached.peak_qps = 60000;
+    memcached.sim_scale = 0.1;
+    memcached.work_ghz_ms = 3.1;
+    memcached.service_cv = 0.9;
+    memcached.cache_wss_mb = 8.0;
+    memcached.cache_sensitivity = 1.0;
+    memcached.bw_gbps_at_peak = 8.0;
+    memcached.bw_sensitivity = 1.5;
+    memcached.power_activity = 1.0;
+    v.push_back(memcached);
+
+    LsProfile xapian;
+    xapian.name = "xapian";
+    xapian.qos_target_ms = 15.0;
+    xapian.peak_qps = 3500;
+    xapian.sim_scale = 1.0;
+    xapian.work_ghz_ms = 5.7;
+    xapian.service_cv = 0.8;
+    xapian.cache_wss_mb = 6.0;
+    xapian.cache_sensitivity = 1.0;
+    xapian.bw_gbps_at_peak = 4.0;
+    xapian.bw_sensitivity = 1.2;
+    xapian.power_activity = 1.0;
+    v.push_back(xapian);
+
+    LsProfile imgdnn;
+    imgdnn.name = "img-dnn";
+    imgdnn.qos_target_ms = 10.0;
+    imgdnn.peak_qps = 3000;
+    imgdnn.sim_scale = 1.0;
+    imgdnn.work_ghz_ms = 5.3;
+    imgdnn.service_cv = 0.6;
+    imgdnn.cache_wss_mb = 5.0;
+    imgdnn.cache_sensitivity = 0.9;
+    imgdnn.bw_gbps_at_peak = 5.0;
+    imgdnn.bw_sensitivity = 1.2;
+    imgdnn.power_activity = 1.02;
+    v.push_back(imgdnn);
+
+    return v;
+  }();
+  return catalog;
+}
+
+const std::vector<BeProfile>& be_catalog() {
+  static const std::vector<BeProfile> catalog = [] {
+    std::vector<BeProfile> v;
+
+    BeProfile bs;  // blackscholes: compute-bound, embarrassingly parallel
+    bs.name = "bs";
+    bs.parallel_fraction = 0.995;
+    bs.freq_exponent = 1.0;
+    bs.cache_wss_mb = 2.0;
+    bs.cache_sensitivity = 0.08;
+    bs.bw_gbps_max = 2.0;
+    bs.power_activity = 1.09;
+    v.push_back(bs);
+
+    BeProfile fa;  // facesim: moderate scaling, sizable working set
+    fa.name = "fa";
+    fa.parallel_fraction = 0.92;
+    fa.freq_exponent = 0.9;
+    fa.cache_wss_mb = 12.0;
+    fa.cache_sensitivity = 0.6;
+    fa.bw_gbps_max = 12.0;
+    fa.power_activity = 1.03;
+    v.push_back(fa);
+
+    BeProfile fe;  // ferret: pipeline-parallel, memory-stalled
+    fe.name = "fe";
+    fe.parallel_fraction = 0.985;
+    fe.freq_exponent = 0.75;
+    fe.cache_wss_mb = 16.0;
+    fe.cache_sensitivity = 0.8;
+    fe.bw_gbps_max = 14.0;
+    fe.power_activity = 0.99;
+    v.push_back(fe);
+
+    BeProfile rt;  // raytrace: LLC-hungry, decent scaling
+    rt.name = "rt";
+    rt.parallel_fraction = 0.97;
+    rt.freq_exponent = 0.85;
+    rt.cache_wss_mb = 18.0;
+    rt.cache_sensitivity = 0.9;
+    rt.bw_gbps_max = 8.0;
+    rt.power_activity = 1.01;
+    v.push_back(rt);
+
+    BeProfile sp;  // swaptions: compute-bound, tiny working set
+    sp.name = "sp";
+    sp.parallel_fraction = 0.99;
+    sp.freq_exponent = 1.0;
+    sp.cache_wss_mb = 1.0;
+    sp.cache_sensitivity = 0.05;
+    sp.bw_gbps_max = 1.0;
+    sp.power_activity = 1.12;
+    v.push_back(sp);
+
+    BeProfile fd;  // fluidanimate: bandwidth-bound, limited scaling
+    fd.name = "fd";
+    fd.parallel_fraction = 0.90;
+    fd.freq_exponent = 0.65;
+    fd.cache_wss_mb = 14.0;
+    fd.cache_sensitivity = 0.7;
+    fd.bw_gbps_max = 28.0;
+    fd.power_activity = 0.96;
+    v.push_back(fd);
+
+    return v;
+  }();
+  return catalog;
+}
+
+const LsProfile& find_ls(const std::string& name) {
+  for (const auto& p : ls_catalog()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("find_ls: unknown LS service '" + name + "'");
+}
+
+const BeProfile& find_be(const std::string& name) {
+  for (const auto& p : be_catalog()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("find_be: unknown BE application '" + name +
+                              "'");
+}
+
+double amdahl_speedup(int cores, double p) {
+  if (cores < 1) return 0.0;
+  if (p < 0.0 || p >= 1.0 + 1e-12) {
+    throw std::invalid_argument("amdahl_speedup: p outside [0,1]");
+  }
+  return 1.0 / ((1.0 - p) + p / static_cast<double>(cores));
+}
+
+}  // namespace sturgeon

@@ -1,0 +1,73 @@
+// Application profiles: the behavioural parameters from which the
+// simulator derives latency, throughput and power. These stand in for the
+// paper's CloudSuite/Tailbench LS services and PARSEC BE applications
+// (see DESIGN.md section 2 for the substitution argument). The *diversity*
+// of scaling / frequency / cache / power behaviour across profiles is what
+// drives the paper's findings, so each parameter is documented with the
+// behaviour it controls.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sturgeon {
+
+/// Latency-sensitive service profile. Requests are served by an M/G/k
+/// queue; one request costs `work_ghz_ms / f_ghz` milliseconds on one core
+/// before cache and interference inflation.
+struct LsProfile {
+  std::string name;
+
+  double qos_target_ms = 10.0;  ///< p95 latency target (paper Section III-A)
+  double peak_qps = 60000;      ///< peak load used to right-size the budget
+
+  /// DES arrival scale: simulated_qps = real_qps * sim_scale. Latency
+  /// anchors are calibrated at the simulated rate; reported QPS always use
+  /// the real scale. Keeps 18-pair sweeps tractable on one core.
+  double sim_scale = 1.0;
+
+  double work_ghz_ms = 1.0;   ///< per-request demand in GHz * ms (cycles proxy)
+  double service_cv = 0.8;    ///< lognormal service-time variability
+
+  double cache_wss_mb = 8.0;       ///< LLC working set
+  double cache_sensitivity = 0.3;  ///< demand inflation at full miss
+  double bw_gbps_at_peak = 6.0;    ///< memory bandwidth demand at peak load
+  double bw_sensitivity = 0.5;     ///< demand inflation per unit bandwidth
+                                   ///< overcommit (scaled by miss ratio)
+
+  double power_activity = 1.0;  ///< dynamic-power activity factor
+
+  double sim_peak_qps() const { return peak_qps * sim_scale; }
+};
+
+/// Best-effort application profile. Throughput is Amdahl-scaled over
+/// cores, sub-linear in frequency for memory-bound codes, and degrades
+/// with fewer LLC ways and under bandwidth contention.
+struct BeProfile {
+  std::string name;
+
+  double parallel_fraction = 0.95;  ///< Amdahl p: multi-thread scalability
+  double freq_exponent = 1.0;       ///< throughput ~ f^gamma (gamma < 1 for
+                                    ///< memory-bound applications)
+  double cache_wss_mb = 10.0;
+  double cache_sensitivity = 0.4;   ///< throughput loss at full miss
+  double bw_gbps_max = 10.0;        ///< bandwidth demand at solo throughput
+  double power_activity = 1.2;      ///< BE apps draw more power than LS at
+                                    ///< equal resources (paper Fig 2)
+  double base_ops_per_core = 1.0;   ///< solo single-core rate at max freq
+};
+
+/// The paper's three LS services (memcached, xapian, img-dnn analogues).
+const std::vector<LsProfile>& ls_catalog();
+
+/// The paper's six PARSEC BE applications (bs, fa, fe, rt, sp, fd).
+const std::vector<BeProfile>& be_catalog();
+
+/// Lookup by name; throws std::invalid_argument if absent.
+const LsProfile& find_ls(const std::string& name);
+const BeProfile& find_be(const std::string& name);
+
+/// Amdahl's-law speedup for `cores` at parallel fraction `p`.
+double amdahl_speedup(int cores, double p);
+
+}  // namespace sturgeon

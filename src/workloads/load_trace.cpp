@@ -1,0 +1,91 @@
+#include "workloads/load_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace sturgeon {
+
+LoadTrace::LoadTrace(std::vector<double> points) : points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument("LoadTrace: empty trace");
+  for (double p : points_) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument("LoadTrace: load fraction outside [0,1]");
+    }
+  }
+}
+
+double LoadTrace::at(int t) const {
+  if (t < 0) return points_.front();
+  const auto i = static_cast<std::size_t>(t);
+  return i < points_.size() ? points_[i] : points_.back();
+}
+
+LoadTrace LoadTrace::ramp_up_down(double lo, double hi, int duration_s) {
+  if (duration_s < 2) throw std::invalid_argument("ramp_up_down: too short");
+  std::vector<double> pts(static_cast<std::size_t>(duration_s));
+  const int half = duration_s / 2;
+  for (int t = 0; t < duration_s; ++t) {
+    const double frac =
+        t < half ? static_cast<double>(t) / half
+                 : static_cast<double>(duration_s - 1 - t) /
+                       std::max(1, duration_s - 1 - half);
+    pts[static_cast<std::size_t>(t)] = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return LoadTrace(std::move(pts));
+}
+
+LoadTrace LoadTrace::ramp(double lo, double hi, int duration_s) {
+  if (duration_s < 2) throw std::invalid_argument("ramp: too short");
+  std::vector<double> pts(static_cast<std::size_t>(duration_s));
+  for (int t = 0; t < duration_s; ++t) {
+    pts[static_cast<std::size_t>(t)] =
+        lo + (hi - lo) * static_cast<double>(t) / (duration_s - 1);
+  }
+  return LoadTrace(std::move(pts));
+}
+
+LoadTrace LoadTrace::diurnal(double lo, double hi, int duration_s) {
+  if (duration_s < 2) throw std::invalid_argument("diurnal: too short");
+  std::vector<double> pts(static_cast<std::size_t>(duration_s));
+  for (int t = 0; t < duration_s; ++t) {
+    const double phase =
+        2.0 * M_PI * static_cast<double>(t) / static_cast<double>(duration_s);
+    // Minimum at t=0, maximum mid-trace.
+    pts[static_cast<std::size_t>(t)] =
+        lo + (hi - lo) * 0.5 * (1.0 - std::cos(phase));
+  }
+  return LoadTrace(std::move(pts));
+}
+
+LoadTrace LoadTrace::constant(double level, int duration_s) {
+  if (duration_s < 1) throw std::invalid_argument("constant: too short");
+  return LoadTrace(
+      std::vector<double>(static_cast<std::size_t>(duration_s), level));
+}
+
+LoadTrace LoadTrace::steps(const std::vector<double>& levels, int step_len_s) {
+  if (levels.empty() || step_len_s < 1) {
+    throw std::invalid_argument("steps: empty levels or bad step length");
+  }
+  std::vector<double> pts;
+  pts.reserve(levels.size() * static_cast<std::size_t>(step_len_s));
+  for (double level : levels) {
+    for (int i = 0; i < step_len_s; ++i) pts.push_back(level);
+  }
+  return LoadTrace(std::move(pts));
+}
+
+LoadTrace LoadTrace::with_noise(double stddev_fraction,
+                                std::uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<double> pts = points_;
+  for (double& p : pts) {
+    p = std::clamp(p * (1.0 + rng.normal(0.0, stddev_fraction)), 0.01, 1.0);
+  }
+  return LoadTrace(std::move(pts));
+}
+
+}  // namespace sturgeon

@@ -1,0 +1,46 @@
+// Load traces: per-second load fractions (of LS peak QPS) driving the
+// evaluation. The paper evaluates on a fluctuating trace rising from 20%
+// to 80% of peak and back (Section VII-A) and shows a 20%->50% ramp in
+// Fig 11; diurnal and step traces support additional experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sturgeon {
+
+class LoadTrace {
+ public:
+  /// Load fraction (0..1 of peak QPS) at second `t`; clamps past the end.
+  double at(int t) const;
+
+  int duration_s() const { return static_cast<int>(points_.size()); }
+  const std::vector<double>& points() const { return points_; }
+
+  /// Linear ramp `lo -> hi -> lo` over `duration_s` seconds (paper's
+  /// evaluation trace with lo=0.2, hi=0.8).
+  static LoadTrace ramp_up_down(double lo, double hi, int duration_s);
+
+  /// Linear ramp `lo -> hi` (paper Fig 11 uses 0.2 -> 0.5).
+  static LoadTrace ramp(double lo, double hi, int duration_s);
+
+  /// One sinusoidal day compressed into `duration_s` seconds, load in
+  /// [lo, hi] with the minimum at t=0 (night) and maximum mid-trace.
+  static LoadTrace diurnal(double lo, double hi, int duration_s);
+
+  static LoadTrace constant(double level, int duration_s);
+
+  /// Piecewise-constant steps, each held `step_len_s` seconds.
+  static LoadTrace steps(const std::vector<double>& levels, int step_len_s);
+
+  /// Return a copy with multiplicative noise (clamped to [0.01, 1.0]);
+  /// models the short-term jitter real services see on top of the trend.
+  LoadTrace with_noise(double stddev_fraction, std::uint64_t seed) const;
+
+ private:
+  explicit LoadTrace(std::vector<double> points);
+
+  std::vector<double> points_;
+};
+
+}  // namespace sturgeon

@@ -1,0 +1,87 @@
+#include "baselines/heracles.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::baselines {
+namespace {
+
+const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+
+sim::ServerTelemetry sample(double p95, double power) {
+  sim::ServerTelemetry t;
+  t.ls.p95_ms = p95;
+  t.power_w = power;
+  t.qos_target_ms = 10.0;
+  return t;
+}
+
+HeraclesController make_heracles(double budget = 120.0) {
+  HeraclesOptions opts;
+  opts.power_budget_w = budget;
+  return HeraclesController(m, 10.0, opts);
+}
+
+Partition mid() {
+  Partition p;
+  p.ls = {8, m.max_freq_level(), 8};
+  p.be = {12, 5, 12};
+  return p;
+}
+
+TEST(Heracles, LsAlwaysRunsFullSpeed) {
+  auto ctl = make_heracles();
+  Partition cur = mid();
+  cur.ls.freq_level = 3;
+  const auto next = ctl.decide(sample(8.5, 100.0), cur);
+  EXPECT_EQ(next.ls.freq_level, m.max_freq_level());
+}
+
+TEST(Heracles, LowSlackGrowsLsAggressively) {
+  auto ctl = make_heracles();
+  const auto cur = mid();
+  const auto next = ctl.decide(sample(9.8, 100.0), cur);
+  EXPECT_EQ(next.ls.cores, cur.ls.cores + 2);
+  EXPECT_EQ(next.ls.llc_ways, cur.ls.llc_ways + 2);
+}
+
+TEST(Heracles, HighSlackReleasesToBe) {
+  auto ctl = make_heracles();
+  const auto cur = mid();
+  const auto next = ctl.decide(sample(3.0, 100.0), cur);
+  EXPECT_EQ(next.ls.cores, cur.ls.cores - 1);
+  EXPECT_EQ(next.be.cores, cur.be.cores + 1);
+  EXPECT_EQ(next.be.llc_ways, cur.be.llc_ways + 1);
+}
+
+TEST(Heracles, PowerGuardUsesOnlyBeDvfs) {
+  auto ctl = make_heracles(100.0);
+  const auto cur = mid();
+  const auto next = ctl.decide(sample(8.5, 99.5), cur);  // above guard
+  EXPECT_EQ(next.be.freq_level, cur.be.freq_level - 1);
+  EXPECT_EQ(next.be.cores, cur.be.cores);  // cores untouched by power
+}
+
+TEST(Heracles, PowerSlackRaisesBeFrequency) {
+  auto ctl = make_heracles(100.0);
+  const auto cur = mid();
+  const auto next = ctl.decide(sample(8.5, 80.0), cur);  // below slack
+  EXPECT_EQ(next.be.freq_level, cur.be.freq_level + 1);
+}
+
+TEST(Heracles, BootstrapsBeFromAllToLs) {
+  auto ctl = make_heracles();
+  const auto next =
+      ctl.decide(sample(2.0, 80.0), Partition::all_to_ls(m));
+  EXPECT_GT(next.be.cores, 0);
+  // The power subcontroller may already raise the fresh slice one step.
+  EXPECT_LE(next.be.freq_level, 1);
+}
+
+TEST(Heracles, RejectsBadOptions) {
+  HeraclesOptions bad;
+  bad.power_budget_w = 0.0;
+  EXPECT_THROW(HeraclesController(m, 10.0, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::baselines

@@ -1,0 +1,154 @@
+#include "baselines/parties.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::baselines {
+namespace {
+
+const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+
+sim::ServerTelemetry sample(double p95, double power = 90.0) {
+  sim::ServerTelemetry t;
+  t.ls.p95_ms = p95;
+  t.power_w = power;
+  t.qos_target_ms = 10.0;
+  return t;
+}
+
+PartiesController make_parties(double budget = 120.0) {
+  PartiesOptions opts;
+  opts.power_budget_w = budget;
+  return PartiesController(m, 10.0, opts);
+}
+
+Partition mid() {
+  Partition p;
+  p.ls = {8, 5, 8};
+  p.be = {12, 8, 12};
+  return p;
+}
+
+TEST(Parties, NameReflectsEnhancement) {
+  EXPECT_EQ(make_parties().name(), "PARTIES(power-enhanced)");
+  PartiesOptions oblivious;
+  EXPECT_EQ(PartiesController(m, 10.0, oblivious).name(), "PARTIES");
+}
+
+TEST(Parties, UpsizesOneResourceUnitOnLowSlack) {
+  auto ctl = make_parties();
+  const auto cur = mid();
+  // slack = 0.05 < alpha: exactly one unit moves toward the LS service.
+  const auto next = ctl.decide(sample(9.5), cur);
+  const int delta = (next.ls.cores - cur.ls.cores) +
+                    (next.ls.llc_ways - cur.ls.llc_ways) +
+                    (next.ls.freq_level - cur.ls.freq_level);
+  EXPECT_EQ(delta, 1);
+}
+
+TEST(Parties, ViolationMovesTwoUnits) {
+  auto ctl = make_parties();
+  const auto cur = mid();
+  const auto next = ctl.decide(sample(12.0), cur);  // slack < 0
+  const int delta = (next.ls.cores - cur.ls.cores) +
+                    (next.ls.llc_ways - cur.ls.llc_ways) +
+                    (next.ls.freq_level - cur.ls.freq_level);
+  EXPECT_EQ(delta, 2);
+}
+
+TEST(Parties, RevertsUnhelpfulUpsizing) {
+  auto ctl = make_parties();
+  const auto cur = mid();
+  const auto up = ctl.decide(sample(9.5), cur);
+  ASSERT_NE(up, cur);
+  // Next interval: latency did not improve -> the unit comes back and the
+  // next resource type will be tried on the following upsizing.
+  const auto reverted = ctl.decide(sample(9.5), up);
+  EXPECT_EQ(reverted.ls.cores + reverted.ls.llc_ways +
+                reverted.ls.freq_level,
+            cur.ls.cores + cur.ls.llc_ways + cur.ls.freq_level);
+}
+
+TEST(Parties, KeepsHelpfulUpsizing) {
+  auto ctl = make_parties();
+  const auto cur = mid();
+  const auto up = ctl.decide(sample(9.5), cur);
+  ASSERT_NE(up, cur);
+  // Latency improved into the band: the adjustment stays (the in-band
+  // path may still raise the BE frequency, never shrink the LS side).
+  const auto after = ctl.decide(sample(8.5), up);
+  EXPECT_GE(after.ls.cores, up.ls.cores);
+  EXPECT_GE(after.ls.llc_ways, up.ls.llc_ways);
+}
+
+TEST(Parties, PowerOverloadBacksOffBeFrequency) {
+  auto ctl = make_parties(100.0);
+  const auto cur = mid();
+  const auto next = ctl.decide(sample(8.5, 105.0), cur);  // over budget
+  EXPECT_EQ(next.be.freq_level, cur.be.freq_level - 1);
+  EXPECT_EQ(next.ls, cur.ls);
+}
+
+TEST(Parties, PowerOverloadAtBottomPStateShrinksBe) {
+  auto ctl = make_parties(100.0);
+  Partition cur = mid();
+  cur.be.freq_level = 0;
+  const auto next = ctl.decide(sample(8.5, 105.0), cur);
+  EXPECT_EQ(next.be.cores, cur.be.cores - 1);
+}
+
+TEST(Parties, BootstrapsBeSliceFromAllToLs) {
+  auto ctl = make_parties();
+  const auto cur = Partition::all_to_ls(m);
+  const auto next = ctl.decide(sample(2.0, 80.0), cur);  // huge slack
+  EXPECT_GT(next.be.cores, 0);
+  EXPECT_GT(next.be.llc_ways, 0);
+  EXPECT_EQ(next.be.freq_level, 0);  // power-aware start: lowest P-state
+}
+
+TEST(Parties, RaisesBeFrequencyWithPowerHeadroom) {
+  auto ctl = make_parties(120.0);
+  Partition cur = mid();
+  cur.be.freq_level = 4;
+  // In-band slack, power well below budget.
+  const auto next = ctl.decide(sample(8.5, 90.0), cur);
+  EXPECT_EQ(next.be.freq_level, 5);
+  // Without headroom it stays put.
+  ctl.reset();
+  const auto hold = ctl.decide(sample(8.5, 118.0), cur);
+  EXPECT_EQ(hold.be.freq_level, 4);
+}
+
+TEST(Parties, ProbesDownsizeAfterHealthyStreak) {
+  PartiesOptions opts;
+  opts.power_budget_w = 120.0;
+  opts.probe_patience_s = 3;
+  PartiesController ctl(m, 10.0, opts);
+  Partition cur = mid();
+  cur.be.freq_level = m.max_freq_level();  // nothing to raise in-band
+  int ls_total_before =
+      cur.ls.cores + cur.ls.llc_ways + cur.ls.freq_level;
+  bool downsized = false;
+  for (int i = 0; i < 8; ++i) {
+    const auto next = ctl.decide(sample(8.3, 119.0), cur);  // slack 0.17
+    const int ls_total =
+        next.ls.cores + next.ls.llc_ways + next.ls.freq_level;
+    if (ls_total < ls_total_before) {
+      downsized = true;
+      break;
+    }
+    cur = next;
+    ls_total_before = ls_total;
+  }
+  EXPECT_TRUE(downsized);
+}
+
+TEST(Parties, RejectsBadOptions) {
+  PartiesOptions bad;
+  bad.beta = bad.alpha;
+  EXPECT_THROW(PartiesController(m, 10.0, bad), std::invalid_argument);
+  EXPECT_THROW(PartiesController(m, 0.0, PartiesOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::baselines

@@ -1,0 +1,212 @@
+#include "core/balancer.h"
+
+#include <gtest/gtest.h>
+
+#include "fake_models.h"
+
+namespace sturgeon::core {
+namespace {
+
+const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+
+Partition mid_partition() {
+  Partition p;
+  p.ls = {6, 6, 6};
+  p.be = {14, 8, 14};
+  return p;
+}
+
+TEST(Balancer, NoActionInsideBand) {
+  const auto pred = testing::fake_predictor(m);
+  ResourceBalancer b(*pred, 200.0);
+  b.arm(mid_partition());
+  EXPECT_FALSE(b.step(0.15, 10000.0, mid_partition()).has_value());
+  EXPECT_FALSE(b.active());
+}
+
+TEST(Balancer, HarvestsHalfOfBeHoldingsFirst) {
+  const auto pred = testing::fake_predictor(m);
+  ResourceBalancer b(*pred, 200.0);
+  const auto p0 = mid_partition();
+  b.arm(p0);
+  const auto p1 = b.step(0.02, 10000.0, p0);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_TRUE(b.active());
+  // Binary-harvest granularity: the chosen resource moved by half of the
+  // BE side's holdings (7 cores, 7 ways or 4-5 P-states).
+  const int moved_cores = p1->ls.cores - p0.ls.cores;
+  const int moved_ways = p1->ls.llc_ways - p0.ls.llc_ways;
+  const int moved_freq = p0.be.freq_level - p1->be.freq_level;
+  EXPECT_EQ(moved_cores + moved_ways + moved_freq > 0, true);
+  if (moved_cores > 0) {
+    EXPECT_EQ(moved_cores, 7);
+  }
+  if (moved_ways > 0) {
+    EXPECT_EQ(moved_ways, 7);
+  }
+  if (moved_freq > 0) {
+    EXPECT_GE(moved_freq, 4);
+  }
+}
+
+TEST(Balancer, PicksMinimumThroughputLossResource) {
+  // The fake IPC rule gains from ways and loses mildly from cores, so
+  // harvesting WAYS costs more throughput than the power (frequency)
+  // swap; the balancer must pick the cheaper one.
+  const auto pred = testing::fake_predictor(m);
+  ResourceBalancer b(*pred, 500.0);
+  const auto p0 = mid_partition();
+  b.arm(p0);
+  const auto p1 = b.step(0.02, 10000.0, p0);
+  ASSERT_TRUE(p1.has_value());
+  double best_thr = -1.0;
+  std::string best;
+  // Recompute the three candidate harvests by hand.
+  {
+    Partition c = p0;  // cores by 7
+    c.ls.cores += 7;
+    c.be.cores -= 7;
+    if (pred->be_throughput(c.be) > best_thr) {
+      best_thr = pred->be_throughput(c.be);
+      best = "cores";
+    }
+    Partition w = p0;  // ways by 7
+    w.ls.llc_ways += 7;
+    w.be.llc_ways -= 7;
+    if (pred->be_throughput(w.be) > best_thr) {
+      best_thr = pred->be_throughput(w.be);
+      best = "ways";
+    }
+    Partition f = p0;  // freq by 5 (half of 8+1 rounded)
+    f.be.freq_level -= 5;
+    f.ls.freq_level = std::min(m.max_freq_level(), f.ls.freq_level + 5);
+    if (pred->be_throughput(f.be) > best_thr) {
+      best_thr = pred->be_throughput(f.be);
+      best = "power";
+    }
+  }
+  EXPECT_EQ(b.last_action(), best);
+}
+
+TEST(Balancer, GranularityHalvesEachHarvest) {
+  const auto pred = testing::fake_predictor(m);
+  ResourceBalancer b(*pred, 500.0);
+  auto p = mid_partition();
+  b.arm(p);
+  const auto p1 = b.step(0.02, 10000.0, p);
+  ASSERT_TRUE(p1);
+  const int first = (p1->ls.cores - p.ls.cores) +
+                    (p1->ls.llc_ways - p.ls.llc_ways) +
+                    (p.be.freq_level - p1->be.freq_level);
+  // Report slack improved (so the same resource stays eligible) but
+  // still below alpha: next harvest of the same type must be smaller.
+  const auto p2 = b.step(0.06, 10000.0, *p1);
+  ASSERT_TRUE(p2);
+  const int second = (p2->ls.cores - p1->ls.cores) +
+                     (p2->ls.llc_ways - p1->ls.llc_ways) +
+                     (p1->be.freq_level - p2->be.freq_level);
+  EXPECT_LT(second, first);
+}
+
+TEST(Balancer, RevertsHalfOnExcessiveHarvest) {
+  const auto pred = testing::fake_predictor(m);
+  ResourceBalancer b(*pred, 500.0);
+  const auto p0 = mid_partition();
+  b.arm(p0);
+  const auto p1 = b.step(0.02, 10000.0, p0);
+  ASSERT_TRUE(p1);
+  // Next interval the latency is suddenly very low: revert half.
+  const auto p2 = b.step(0.6, 10000.0, *p1);
+  ASSERT_TRUE(p2);
+  EXPECT_EQ(b.last_action(), "revert");
+  // The revert moves back toward the BE side but not all the way.
+  const int harvested = (p1->ls.cores - p0.ls.cores) +
+                        (p1->ls.llc_ways - p0.ls.llc_ways);
+  const int reverted = (p1->ls.cores - p2->ls.cores) +
+                       (p1->ls.llc_ways - p2->ls.llc_ways) +
+                       (p2->be.freq_level - p1->be.freq_level);
+  if (harvested > 0) {
+    EXPECT_GT(reverted, 0);
+    EXPECT_LT(reverted, harvested);
+  }
+}
+
+TEST(Balancer, SettlesInsideBand) {
+  const auto pred = testing::fake_predictor(m);
+  ResourceBalancer b(*pred, 500.0);
+  const auto p0 = mid_partition();
+  b.arm(p0);
+  ASSERT_TRUE(b.step(0.02, 10000.0, p0));
+  EXPECT_TRUE(b.active());
+  EXPECT_FALSE(b.step(0.15, 10000.0, p0).has_value());
+  EXPECT_FALSE(b.active());
+}
+
+TEST(Balancer, IneffectiveResourceExcluded) {
+  const auto pred = testing::fake_predictor(m);
+  ResourceBalancer b(*pred, 500.0);
+  auto p = mid_partition();
+  b.arm(p);
+  const auto p1 = b.step(0.02, 10000.0, p);
+  ASSERT_TRUE(p1);
+  const std::string first = b.last_action();
+  // Slack did not improve: the same resource must not be chosen again.
+  const auto p2 = b.step(0.02, 10000.0, *p1);
+  ASSERT_TRUE(p2);
+  EXPECT_NE(b.last_action(), first);
+}
+
+TEST(Balancer, NothingToHarvestFromEmptyBe) {
+  const auto pred = testing::fake_predictor(m);
+  ResourceBalancer b(*pred, 500.0);
+  Partition p = Partition::all_to_ls(m);
+  b.arm(p);
+  EXPECT_FALSE(b.step(0.02, 10000.0, p).has_value());
+}
+
+TEST(Balancer, RespectsPowerBudgetOnPowerSwap) {
+  // A power harvest raises the LS frequency; with a budget exactly at the
+  // current draw, the balancer must not pick a harvest that overloads.
+  const auto pred = testing::fake_predictor(m);
+  const auto p0 = mid_partition();
+  const double now = pred->total_power_w(10000.0, p0);
+  ResourceBalancer b(*pred, now + 1.0);
+  b.arm(p0);
+  const auto p1 = b.step(0.02, 10000.0, p0);
+  if (p1) {
+    EXPECT_LE(pred->total_power_w(10000.0, *p1), now + 1.0 + 1e-9);
+  }
+}
+
+TEST(Balancer, ConfigurableInitialGranularity) {
+  const auto pred = testing::fake_predictor(m);
+  BalancerConfig cfg;
+  cfg.initial_granularity = 0.25;
+  ResourceBalancer b(*pred, 500.0, cfg);
+  const auto p0 = mid_partition();  // BE owns 14 cores / 14 ways
+  b.arm(p0);
+  const auto p1 = b.step(0.02, 10000.0, p0);
+  ASSERT_TRUE(p1);
+  const int moved = (p1->ls.cores - p0.ls.cores) +
+                    (p1->ls.llc_ways - p0.ls.llc_ways) +
+                    (p0.be.freq_level - p1->be.freq_level);
+  // Quarter-granularity: 3-4 units of cores/ways, or 2 of frequency.
+  EXPECT_GE(moved, 2);
+  EXPECT_LE(moved, 4);
+}
+
+TEST(Balancer, RejectsBadConfig) {
+  const auto pred = testing::fake_predictor(m);
+  EXPECT_THROW(ResourceBalancer(*pred, 0.0), std::invalid_argument);
+  BalancerConfig bad;
+  bad.beta = bad.alpha;
+  EXPECT_THROW(ResourceBalancer(*pred, 100.0, bad), std::invalid_argument);
+  BalancerConfig bad_g;
+  bad_g.initial_granularity = 0.0;
+  EXPECT_THROW(ResourceBalancer(*pred, 100.0, bad_g), std::invalid_argument);
+  bad_g.initial_granularity = 1.5;
+  EXPECT_THROW(ResourceBalancer(*pred, 100.0, bad_g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::core

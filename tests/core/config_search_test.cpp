@@ -1,0 +1,133 @@
+#include "core/config_search.h"
+
+#include <gtest/gtest.h>
+
+#include "fake_models.h"
+
+namespace sturgeon::core {
+namespace {
+
+const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+
+TEST(ConfigSearch, FindsJustEnoughLsAllocation) {
+  // Rule: cores * GHz >= kQPS, ways >= 3. At 12 kQPS the minimum LS core
+  // count at 2.2 GHz is ceil(12/2.2) = 6.
+  const auto pred = testing::fake_predictor(m, 1.0, 3);
+  ConfigSearch search(*pred, 200.0);  // budget loose enough for max F2
+  const auto r = search.search(12000.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.best.ls.cores, 6);
+  EXPECT_GE(r.best.ls.llc_ways, 3);
+  // The fake QoS rule is exactly satisfied.
+  EXPECT_GE(r.best.ls.cores * m.freq_at(r.best.ls.freq_level), 12.0 - 1e-9);
+  EXPECT_TRUE(r.best.valid_for(m));
+}
+
+TEST(ConfigSearch, BeThroughputPrefersWideSliceWhenPowerAllows) {
+  const auto pred = testing::fake_predictor(m, 1.0, 3);
+  ConfigSearch search(*pred, 250.0);
+  const auto r = search.search(6000.0);
+  ASSERT_TRUE(r.feasible);
+  // With a loose budget the first (BE-widest) candidate already runs at
+  // the top P-state, so the sweep stops immediately (Section V-B).
+  EXPECT_EQ(r.best.be.freq_level, m.max_freq_level());
+  EXPECT_GE(r.best.be.cores, 14);
+}
+
+TEST(ConfigSearch, PowerBudgetCapsBeFrequency) {
+  const auto pred = testing::fake_predictor(m, 1.0, 3);
+  ConfigSearch tight(*pred, 110.0);
+  const auto r = tight.search(12000.0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.predicted_power_w, 110.0 + 1e-9);
+  ConfigSearch loose(*pred, 250.0);
+  const auto r2 = loose.search(12000.0);
+  EXPECT_GE(r2.predicted_throughput, r.predicted_throughput);
+}
+
+TEST(ConfigSearch, InfeasibleQosFallsBackToAllToLs) {
+  // Demand so high even 20 cores at 2.2 GHz cannot serve it.
+  const auto pred = testing::fake_predictor(m, 10.0, 3);
+  ConfigSearch search(*pred, 200.0);
+  const auto r = search.search(20000.0);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.best, Partition::all_to_ls(m));
+  EXPECT_TRUE(r.candidates.empty());
+}
+
+TEST(ConfigSearch, InfeasiblePowerFallsBackToAllToLs) {
+  const auto pred = testing::fake_predictor(m, 1.0, 3);
+  ConfigSearch search(*pred, 25.0);  // below even the uncore + LS floor
+  const auto r = search.search(6000.0);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.best, Partition::all_to_ls(m));
+}
+
+TEST(ConfigSearch, MatchesExhaustiveReference) {
+  const auto pred = testing::fake_predictor(m, 1.0, 3);
+  ConfigSearch search(*pred, 130.0);
+  for (double qps : {4000.0, 10000.0, 16000.0, 24000.0}) {
+    const auto fast = search.search(qps);
+    const auto full = search.exhaustive(qps);
+    ASSERT_EQ(fast.feasible, full.feasible) << qps;
+    if (fast.feasible) {
+      // The pruned search must be within a few percent of the oracle.
+      EXPECT_GE(fast.predicted_throughput,
+                0.93 * full.predicted_throughput)
+          << qps;
+    }
+  }
+}
+
+TEST(ConfigSearch, PrunedSearchIsFarCheaper) {
+  const auto pred = testing::fake_predictor(m, 1.0, 3);
+  ConfigSearch search(*pred, 130.0);
+  const auto fast = search.search(12000.0);
+  const auto full = search.exhaustive(12000.0);
+  EXPECT_LT(fast.model_invocations * 10, full.model_invocations);
+  // Paper: O(N log N) -- a few hundred model calls, not tens of thousands.
+  EXPECT_LT(fast.model_invocations, 600u);
+  EXPECT_GT(full.model_invocations, 4000u);
+}
+
+TEST(ConfigSearch, CandidatesAreAllFeasible) {
+  const auto pred = testing::fake_predictor(m, 1.0, 3);
+  ConfigSearch search(*pred, 130.0);
+  const auto r = search.search(12000.0);
+  for (const auto& cand : r.candidates) {
+    EXPECT_TRUE(cand.partition.valid_for(m));
+    EXPECT_LE(cand.predicted_power_w, 130.0 + 1e-9);
+    EXPECT_TRUE(pred->ls_qos_ok(12000.0, cand.partition.ls));
+  }
+}
+
+TEST(ConfigSearch, ParallelSearchMatchesSequential) {
+  const auto pred = testing::fake_predictor(m, 1.0, 3);
+  ConfigSearch search(*pred, 130.0);
+  ThreadPool pool(4);
+  for (double qps : {4000.0, 12000.0, 20000.0, 30000.0}) {
+    const auto seq = search.search(qps);
+    const auto par = search.search_parallel(qps, pool);
+    EXPECT_EQ(seq.feasible, par.feasible) << qps;
+    EXPECT_EQ(seq.best, par.best) << qps;
+    EXPECT_DOUBLE_EQ(seq.predicted_throughput, par.predicted_throughput);
+    EXPECT_EQ(seq.candidates.size(), par.candidates.size());
+  }
+}
+
+TEST(ConfigSearch, ParallelSearchInfeasibleFallback) {
+  const auto pred = testing::fake_predictor(m, 10.0, 3);
+  ConfigSearch search(*pred, 130.0);
+  ThreadPool pool(2);
+  const auto r = search.search_parallel(30000.0, pool);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.best, Partition::all_to_ls(m));
+}
+
+TEST(ConfigSearch, RejectsBadBudget) {
+  const auto pred = testing::fake_predictor(m);
+  EXPECT_THROW(ConfigSearch(*pred, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::core

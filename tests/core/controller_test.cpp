@@ -1,0 +1,140 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "fake_models.h"
+
+namespace sturgeon::core {
+namespace {
+
+const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+
+sim::ServerTelemetry sample(double p95, double qps_real) {
+  sim::ServerTelemetry t;
+  t.ls.p95_ms = p95;
+  t.qps_real = qps_real;
+  t.qos_target_ms = 10.0;
+  return t;
+}
+
+SturgeonController make_controller(bool balancer = true) {
+  SturgeonOptions opts;
+  opts.enable_balancer = balancer;
+  return SturgeonController(testing::fake_predictor(m, 1.0, 3), 10.0, 200.0,
+                            opts);
+}
+
+TEST(Controller, InBandKeepsCurrentConfiguration) {
+  auto ctl = make_controller();
+  Partition cur;
+  cur.ls = {8, 6, 8};
+  cur.be = {12, 8, 12};
+  // slack = (10 - 8.5) / 10 = 0.15: inside [0.1, 0.2].
+  EXPECT_EQ(ctl.decide(sample(8.5, 8000.0), cur), cur);
+  EXPECT_EQ(ctl.searches_run(), 0u);
+}
+
+TEST(Controller, HighSlackTriggersSearchAndFreesResources) {
+  auto ctl = make_controller();
+  const Partition cur = Partition::all_to_ls(m);
+  // slack = 0.8 > beta: the controller searches and gives the BE a slice.
+  const auto next = ctl.decide(sample(2.0, 8000.0), cur);
+  EXPECT_EQ(ctl.searches_run(), 1u);
+  EXPECT_GT(next.be.cores, 0);
+  EXPECT_LT(next.ls.cores, m.num_cores);
+  // The installed config satisfies the fake QoS rule.
+  EXPECT_GE(next.ls.cores * m.freq_at(next.ls.freq_level), 8.0 - 1e-9);
+}
+
+TEST(Controller, LowSlackWithStaleSearchEngagesBalancer) {
+  auto ctl = make_controller();
+  // Install the search result for this load first.
+  const auto installed =
+      ctl.decide(sample(2.0, 8000.0), Partition::all_to_ls(m));
+  ASSERT_GT(installed.be.cores, 0);
+  // Now report a violation at the same load: the search proposes the same
+  // configuration, so only the balancer can respond.
+  const auto after = ctl.decide(sample(12.0, 8000.0), installed);
+  EXPECT_NE(after, installed);
+  EXPECT_GE(ctl.balancer_actions(), 1u);
+  // The balancer moves resources toward the LS service.
+  const bool ls_ward = after.ls.cores > installed.ls.cores ||
+                       after.ls.llc_ways > installed.ls.llc_ways ||
+                       after.be.freq_level < installed.be.freq_level;
+  EXPECT_TRUE(ls_ward);
+}
+
+TEST(Controller, NoBalancerVariantStaysStuck) {
+  auto ctl = make_controller(/*balancer=*/false);
+  EXPECT_EQ(ctl.name(), "Sturgeon-NoB");
+  const auto installed =
+      ctl.decide(sample(2.0, 8000.0), Partition::all_to_ls(m));
+  // Same load, violating latency: NoB re-searches, gets the same config,
+  // and cannot react -- the paper's Fig 9 failure mode.
+  const auto after = ctl.decide(sample(12.0, 8000.0), installed);
+  EXPECT_EQ(after, installed);
+  EXPECT_EQ(ctl.balancer_actions(), 0u);
+}
+
+TEST(Controller, ReservesPersistAcrossSearches) {
+  auto ctl = make_controller();
+  const auto installed =
+      ctl.decide(sample(2.0, 8000.0), Partition::all_to_ls(m));
+  // Force a balancer harvest.
+  const auto harvested = ctl.decide(sample(12.0, 8000.0), installed);
+  ASSERT_NE(harvested, installed);
+  const auto reserves = ctl.reserves();
+  EXPECT_GT(reserves.cores + reserves.ways + reserves.freq, 0);
+  // A later search (load change, healthy latency) must keep the reserve
+  // shift relative to the raw search result.
+  const auto next = ctl.decide(sample(2.0, 4000.0), harvested);
+  const bool shifted = next.ls.cores > installed.ls.cores ||
+                       next.ls.llc_ways > installed.ls.llc_ways ||
+                       next.be.freq_level < installed.be.freq_level;
+  EXPECT_TRUE(shifted);
+}
+
+TEST(Controller, ReservesDecayDuringCalm) {
+  SturgeonOptions opts;
+  opts.reserve_decay_interval_s = 3;
+  SturgeonController ctl(testing::fake_predictor(m, 1.0, 3), 10.0, 200.0,
+                         opts);
+  auto cur = ctl.decide(sample(2.0, 8000.0), Partition::all_to_ls(m));
+  cur = ctl.decide(sample(12.0, 8000.0), cur);  // build a reserve
+  const auto before = ctl.reserves();
+  ASSERT_GT(before.cores + before.ways + before.freq, 0);
+  // Several calm in-band intervals: reserves halve.
+  for (int i = 0; i < 8; ++i) {
+    cur = ctl.decide(sample(8.5, 8000.0), cur);
+  }
+  const auto after = ctl.reserves();
+  EXPECT_LT(after.cores + after.ways + after.freq,
+            before.cores + before.ways + before.freq);
+}
+
+TEST(Controller, ResetClearsState) {
+  auto ctl = make_controller();
+  auto cur = ctl.decide(sample(2.0, 8000.0), Partition::all_to_ls(m));
+  ctl.decide(sample(12.0, 8000.0), cur);
+  EXPECT_GT(ctl.searches_run(), 0u);
+  ctl.reset();
+  EXPECT_EQ(ctl.searches_run(), 0u);
+  EXPECT_EQ(ctl.balancer_actions(), 0u);
+  EXPECT_EQ(ctl.reserves().cores, 0);
+}
+
+TEST(Controller, RejectsBadArguments) {
+  EXPECT_THROW(SturgeonController(nullptr, 10.0, 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      SturgeonController(testing::fake_predictor(m), 0.0, 100.0),
+      std::invalid_argument);
+  SturgeonOptions bad;
+  bad.beta = bad.alpha;
+  EXPECT_THROW(
+      SturgeonController(testing::fake_predictor(m), 10.0, 100.0, bad),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::core

@@ -1,0 +1,101 @@
+// Hand-crafted analytic models for unit-testing the predictor-driven
+// components (search, balancer, controller) without any training. The
+// rules are simple and exactly known, so tests can assert the searched
+// configurations in closed form.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/predictor.h"
+#include "core/trainer.h"
+
+namespace sturgeon::core::testing {
+
+// Feature layout (core/features.h): {kQPS | input, cores, freq GHz, ways}.
+
+/// QoS rule: feasible iff cores * freq >= demand_per_kqps * kQPS and
+/// ways >= min_ways. Monotone in every resource, as the paper assumes.
+class FakeQosRule : public ml::Classifier {
+ public:
+  explicit FakeQosRule(double demand_per_kqps = 1.0, int min_ways = 3)
+      : demand_(demand_per_kqps), min_ways_(min_ways) {}
+
+  void fit(const std::vector<ml::FeatureRow>&,
+           const std::vector<int>&) override {}
+  int predict(const ml::FeatureRow& row) const override {
+    const double kqps = row[0], cores = row[1], freq = row[2], ways = row[3];
+    return cores * freq >= demand_ * kqps && ways >= min_ways_ ? 1 : 0;
+  }
+  std::string name() const override { return "FakeQosRule"; }
+
+ private:
+  double demand_;
+  int min_ways_;
+};
+
+/// Package power: uncore + cores * k * f^2.6 (load-independent).
+class FakePowerRule : public ml::Regressor {
+ public:
+  explicit FakePowerRule(double uncore = 18.0, double k = 0.65)
+      : uncore_(uncore), k_(k) {}
+
+  void fit(const ml::DataSet&) override {}
+  double predict(const ml::FeatureRow& row) const override {
+    const double cores = row[1], freq = row[2];
+    return uncore_ + cores * k_ * std::pow(freq, 2.6);
+  }
+  std::string name() const override { return "FakePowerRule"; }
+
+ private:
+  double uncore_, k_;
+};
+
+/// BE slice incremental power: cores * k * f^2.6.
+class FakeBePowerRule : public ml::Regressor {
+ public:
+  explicit FakeBePowerRule(double k = 0.8) : k_(k) {}
+  void fit(const ml::DataSet&) override {}
+  double predict(const ml::FeatureRow& row) const override {
+    const double cores = row[1], freq = row[2];
+    return cores * k_ * std::pow(freq, 2.6);
+  }
+  std::string name() const override { return "FakeBePowerRule"; }
+
+ private:
+  double k_;
+};
+
+/// IPC rule: rises with ways, falls mildly with core count (imperfect
+/// scaling) -- so throughput = ipc * cores * freq is strictly increasing
+/// in cores, freq and ways, with diminishing core returns.
+class FakeIpcRule : public ml::Regressor {
+ public:
+  void fit(const ml::DataSet&) override {}
+  double predict(const ml::FeatureRow& row) const override {
+    const double cores = row[1], ways = row[3];
+    return (0.6 + 0.02 * ways) * (1.0 - 0.01 * cores);
+  }
+  std::string name() const override { return "FakeIpcRule"; }
+};
+
+inline TrainedModels fake_models(double demand_per_kqps = 1.0,
+                                 int min_ways = 3) {
+  TrainedModels m;
+  m.ls_qos = std::make_shared<FakeQosRule>(demand_per_kqps, min_ways);
+  m.ls_power = std::make_shared<FakePowerRule>();
+  m.be_ipc = std::make_shared<FakeIpcRule>();
+  m.be_power = std::make_shared<FakeBePowerRule>();
+  m.idle_power_w = 18.0;
+  return m;
+}
+
+inline std::shared_ptr<const Predictor> fake_predictor(
+    const MachineSpec& machine, double demand_per_kqps = 1.0,
+    int min_ways = 3) {
+  return std::make_shared<const Predictor>(
+      machine, fake_models(demand_per_kqps, min_ways));
+}
+
+}  // namespace sturgeon::core::testing

@@ -1,0 +1,38 @@
+#include "core/features.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::core {
+namespace {
+
+const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+
+TEST(Features, LsLayoutAndUnits) {
+  const AppSlice slice{4, m.level_for(1.6), 6};
+  const auto row = ls_features(m, 12000.0, slice);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_DOUBLE_EQ(row[0], 12.0);  // kQPS
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+  EXPECT_DOUBLE_EQ(row[2], 1.6);
+  EXPECT_DOUBLE_EQ(row[3], 6.0);
+}
+
+TEST(Features, BeLayoutAndUnits) {
+  const AppSlice slice{16, m.max_freq_level(), 14};
+  const auto row = be_features(m, kNativeInputLevel, slice);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_DOUBLE_EQ(row[0], 6.0);  // PARSEC native input level
+  EXPECT_DOUBLE_EQ(row[1], 16.0);
+  EXPECT_DOUBLE_EQ(row[2], 2.2);
+  EXPECT_DOUBLE_EQ(row[3], 14.0);
+}
+
+TEST(Features, FrequencyComesFromTheMachineTable) {
+  for (int level = 0; level < m.num_freq_levels(); ++level) {
+    const AppSlice slice{1, level, 1};
+    EXPECT_DOUBLE_EQ(ls_features(m, 0.0, slice)[2], m.freq_at(level));
+  }
+}
+
+}  // namespace
+}  // namespace sturgeon::core

@@ -1,0 +1,63 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "fake_models.h"
+
+namespace sturgeon::core {
+namespace {
+
+const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+
+TEST(Predictor, RequiresAllModels) {
+  TrainedModels incomplete = testing::fake_models();
+  incomplete.be_power.reset();
+  EXPECT_THROW(Predictor(m, incomplete), std::invalid_argument);
+}
+
+TEST(Predictor, QosRuleApplied) {
+  // Rule: cores * freq >= 1.0 * kQPS and ways >= 3.
+  const auto p = testing::fake_predictor(m, 1.0, 3);
+  EXPECT_TRUE(p->ls_qos_ok(12000.0, {8, m.level_for(2.0), 5}));   // 16 >= 12
+  EXPECT_FALSE(p->ls_qos_ok(20000.0, {8, m.level_for(2.0), 5}));  // 16 < 20
+  EXPECT_FALSE(p->ls_qos_ok(1000.0, {8, m.level_for(2.0), 2}));   // ways
+}
+
+TEST(Predictor, ThroughputIsIpcTimesCoresTimesGhz) {
+  const auto p = testing::fake_predictor(m);
+  const AppSlice be{10, m.level_for(2.0), 10};
+  const double ipc = p->be_ipc(be);
+  EXPECT_NEAR(p->be_throughput(be), ipc * 10 * 2.0, 1e-9);
+}
+
+TEST(Predictor, EmptyBeSliceIsFree) {
+  const auto p = testing::fake_predictor(m);
+  const AppSlice none{0, 0, 0};
+  EXPECT_DOUBLE_EQ(p->be_power_w(none), 0.0);
+  EXPECT_DOUBLE_EQ(p->be_throughput(none), 0.0);
+}
+
+TEST(Predictor, TotalPowerComposes) {
+  const auto p = testing::fake_predictor(m);
+  Partition part;
+  part.ls = {4, 4, 6};
+  part.be = {16, 8, 14};
+  EXPECT_NEAR(p->total_power_w(10000.0, part),
+              p->ls_power_w(10000.0, part.ls) + p->be_power_w(part.be),
+              1e-9);
+}
+
+TEST(Predictor, CountsInvocations) {
+  const auto p = testing::fake_predictor(m);
+  const auto base = p->model_invocations();
+  p->ls_qos_ok(1000.0, {4, 4, 6});
+  p->be_ipc({10, 8, 10});
+  Partition part;
+  part.ls = {4, 4, 6};
+  part.be = {16, 8, 14};
+  p->total_power_w(1000.0, part);  // ls_power + be_power = 2 calls
+  EXPECT_EQ(p->model_invocations() - base, 4u);
+}
+
+}  // namespace
+}  // namespace sturgeon::core

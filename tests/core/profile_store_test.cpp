@@ -1,0 +1,115 @@
+#include "core/profile_store.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sturgeon::core {
+namespace {
+
+LsProfilingData sample_ls() {
+  LsProfilingData d;
+  d.x = {{12.0, 4, 1.6, 6}, {48.0, 16, 2.2, 18}};
+  d.qos_ok = {1, 0};
+  d.power_w = {55.25, 112.5};
+  return d;
+}
+
+BeProfilingData sample_be() {
+  BeProfilingData d;
+  d.idle_power_w = 19.75;
+  d.x = {{6.0, 14, 1.8, 12}};
+  d.ipc = {0.8125};
+  d.power_w = {61.0};
+  return d;
+}
+
+TEST(ProfileStore, LsRoundTrip) {
+  std::stringstream ss;
+  save_ls_profiling(ss, sample_ls());
+  const auto loaded = load_ls_profiling(ss);
+  ASSERT_EQ(loaded.x.size(), 2u);
+  EXPECT_EQ(loaded.x[0], (ml::FeatureRow{12.0, 4, 1.6, 6}));
+  EXPECT_EQ(loaded.qos_ok, (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(loaded.power_w[0], 55.25);
+  EXPECT_DOUBLE_EQ(loaded.power_w[1], 112.5);
+}
+
+TEST(ProfileStore, BeRoundTrip) {
+  std::stringstream ss;
+  save_be_profiling(ss, sample_be());
+  const auto loaded = load_be_profiling(ss);
+  ASSERT_EQ(loaded.x.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.idle_power_w, 19.75);
+  EXPECT_DOUBLE_EQ(loaded.ipc[0], 0.8125);
+  EXPECT_DOUBLE_EQ(loaded.power_w[0], 61.0);
+}
+
+TEST(ProfileStore, LoadedDataTrainsModels) {
+  std::stringstream ls_ss, be_ss;
+  // Build a slightly larger synthetic campaign for trainable data.
+  LsProfilingData ls;
+  BeProfilingData be;
+  be.idle_power_w = 20.0;
+  for (int i = 0; i < 60; ++i) {
+    const double cores = 1 + i % 19;
+    const double freq = 1.2 + 0.1 * (i % 11);
+    ls.x.push_back({double(5 + i), cores, freq, double(1 + i % 19)});
+    ls.qos_ok.push_back(cores * freq > (5 + i) * 0.5 ? 1 : 0);
+    ls.power_w.push_back(20 + cores * freq);
+    be.x.push_back({6.0, cores, freq, double(1 + i % 19)});
+    be.ipc.push_back(0.5 + 0.01 * (i % 19));
+    be.power_w.push_back(cores * freq * 0.8);
+  }
+  save_ls_profiling(ls_ss, ls);
+  save_be_profiling(be_ss, be);
+
+  TrainerConfig cfg;
+  const auto ls_models = train_ls_models(load_ls_profiling(ls_ss), cfg);
+  const auto be_models = train_be_models(load_be_profiling(be_ss), cfg);
+  EXPECT_NE(ls_models.qos, nullptr);
+  EXPECT_DOUBLE_EQ(be_models.idle_power_w, 20.0);
+}
+
+TEST(ProfileStore, RejectsWrongHeader) {
+  std::stringstream ss;
+  ss << "not-a-profile\n";
+  EXPECT_THROW(load_ls_profiling(ss), std::runtime_error);
+  std::stringstream ss2;
+  save_ls_profiling(ss2, sample_ls());
+  EXPECT_THROW(load_be_profiling(ss2), std::runtime_error);  // LS-vs-BE mixup
+}
+
+TEST(ProfileStore, RejectsMalformedRows) {
+  std::stringstream ss;
+  ss << "sturgeon-ls-profile-v1\n"
+     << "kqps,cores,freq_ghz,ways,qos_ok,power_w\n"
+     << "1,2,3\n";
+  EXPECT_THROW(load_ls_profiling(ss), std::runtime_error);
+
+  std::stringstream ss2;
+  ss2 << "sturgeon-ls-profile-v1\n"
+      << "kqps,cores,freq_ghz,ways,qos_ok,power_w\n"
+      << "1,2,3,4,oops,6\n";
+  EXPECT_THROW(load_ls_profiling(ss2), std::runtime_error);
+
+  std::stringstream ss3;
+  ss3 << "sturgeon-ls-profile-v1\n"
+      << "kqps,cores,freq_ghz,ways,qos_ok,power_w\n"
+      << "1,2,3,4,7,6\n";  // label not 0/1
+  EXPECT_THROW(load_ls_profiling(ss3), std::runtime_error);
+}
+
+TEST(ProfileStore, FileRoundTripAndErrors) {
+  const std::string path = ::testing::TempDir() + "/ls_profile.csv";
+  save_ls_profiling_file(path, sample_ls());
+  const auto loaded = load_ls_profiling_file(path);
+  EXPECT_EQ(loaded.x.size(), 2u);
+  EXPECT_THROW(load_ls_profiling_file("/nonexistent/dir/x.csv"),
+               std::runtime_error);
+  EXPECT_THROW(save_ls_profiling_file("/nonexistent/dir/x.csv", sample_ls()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sturgeon::core

@@ -1,0 +1,163 @@
+// Trainer tests run a reduced profiling campaign (seconds, not minutes)
+// and check dataset shape, label quality, model selection, and the
+// Lasso feature-selection claim.
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+#include "core/predictor.h"
+#include "util/stats.h"
+
+namespace sturgeon::core {
+namespace {
+
+TrainerConfig small_config() {
+  TrainerConfig cfg;
+  cfg.ls_samples = 120;
+  cfg.ls_boundary_searches = 25;
+  cfg.be_samples = 100;
+  cfg.intervals_per_sample = 2;
+  cfg.seed = 0x5151;
+  return cfg;
+}
+
+const LsProfilingData& ls_data() {
+  static const LsProfilingData data =
+      collect_ls_profiling(find_ls("memcached"), small_config());
+  return data;
+}
+
+const BeProfilingData& be_data() {
+  static const BeProfilingData data =
+      collect_be_profiling(find_be("rt"), small_config());
+  return data;
+}
+
+TEST(TrainerProfiles, LsDatasetShape) {
+  const auto& data = ls_data();
+  EXPECT_GE(data.x.size(), 120u);  // uniform + boundary probes
+  EXPECT_EQ(data.x.size(), data.qos_ok.size());
+  EXPECT_EQ(data.x.size(), data.power_w.size());
+  for (const auto& row : data.x) {
+    ASSERT_EQ(row.size(), 4u);
+    EXPECT_GE(row[0], 0.0);        // kQPS
+    EXPECT_GE(row[1], 1.0);        // cores
+    EXPECT_GE(row[2], 1.2);        // GHz
+    EXPECT_LE(row[2], 2.2);
+    EXPECT_GE(row[3], 1.0);        // ways
+  }
+}
+
+TEST(TrainerProfiles, LsLabelsContainBothClasses) {
+  const auto& data = ls_data();
+  int pos = 0, neg = 0;
+  for (int l : data.qos_ok) (l ? pos : neg)++;
+  EXPECT_GT(pos, 10);
+  EXPECT_GT(neg, 10);
+}
+
+TEST(TrainerProfiles, LsPowerLabelsPlausible) {
+  const auto& data = ls_data();
+  for (double p : data.power_w) {
+    EXPECT_GT(p, 15.0);
+    EXPECT_LT(p, 200.0);
+  }
+}
+
+TEST(TrainerProfiles, QosLabelsMonotoneOnAverage) {
+  // Big slices should be labeled feasible far more often than tiny ones.
+  const auto& data = ls_data();
+  OnlineStats small_ok, big_ok;
+  for (std::size_t i = 0; i < data.x.size(); ++i) {
+    const double capacity = data.x[i][1] * data.x[i][2];  // cores * GHz
+    const double load = data.x[i][0];                     // kQPS
+    if (capacity > 2.5 * load) {
+      big_ok.add(data.qos_ok[i]);
+    } else if (capacity < 1.0 * load) {
+      small_ok.add(data.qos_ok[i]);
+    }
+  }
+  ASSERT_GT(big_ok.count(), 5u);
+  ASSERT_GT(small_ok.count(), 5u);
+  EXPECT_GT(big_ok.mean(), small_ok.mean() + 0.3);
+}
+
+TEST(TrainerProfiles, BeDatasetShape) {
+  const auto& data = be_data();
+  EXPECT_EQ(data.x.size(), 100u);
+  EXPECT_GT(data.idle_power_w, 10.0);
+  for (std::size_t i = 0; i < data.x.size(); ++i) {
+    EXPECT_GT(data.ipc[i], 0.0);
+    EXPECT_GE(data.power_w[i], 0.0);  // incremental above idle
+  }
+}
+
+TEST(TrainerModels, TrainedModelsPredictSensibly) {
+  const auto ls_models = train_ls_models(ls_data(), small_config());
+  const auto be_models = train_be_models(be_data(), small_config());
+  ASSERT_NE(ls_models.qos, nullptr);
+  ASSERT_NE(ls_models.power, nullptr);
+  EXPECT_EQ(ls_models.qos_accuracy.size(), 5u);   // five paper families
+  EXPECT_EQ(be_models.ipc_r2.size(), 5u);
+
+  const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+  // Generous slice at low load: feasible; starved slice at high load: not.
+  EXPECT_EQ(ls_models.qos->predict(
+                ls_features(m, 6000.0, {16, m.max_freq_level(), 16})),
+            1);
+  EXPECT_EQ(ls_models.qos->predict(ls_features(m, 54000.0, {2, 0, 2})), 0);
+
+  // Power rises with the slice size.
+  const double small_p =
+      ls_models.power->predict(ls_features(m, 12000.0, {4, 2, 6}));
+  const double big_p = ls_models.power->predict(
+      ls_features(m, 12000.0, {18, m.max_freq_level(), 18}));
+  EXPECT_GT(big_p, small_p);
+
+  // Assembled bundle drives a Predictor.
+  const Predictor predictor(m, assemble_models(ls_models, be_models));
+  EXPECT_GT(predictor.be_throughput({14, 8, 14}),
+            predictor.be_throughput({4, 8, 14}));
+}
+
+TEST(TrainerModels, HoldoutScoresAreStrong) {
+  const auto ls_models = train_ls_models(ls_data(), small_config());
+  double best_acc = 0.0;
+  for (const auto& [kind, acc] : ls_models.qos_accuracy) {
+    (void)kind;
+    best_acc = std::max(best_acc, acc);
+  }
+  EXPECT_GT(best_acc, 0.8);
+  double best_r2 = 0.0;
+  for (const auto& [kind, r2] : ls_models.power_r2) {
+    (void)kind;
+    best_r2 = std::max(best_r2, r2);
+  }
+  EXPECT_GT(best_r2, 0.9);
+}
+
+TEST(TrainerModels, LassoKeepsInformativeFeatures) {
+  const auto& data = ls_data();
+  const auto kept = lasso_selected_features(data.x, data.power_w, 0.05);
+  // Cores and frequency dominate package power and must be kept.
+  EXPECT_NE(std::find(kept.begin(), kept.end(), 1u), kept.end());
+  EXPECT_NE(std::find(kept.begin(), kept.end(), 2u), kept.end());
+}
+
+TEST(TrainerConfigValidation, Rejected) {
+  TrainerConfig bad = small_config();
+  bad.ls_samples = 1;
+  EXPECT_THROW(collect_ls_profiling(find_ls("memcached"), bad),
+               std::invalid_argument);
+  TrainerConfig bad2 = small_config();
+  bad2.qos_label_margin = 0.0;
+  EXPECT_THROW(collect_be_profiling(find_be("rt"), bad2),
+               std::invalid_argument);
+  LsProfilingData empty;
+  EXPECT_THROW(train_ls_models(empty, small_config()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::core

@@ -1,0 +1,74 @@
+#include "exp/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::exp {
+namespace {
+
+const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+
+TEST(GroundTruth, MeasureConfigurationIsDeterministic) {
+  const auto& ls = find_ls("memcached");
+  const auto& be = find_be("rt");
+  Partition p;
+  p.ls = {4, m.level_for(1.6), 6};
+  p.be = complement_slice(m, p.ls, 8);
+  const auto a = measure_configuration(ls, be, p, 0.2, 3, 9);
+  const auto b = measure_configuration(ls, be, p, 0.2, 3, 9);
+  EXPECT_DOUBLE_EQ(a.p95_ms, b.p95_ms);
+  EXPECT_DOUBLE_EQ(a.peak_power_w, b.peak_power_w);
+  EXPECT_DOUBLE_EQ(a.be_throughput_norm, b.be_throughput_norm);
+}
+
+TEST(GroundTruth, MeasureReportsQosAgainstTarget) {
+  const auto& ls = find_ls("memcached");
+  const auto& be = find_be("bs");
+  // Generous slice at low load: met. Starved slice at high load: not.
+  Partition good;
+  good.ls = {16, m.max_freq_level(), 16};
+  good.be = complement_slice(m, good.ls, 0);
+  EXPECT_TRUE(measure_configuration(ls, be, good, 0.2).qos_met);
+
+  Partition bad;
+  bad.ls = {2, 0, 2};
+  bad.be = complement_slice(m, bad.ls, 0);
+  const auto point = measure_configuration(ls, be, bad, 0.8);
+  EXPECT_FALSE(point.qos_met);
+  EXPECT_GT(point.p95_ms, ls.qos_target_ms);
+}
+
+TEST(GroundTruth, MinAllocationMatchesPaperAnchor) {
+  // Paper Section III-B: ~4 cores at ~1.6 GHz with ~6 ways suffice for
+  // memcached at 20% load. Allow a band around the anchor.
+  const auto slice =
+      measured_min_ls_allocation(find_ls("memcached"), 0.2, m);
+  EXPECT_GE(slice.cores, 3);
+  EXPECT_LE(slice.cores, 6);
+  EXPECT_GE(m.freq_at(slice.freq_level), 1.3);
+  EXPECT_LE(m.freq_at(slice.freq_level), 1.9);
+  EXPECT_LE(slice.llc_ways, 16);
+}
+
+TEST(GroundTruth, MinAllocationIsActuallyFeasible) {
+  for (const auto& ls : ls_catalog()) {
+    const auto slice = measured_min_ls_allocation(ls, 0.3, m);
+    Partition p;
+    p.ls = slice;
+    p.be = AppSlice{0, 0, 0};
+    const auto point =
+        measure_configuration(ls, be_catalog().front(), p, 0.3);
+    EXPECT_TRUE(point.qos_met) << ls.name;
+  }
+}
+
+TEST(GroundTruth, MinAllocationGrowsWithLoad) {
+  const auto& ls = find_ls("xapian");
+  const auto lo = measured_min_ls_allocation(ls, 0.2, m);
+  const auto hi = measured_min_ls_allocation(ls, 0.7, m);
+  const double cap_lo = lo.cores * m.freq_at(lo.freq_level);
+  const double cap_hi = hi.cores * m.freq_at(hi.freq_level);
+  EXPECT_GT(cap_hi, cap_lo);
+}
+
+}  // namespace
+}  // namespace sturgeon::exp

@@ -1,0 +1,137 @@
+// Integration tests: full co-location runs through the isolation layer
+// with trained models (reduced profiling campaign for speed).
+#include "exp/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/parties.h"
+#include "baselines/static_policy.h"
+#include "core/controller.h"
+#include "exp/model_registry.h"
+
+namespace sturgeon::exp {
+namespace {
+
+core::TrainerConfig small_config() {
+  core::TrainerConfig cfg;
+  cfg.ls_samples = 250;
+  cfg.ls_boundary_searches = 60;
+  cfg.be_samples = 150;
+  cfg.seed = 0xFEED;  // shared by all tests in this binary
+  return cfg;
+}
+
+TEST(Runner, StaticPolicyHoldsItsPartition) {
+  const auto& ls = find_ls("memcached");
+  const auto& be = find_be("bs");
+  const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+  Partition p;
+  p.ls = {8, m.max_freq_level(), 10};
+  p.be = complement_slice(m, p.ls, 4);
+  baselines::StaticPolicy policy(p, "Fixed");
+  RunConfig rc;
+  rc.record_trace = true;
+  const auto r = run_colocation(ls, be, policy, LoadTrace::constant(0.2, 20),
+                                rc);
+  ASSERT_TRUE(r.trace);
+  ASSERT_EQ(r.trace->rows().size(), 20u);
+  // From t=1 on, the applied partition is the static one.
+  for (std::size_t i = 1; i < r.trace->rows().size(); ++i) {
+    EXPECT_EQ(r.trace->rows()[i].partition, p);
+  }
+  EXPECT_GT(r.mean_be_throughput_norm, 0.0);
+}
+
+TEST(Runner, DeterministicForSeed) {
+  const auto& ls = find_ls("memcached");
+  const auto& be = find_be("bs");
+  baselines::PartiesOptions po;
+  po.power_budget_w = 117.0;
+  baselines::PartiesController policy(MachineSpec::xeon_e5_2630_v4(), 10.0,
+                                      po);
+  RunConfig rc;
+  rc.seed = 5;
+  const auto trace = LoadTrace::ramp_up_down(0.2, 0.6, 40);
+  const auto a = run_colocation(ls, be, policy, trace, rc);
+  const auto b = run_colocation(ls, be, policy, trace, rc);
+  EXPECT_DOUBLE_EQ(a.qos_guarantee_rate, b.qos_guarantee_rate);
+  EXPECT_DOUBLE_EQ(a.mean_be_throughput_norm, b.mean_be_throughput_norm);
+}
+
+TEST(Runner, SturgeonEndToEndHoldsQosAndHarvests) {
+  const auto& ls = find_ls("memcached");
+  const auto& be = find_be("rt");
+  const auto predictor = predictor_for(ls, be, small_config());
+  sim::SimulatedServer probe(ls, be, 7);
+  core::SturgeonController sturgeon(predictor, ls.qos_target_ms,
+                                    probe.power_budget_w());
+  RunConfig rc;
+  rc.seed = 42;
+  const auto r = run_colocation(ls, be, sturgeon,
+                                LoadTrace::ramp_up_down(0.2, 0.8, 120), rc);
+  EXPECT_GT(r.qos_guarantee_rate, 0.90);
+  EXPECT_GT(r.mean_be_throughput_norm, 0.25);
+  EXPECT_LT(r.max_power_ratio, 1.06);
+  EXPECT_GT(sturgeon.searches_run(), 0u);
+}
+
+TEST(Runner, SturgeonBeatsPartiesOnThroughput) {
+  const auto& ls = find_ls("memcached");
+  const auto& be = find_be("rt");
+  const auto predictor = predictor_for(ls, be, small_config());
+  sim::SimulatedServer probe(ls, be, 7);
+  const double budget = probe.power_budget_w();
+  const auto trace = LoadTrace::ramp_up_down(0.2, 0.8, 120);
+  RunConfig rc;
+  rc.seed = 42;
+
+  core::SturgeonController sturgeon(predictor, ls.qos_target_ms, budget);
+  const auto r_st = run_colocation(ls, be, sturgeon, trace, rc);
+
+  baselines::PartiesOptions po;
+  po.power_budget_w = budget;
+  baselines::PartiesController parties(probe.machine(), ls.qos_target_ms,
+                                       po);
+  const auto r_pa = run_colocation(ls, be, parties, trace, rc);
+
+  EXPECT_GT(r_st.mean_be_throughput_norm, r_pa.mean_be_throughput_norm);
+}
+
+TEST(Runner, BalancerClosesTheNoBQosGap) {
+  // fd pairs suffer persistent bandwidth contention: the ablation without
+  // the balancer must lose QoS, the full controller must not.
+  const auto& ls = find_ls("memcached");
+  const auto& be = find_be("fd");
+  const auto predictor = predictor_for(ls, be, small_config());
+  sim::SimulatedServer probe(ls, be, 7);
+  const double budget = probe.power_budget_w();
+  const auto trace = LoadTrace::ramp_up_down(0.2, 0.8, 120);
+  RunConfig rc;
+  rc.seed = 42;
+
+  core::SturgeonController sturgeon(predictor, ls.qos_target_ms, budget);
+  const auto r_full = run_colocation(ls, be, sturgeon, trace, rc);
+
+  core::SturgeonOptions nob;
+  nob.enable_balancer = false;
+  core::SturgeonController no_balancer(predictor, ls.qos_target_ms, budget,
+                                       nob);
+  const auto r_nob = run_colocation(ls, be, no_balancer, trace, rc);
+
+  EXPECT_GT(r_full.qos_guarantee_rate, r_nob.qos_guarantee_rate + 0.1);
+}
+
+TEST(ModelRegistry, CachesAndGuardsSeeds) {
+  const auto& ls = find_ls("memcached");
+  const auto& be = find_be("rt");
+  const auto a = predictor_for(ls, be, small_config());
+  const auto b = predictor_for(ls, be, small_config());
+  EXPECT_EQ(a.get(), b.get());  // cached
+
+  core::TrainerConfig other = small_config();
+  other.seed = 0xDEAD;
+  EXPECT_THROW(predictor_for(ls, be, other), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sturgeon::exp

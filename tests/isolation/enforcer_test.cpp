@@ -1,0 +1,104 @@
+#include "isolation/enforcer.h"
+
+#include <gtest/gtest.h>
+
+#include "isolation/sim_backend.h"
+
+namespace sturgeon::isolation {
+namespace {
+
+struct Rig {
+  sim::SimulatedServer server;
+  SimBackend backend;
+  ResourceEnforcer enforcer;
+
+  Rig()
+      : server(find_ls("memcached"), find_be("rt"), 1,
+               [] {
+                 sim::ServerConfig cfg;
+                 cfg.interference.enabled = false;
+                 return cfg;
+               }()),
+        backend(server),
+        enforcer(server.machine(), backend.cpuset(), backend.cat(),
+                 backend.freq()) {}
+};
+
+TEST(Enforcer, AppliesTargetExactly) {
+  Rig rig;
+  Partition target;
+  target.ls = {6, 4, 8};
+  target.be = {14, 9, 12};
+  rig.enforcer.apply(target);
+  EXPECT_EQ(rig.server.partition(), target);
+  EXPECT_EQ(rig.enforcer.current(), target);
+}
+
+TEST(Enforcer, SequencesArbitraryTransitions) {
+  Rig rig;
+  // Walk through transitions that shrink/grow both sides in both orders.
+  const Partition steps[] = {
+      {{4, 10, 6}, {16, 8, 14}},   // LS shrinks from all-to-LS
+      {{12, 2, 12}, {8, 10, 8}},   // LS grows, BE shrinks
+      {{3, 0, 2}, {17, 0, 18}},    // everything moves at once
+      {{10, 10, 10}, {10, 5, 10}},
+  };
+  for (const auto& target : steps) {
+    rig.enforcer.apply(target);
+    EXPECT_EQ(rig.server.partition(), target)
+        << target.to_string(rig.server.machine());
+  }
+}
+
+TEST(Enforcer, EmptyBeSliceSupported) {
+  Rig rig;
+  Partition mid;
+  mid.ls = {6, 4, 8};
+  mid.be = {14, 9, 12};
+  rig.enforcer.apply(mid);
+  // Back to all-to-LS (the controller's conservative fallback).
+  rig.enforcer.apply(Partition::all_to_ls(rig.server.machine()));
+  EXPECT_EQ(rig.server.partition().be.cores, 0);
+  EXPECT_EQ(rig.server.partition().ls.cores, 20);
+}
+
+TEST(Enforcer, DisjointLayoutByConstruction) {
+  Rig rig;
+  Partition target;
+  target.ls = {7, 3, 9};
+  target.be = {13, 8, 11};
+  rig.enforcer.apply(target);
+  const auto ls_set = rig.backend.cpuset().cpuset(AppId::kLs);
+  const auto be_set = rig.backend.cpuset().cpuset(AppId::kBe);
+  for (int c : ls_set) {
+    for (int b : be_set) EXPECT_NE(c, b);
+  }
+  EXPECT_EQ(rig.backend.cat().way_mask(AppId::kLs) &
+                rig.backend.cat().way_mask(AppId::kBe),
+            0u);
+}
+
+TEST(Enforcer, RejectsInvalidTargets) {
+  Rig rig;
+  Partition bad;
+  bad.ls = {12, 4, 10};
+  bad.be = {12, 4, 12};  // cores and ways both over capacity
+  EXPECT_THROW(rig.enforcer.apply(bad), std::invalid_argument);
+  Partition bad2;
+  bad2.ls = {0, 0, 5};
+  bad2.be = {0, 0, 0};
+  EXPECT_THROW(rig.enforcer.apply(bad2), std::invalid_argument);
+}
+
+TEST(Enforcer, CountsActuations) {
+  Rig rig;
+  const auto before = rig.enforcer.actuation_count();
+  Partition target;
+  target.ls = {6, 4, 8};
+  target.be = {14, 9, 12};
+  rig.enforcer.apply(target);
+  EXPECT_GT(rig.enforcer.actuation_count(), before);
+}
+
+}  // namespace
+}  // namespace sturgeon::isolation

@@ -1,0 +1,95 @@
+#include "isolation/sim_backend.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::isolation {
+namespace {
+
+sim::SimulatedServer make_server() {
+  sim::ServerConfig cfg;
+  cfg.interference.enabled = false;
+  return sim::SimulatedServer(find_ls("memcached"), find_be("bs"), 1, cfg);
+}
+
+TEST(SimBackend, InitialStateMirrorsServer) {
+  auto server = make_server();
+  SimBackend backend(server);
+  const auto p = backend.derived_partition();
+  EXPECT_EQ(p.ls.cores, 20);
+  EXPECT_EQ(p.ls.llc_ways, 20);
+  EXPECT_EQ(p.be.cores, 0);
+}
+
+TEST(SimBackend, ToolMutationsReachTheServer) {
+  auto server = make_server();
+  SimBackend backend(server);
+  // Shrink LS, then grant the BE side.
+  backend.cpuset().set_cpuset(AppId::kLs, {0, 1, 2, 3});
+  backend.cat().set_way_mask(AppId::kLs, contiguous_mask(6, 0));
+  backend.cpuset().set_cpuset(AppId::kBe,
+                              {4, 5, 6, 7, 8, 9, 10, 11, 12, 13});
+  backend.cat().set_way_mask(AppId::kBe, contiguous_mask(10, 10));
+  backend.freq().set_frequency_level({0, 1, 2, 3}, 4);
+  backend.freq().set_frequency_level({4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, 9);
+
+  const auto p = server.partition();
+  EXPECT_EQ(p.ls.cores, 4);
+  EXPECT_EQ(p.ls.llc_ways, 6);
+  EXPECT_EQ(p.ls.freq_level, 4);
+  EXPECT_EQ(p.be.cores, 10);
+  EXPECT_EQ(p.be.llc_ways, 10);
+  EXPECT_EQ(p.be.freq_level, 9);
+}
+
+TEST(SimBackend, OverlappingCpusetsRejected) {
+  auto server = make_server();
+  SimBackend backend(server);
+  backend.cpuset().set_cpuset(AppId::kLs, {0, 1, 2});
+  EXPECT_THROW(backend.cpuset().set_cpuset(AppId::kBe, {2, 3}),
+               std::invalid_argument);
+}
+
+TEST(SimBackend, OverlappingWayMasksRejected) {
+  auto server = make_server();
+  SimBackend backend(server);
+  backend.cat().set_way_mask(AppId::kLs, 0b1111);
+  EXPECT_THROW(backend.cat().set_way_mask(AppId::kBe, 0b1000),
+               std::invalid_argument);
+}
+
+TEST(SimBackend, ValidationOfToolArguments) {
+  auto server = make_server();
+  SimBackend backend(server);
+  EXPECT_THROW(backend.cpuset().set_cpuset(AppId::kLs, {20}),
+               std::invalid_argument);  // core id out of range
+  EXPECT_THROW(backend.cpuset().set_cpuset(AppId::kLs, {1, 1}),
+               std::invalid_argument);  // duplicate
+  EXPECT_THROW(backend.cat().set_way_mask(AppId::kLs, 0xFFFFFFFFu),
+               std::invalid_argument);  // wider than the LLC
+  EXPECT_THROW(backend.freq().set_frequency_level({0}, 42),
+               std::invalid_argument);
+  EXPECT_THROW(backend.freq().set_frequency_level({-1}, 3),
+               std::invalid_argument);
+  EXPECT_THROW(backend.freq().frequency_level(99), std::invalid_argument);
+}
+
+TEST(SimBackend, RaplReflectsObservedTelemetry) {
+  auto server = make_server();
+  SimBackend backend(server);
+  EXPECT_DOUBLE_EQ(backend.rapl().read_package_power_w(), 0.0);
+  const auto t = server.step(0.3);
+  backend.observe(t);
+  EXPECT_DOUBLE_EQ(backend.rapl().read_package_power_w(), t.power_w);
+}
+
+TEST(ContiguousMask, Values) {
+  EXPECT_EQ(contiguous_mask(0, 0), 0u);
+  EXPECT_EQ(contiguous_mask(4, 0), 0b1111u);
+  EXPECT_EQ(contiguous_mask(3, 5), 0b11100000u);
+  EXPECT_EQ(contiguous_mask(20, 0), 0xFFFFFu);
+  EXPECT_THROW(contiguous_mask(-1, 0), std::invalid_argument);
+  EXPECT_THROW(contiguous_mask(30, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::isolation

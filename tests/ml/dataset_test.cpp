@@ -1,0 +1,122 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sturgeon::ml {
+namespace {
+
+DataSet make_data(std::size_t n) {
+  DataSet d;
+  for (std::size_t i = 0; i < n; ++i) {
+    d.add({static_cast<double>(i), static_cast<double>(2 * i)},
+          static_cast<double>(i));
+  }
+  return d;
+}
+
+TEST(DataSet, AddAndValidate) {
+  auto d = make_data(5);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_THROW(d.add({1.0}, 0.0), std::invalid_argument);  // arity mismatch
+}
+
+TEST(DataSet, ValidateCatchesRaggedAndMismatch) {
+  DataSet d = make_data(3);
+  d.x.push_back({1.0});  // ragged, bypassing add()
+  d.y.push_back(0.0);
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+
+  DataSet e = make_data(3);
+  e.y.pop_back();
+  EXPECT_THROW(e.validate(), std::invalid_argument);
+}
+
+TEST(TrainTestSplit, PartitionsWithoutOverlapOrLoss) {
+  const auto d = make_data(100);
+  const auto split = train_test_split(d, 0.25, 42);
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  std::set<double> seen;
+  for (const auto& row : split.train.x) seen.insert(row[0]);
+  for (const auto& row : split.test.x) {
+    EXPECT_EQ(seen.count(row[0]), 0u) << "row leaked into both splits";
+    seen.insert(row[0]);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(TrainTestSplit, DeterministicPerSeed) {
+  const auto d = make_data(50);
+  const auto a = train_test_split(d, 0.2, 7);
+  const auto b = train_test_split(d, 0.2, 7);
+  EXPECT_EQ(a.test.x, b.test.x);
+  const auto c = train_test_split(d, 0.2, 8);
+  EXPECT_NE(a.test.x, c.test.x);
+}
+
+TEST(TrainTestSplit, RejectsBadFraction) {
+  const auto d = make_data(10);
+  EXPECT_THROW(train_test_split(d, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(train_test_split(d, 1.0, 1), std::invalid_argument);
+}
+
+TEST(KFold, CoversAllIndicesOnce) {
+  const auto folds = kfold_indices(23, 5, 3);
+  EXPECT_EQ(folds.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& f : folds) {
+    for (std::size_t i : f) {
+      EXPECT_TRUE(seen.insert(i).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 23u);
+  EXPECT_THROW(kfold_indices(3, 1, 0), std::invalid_argument);
+  EXPECT_THROW(kfold_indices(3, 4, 0), std::invalid_argument);
+}
+
+TEST(Subset, GathersRows) {
+  const auto d = make_data(10);
+  const auto s = subset(d, {0, 9, 3});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.y[1], 9.0);
+  EXPECT_THROW(subset(d, {10}), std::out_of_range);
+}
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  StandardScaler sc;
+  std::vector<FeatureRow> x{{1.0, 100.0}, {2.0, 200.0}, {3.0, 300.0}};
+  sc.fit(x);
+  const auto xt = sc.transform(x);
+  double mean0 = 0, mean1 = 0;
+  for (const auto& r : xt) {
+    mean0 += r[0];
+    mean1 += r[1];
+  }
+  EXPECT_NEAR(mean0 / 3.0, 0.0, 1e-12);
+  EXPECT_NEAR(mean1 / 3.0, 0.0, 1e-12);
+  double var0 = 0;
+  for (const auto& r : xt) var0 += r[0] * r[0];
+  EXPECT_NEAR(var0 / 3.0, 1.0, 1e-12);
+}
+
+TEST(StandardScaler, ConstantFeatureMapsToZero) {
+  StandardScaler sc;
+  sc.fit({{5.0, 1.0}, {5.0, 2.0}});
+  const auto r = sc.transform(FeatureRow{5.0, 1.5});
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+}
+
+TEST(StandardScaler, ErrorsOnMisuse) {
+  StandardScaler sc;
+  EXPECT_THROW(sc.transform(FeatureRow{1.0}), std::logic_error);
+  EXPECT_THROW(sc.fit({}), std::invalid_argument);
+  sc.fit({{1.0, 2.0}});
+  EXPECT_THROW(sc.transform(FeatureRow{1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::ml

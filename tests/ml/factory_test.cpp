@@ -1,0 +1,98 @@
+#include "ml/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sturgeon::ml {
+namespace {
+
+DataSet quadratic_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  DataSet d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0, 2);
+    const double b = rng.uniform(0, 2);
+    d.add({a, b}, a * a + b);
+  }
+  return d;
+}
+
+TEST(Factory, AllRegressorKindsConstructAndFit) {
+  const auto data = quadratic_data(300, 91);
+  for (ModelKind kind :
+       {ModelKind::kLinear, ModelKind::kLasso, ModelKind::kDecisionTree,
+        ModelKind::kRandomForest, ModelKind::kKnn, ModelKind::kSvm,
+        ModelKind::kMlp}) {
+    auto model = make_regressor(kind);
+    ASSERT_NE(model, nullptr) << to_string(kind);
+    model->fit(data);
+    const double pred = model->predict({1.0, 1.0});
+    EXPECT_GT(pred, 0.0) << to_string(kind);
+    EXPECT_LT(pred, 6.0) << to_string(kind);
+  }
+}
+
+TEST(Factory, AllClassifierKindsConstructAndFit) {
+  std::vector<FeatureRow> x;
+  std::vector<int> y;
+  Rng rng(92);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0, 1);
+    x.push_back({a, 1.0 - a});
+    y.push_back(a > 0.5 ? 1 : 0);
+  }
+  for (ModelKind kind :
+       {ModelKind::kLinear, ModelKind::kDecisionTree, ModelKind::kRandomForest,
+        ModelKind::kKnn, ModelKind::kSvm, ModelKind::kMlp}) {
+    auto model = make_classifier(kind);
+    ASSERT_NE(model, nullptr) << to_string(kind);
+    model->fit(x, y);
+    EXPECT_EQ(model->predict({0.95, 0.05}), 1) << to_string(kind);
+    EXPECT_EQ(model->predict({0.05, 0.95}), 0) << to_string(kind);
+  }
+  EXPECT_THROW(make_classifier(ModelKind::kLasso), std::invalid_argument);
+}
+
+TEST(Factory, PaperKindSetsMatchFigure6And7) {
+  const auto reg = paper_regression_kinds();
+  const auto clf = paper_classification_kinds();
+  EXPECT_EQ(reg.size(), 5u);
+  EXPECT_EQ(clf.size(), 5u);
+  EXPECT_EQ(to_string(reg[0]), "DT");
+  EXPECT_EQ(to_string(reg.back()), "LR");
+}
+
+TEST(Factory, HoldoutR2RanksSanely) {
+  const auto data = quadratic_data(600, 93);
+  const auto split = train_test_split(data, 0.3, 94);
+  auto knn = make_regressor(ModelKind::kKnn);
+  const double knn_r2 = holdout_r2(*knn, split.train, split.test);
+  EXPECT_GT(knn_r2, 0.95);  // smooth surface: KNN should nail it
+}
+
+TEST(Factory, KfoldR2Reasonable) {
+  const auto data = quadratic_data(400, 95);
+  const double r2 = kfold_r2(ModelKind::kDecisionTree, data, 4, 96);
+  EXPECT_GT(r2, 0.85);
+}
+
+TEST(Factory, HoldoutAccuracy) {
+  std::vector<FeatureRow> x;
+  std::vector<int> y;
+  Rng rng(97);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(-1, 1);
+    x.push_back({a});
+    y.push_back(a > 0 ? 1 : 0);
+  }
+  std::vector<FeatureRow> xtr(x.begin(), x.begin() + 200);
+  std::vector<int> ytr(y.begin(), y.begin() + 200);
+  std::vector<FeatureRow> xte(x.begin() + 200, x.end());
+  std::vector<int> yte(y.begin() + 200, y.end());
+  auto dt = make_classifier(ModelKind::kDecisionTree);
+  EXPECT_GT(holdout_accuracy(*dt, xtr, ytr, xte, yte), 0.9);
+}
+
+}  // namespace
+}  // namespace sturgeon::ml

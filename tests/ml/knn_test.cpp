@@ -1,0 +1,101 @@
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sturgeon::ml {
+namespace {
+
+TEST(KnnIndices, FindsNearest) {
+  const std::vector<FeatureRow> rows{{0, 0}, {1, 0}, {5, 5}, {0.1, 0.1}};
+  const auto idx = detail::knn_indices(rows, {0, 0}, 2);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 3u);
+}
+
+TEST(KnnIndices, KLargerThanSetClamps) {
+  const std::vector<FeatureRow> rows{{0.0}, {1.0}};
+  EXPECT_EQ(detail::knn_indices(rows, {0.0}, 10).size(), 2u);
+}
+
+TEST(KnnRegressor, InterpolatesSmoothFunction) {
+  Rng rng(41);
+  DataSet d;
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.uniform(0, 2 * M_PI);
+    const double b = rng.uniform(0, 1);
+    d.add({a, b}, std::sin(a) + 0.5 * b);
+  }
+  KnnRegressor knn(5);
+  knn.fit(d);
+  DataSet test;
+  Rng rng2(42);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng2.uniform(0.2, 2 * M_PI - 0.2);
+    const double b = rng2.uniform(0.1, 0.9);
+    test.add({a, b}, std::sin(a) + 0.5 * b);
+  }
+  EXPECT_GT(r_squared(test.y, knn.predict_batch(test.x)), 0.97);
+}
+
+TEST(KnnRegressor, ExactOnTrainingPointsWhenWeighted) {
+  DataSet d;
+  d.add({0.0, 0.0}, 1.0);
+  d.add({1.0, 0.0}, 2.0);
+  d.add({0.0, 1.0}, 3.0);
+  KnnRegressor knn(3, /*weighted=*/true);
+  knn.fit(d);
+  // Query at a training point: inverse-distance weight dominates.
+  EXPECT_NEAR(knn.predict({1.0, 0.0}), 2.0, 1e-3);
+}
+
+TEST(KnnRegressor, UnweightedAveragesNeighbors) {
+  DataSet d;
+  d.add({0.0}, 1.0);
+  d.add({1.0}, 3.0);
+  KnnRegressor knn(2, /*weighted=*/false);
+  knn.fit(d);
+  EXPECT_DOUBLE_EQ(knn.predict({0.5}), 2.0);
+}
+
+TEST(KnnRegressor, Errors) {
+  EXPECT_THROW(KnnRegressor(0), std::invalid_argument);
+  KnnRegressor knn(3);
+  EXPECT_THROW(knn.predict({1.0}), std::logic_error);
+  EXPECT_THROW(knn.fit(DataSet{}), std::invalid_argument);
+}
+
+TEST(KnnClassifier, MajorityVote) {
+  std::vector<FeatureRow> x{{0, 0}, {0.1, 0}, {0, 0.1}, {5, 5}, {5.1, 5}};
+  std::vector<int> y{0, 0, 0, 1, 1};
+  KnnClassifier knn(3);
+  knn.fit(x, y);
+  EXPECT_EQ(knn.predict({0.05, 0.05}), 0);
+  EXPECT_EQ(knn.predict({5.0, 5.1}), 1);
+}
+
+TEST(KnnClassifier, ScalingMattersAndIsApplied) {
+  // Feature 1 has a huge raw scale; without standardization it would
+  // dominate the distance and mislabel the query.
+  std::vector<FeatureRow> x{{0.0, 1000.0}, {1.0, 1000.0},
+                            {0.0, 1010.0}, {1.0, 1010.0}};
+  std::vector<int> y{0, 1, 0, 1};
+  KnnClassifier knn(1);
+  knn.fit(x, y);
+  EXPECT_EQ(knn.predict({0.9, 1001.0}), 1);
+}
+
+TEST(KnnClassifier, Errors) {
+  EXPECT_THROW(KnnClassifier(0), std::invalid_argument);
+  KnnClassifier knn(3);
+  EXPECT_THROW(knn.predict({1.0}), std::logic_error);
+  EXPECT_THROW(knn.fit({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::ml

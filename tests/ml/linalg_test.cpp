@@ -1,0 +1,60 @@
+#include "ml/linalg.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::ml {
+namespace {
+
+TEST(SolveLinearSystem, Identity) {
+  const auto x = solve_linear_system({{1, 0}, {0, 1}}, {3, -2});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // First pivot is zero; partial pivoting must swap rows.
+  const auto x = solve_linear_system({{0, 1}, {2, 0}}, {5, 8});
+  EXPECT_DOUBLE_EQ(x[0], 4.0);
+  EXPECT_DOUBLE_EQ(x[1], 5.0);
+}
+
+TEST(SolveLinearSystem, General3x3) {
+  const auto x =
+      solve_linear_system({{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}, {8, -11, -3});
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+  EXPECT_NEAR(x[2], -1.0, 1e-9);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  EXPECT_THROW(solve_linear_system({{1, 2}, {2, 4}}, {1, 2}),
+               std::runtime_error);
+}
+
+TEST(SolveLinearSystem, ShapeErrors) {
+  EXPECT_THROW(solve_linear_system({}, {}), std::invalid_argument);
+  EXPECT_THROW(solve_linear_system({{1, 2}}, {1}), std::invalid_argument);
+  EXPECT_THROW(solve_linear_system({{1, 0}, {0, 1}}, {1}),
+               std::invalid_argument);
+}
+
+TEST(NormalEquations, MatrixAndRhs) {
+  const std::vector<std::vector<double>> rows{{1, 2}, {3, 4}};
+  const auto m = normal_matrix(rows, 0.0);
+  // A^T A = [[10, 14], [14, 20]]
+  EXPECT_DOUBLE_EQ(m[0][0], 10.0);
+  EXPECT_DOUBLE_EQ(m[0][1], 14.0);
+  EXPECT_DOUBLE_EQ(m[1][0], 14.0);
+  EXPECT_DOUBLE_EQ(m[1][1], 20.0);
+
+  const auto ridge = normal_matrix(rows, 0.5);
+  EXPECT_DOUBLE_EQ(ridge[0][0], 10.5);
+  EXPECT_DOUBLE_EQ(ridge[0][1], 14.0);
+
+  const auto v = normal_rhs(rows, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+  EXPECT_DOUBLE_EQ(v[1], 10.0);
+}
+
+}  // namespace
+}  // namespace sturgeon::ml

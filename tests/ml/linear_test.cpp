@@ -1,0 +1,94 @@
+#include "ml/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sturgeon::ml {
+namespace {
+
+DataSet linear_data(std::size_t n, double noise, std::uint64_t seed) {
+  // y = 3 + 2*x0 - 1.5*x1 (+ noise); x2 is irrelevant.
+  Rng rng(seed);
+  DataSet d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(0, 10);
+    const double x1 = rng.uniform(-5, 5);
+    const double x2 = rng.uniform(0, 1);
+    d.add({x0, x1, x2}, 3.0 + 2.0 * x0 - 1.5 * x1 + rng.normal(0, noise));
+  }
+  return d;
+}
+
+TEST(LinearRegression, RecoversExactCoefficients) {
+  LinearRegression lr(0.0);
+  lr.fit(linear_data(200, 0.0, 1));
+  EXPECT_NEAR(lr.intercept(), 3.0, 1e-6);
+  EXPECT_NEAR(lr.coefficients()[0], 2.0, 1e-6);
+  EXPECT_NEAR(lr.coefficients()[1], -1.5, 1e-6);
+  EXPECT_NEAR(lr.coefficients()[2], 0.0, 1e-6);
+}
+
+TEST(LinearRegression, HighR2UnderNoise) {
+  const auto train = linear_data(500, 0.5, 2);
+  const auto test = linear_data(200, 0.5, 3);
+  LinearRegression lr;
+  lr.fit(train);
+  EXPECT_GT(r_squared(test.y, lr.predict_batch(test.x)), 0.98);
+}
+
+TEST(LinearRegression, PredictBeforeFitThrows) {
+  LinearRegression lr;
+  EXPECT_THROW(lr.predict({1.0, 2.0, 3.0}), std::logic_error);
+  EXPECT_THROW(lr.fit(DataSet{}), std::invalid_argument);
+}
+
+TEST(LinearRegression, ArityMismatchThrows) {
+  LinearRegression lr;
+  lr.fit(linear_data(50, 0.0, 4));
+  EXPECT_THROW(lr.predict({1.0}), std::invalid_argument);
+}
+
+TEST(LassoRegression, ShrinksIrrelevantFeatureToZero) {
+  LassoRegression lasso(0.5, 2000);
+  lasso.fit(linear_data(400, 0.1, 5));
+  const auto sel = lasso.selected_features();
+  // x0 and x1 selected, x2 dropped.
+  ASSERT_GE(sel.size(), 2u);
+  EXPECT_DOUBLE_EQ(lasso.coefficients()[2], 0.0);
+}
+
+TEST(LassoRegression, SelectedFeaturesOrderedByMagnitude) {
+  LassoRegression lasso(0.05, 2000);
+  lasso.fit(linear_data(400, 0.1, 6));
+  const auto sel = lasso.selected_features();
+  ASSERT_GE(sel.size(), 2u);
+  // x0 (|2| scaled by x0 spread ~2.9) dominates x1 (|1.5| * spread ~2.9).
+  EXPECT_EQ(sel[0], 0u);
+  EXPECT_EQ(sel[1], 1u);
+}
+
+TEST(LassoRegression, PredictsReasonably) {
+  LassoRegression lasso(0.01, 2000);
+  const auto train = linear_data(400, 0.2, 7);
+  const auto test = linear_data(100, 0.2, 8);
+  lasso.fit(train);
+  EXPECT_GT(r_squared(test.y, lasso.predict_batch(test.x)), 0.97);
+}
+
+TEST(LassoRegression, HugeLambdaGivesInterceptOnlyModel) {
+  LassoRegression lasso(1e6);
+  const auto d = linear_data(100, 0.0, 9);
+  lasso.fit(d);
+  for (double c : lasso.coefficients()) EXPECT_DOUBLE_EQ(c, 0.0);
+  EXPECT_TRUE(lasso.selected_features().empty());
+}
+
+TEST(LassoRegression, BadHyperparametersThrow) {
+  EXPECT_THROW(LassoRegression(-1.0), std::invalid_argument);
+  EXPECT_THROW(LassoRegression(0.1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::ml

@@ -1,0 +1,66 @@
+#include "ml/logistic.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sturgeon::ml {
+namespace {
+
+void separable_data(std::size_t n, std::uint64_t seed,
+                    std::vector<FeatureRow>& x, std::vector<int>& y) {
+  // Label 1 iff x0 + x1 > 4 (with margin gap).
+  Rng rng(seed);
+  x.clear();
+  y.clear();
+  while (x.size() < n) {
+    const double a = rng.uniform(0, 5);
+    const double b = rng.uniform(0, 5);
+    const double s = a + b;
+    if (std::abs(s - 4.0) < 0.3) continue;  // margin
+    x.push_back({a, b});
+    y.push_back(s > 4.0 ? 1 : 0);
+  }
+}
+
+TEST(LogisticRegression, SeparatesLinearlySeparableData) {
+  std::vector<FeatureRow> x;
+  std::vector<int> y;
+  separable_data(300, 31, x, y);
+  LogisticRegression lr;
+  lr.fit(x, y);
+  EXPECT_GE(accuracy(y, lr.predict_batch(x)), 0.98);
+}
+
+TEST(LogisticRegression, ProbabilitiesOrdered) {
+  std::vector<FeatureRow> x;
+  std::vector<int> y;
+  separable_data(300, 33, x, y);
+  LogisticRegression lr;
+  lr.fit(x, y);
+  EXPECT_LT(lr.predict_proba({0.0, 0.0}), 0.2);
+  EXPECT_GT(lr.predict_proba({5.0, 5.0}), 0.8);
+}
+
+TEST(LogisticRegression, GeneralizesToFreshSamples) {
+  std::vector<FeatureRow> xtr, xte;
+  std::vector<int> ytr, yte;
+  separable_data(400, 35, xtr, ytr);
+  separable_data(150, 36, xte, yte);
+  LogisticRegression lr;
+  lr.fit(xtr, ytr);
+  EXPECT_GE(accuracy(yte, lr.predict_batch(xte)), 0.96);
+}
+
+TEST(LogisticRegression, RejectsBadInput) {
+  LogisticRegression lr;
+  EXPECT_THROW(lr.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(lr.fit({{1.0}}, {2}), std::invalid_argument);  // label not 0/1
+  EXPECT_THROW(lr.fit({{1.0}}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(lr.predict({1.0}), std::logic_error);
+  EXPECT_THROW(LogisticRegression(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::ml

@@ -1,0 +1,80 @@
+#include "ml/svm.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sturgeon::ml {
+namespace {
+
+TEST(SvmClassifier, SeparatesWithMargin) {
+  std::vector<FeatureRow> x;
+  std::vector<int> y;
+  Rng rng(71);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(-3, 3);
+    const double b = rng.uniform(-3, 3);
+    const double s = a - b;
+    if (std::abs(s) < 0.4) continue;
+    x.push_back({a, b});
+    y.push_back(s > 0 ? 1 : 0);
+  }
+  SvmClassifier svm;
+  svm.fit(x, y);
+  EXPECT_GE(accuracy(y, svm.predict_batch(x)), 0.97);
+  // Decision function sign matches labels far from the boundary.
+  EXPECT_GT(svm.decision_function({3.0, -3.0}), 0.0);
+  EXPECT_LT(svm.decision_function({-3.0, 3.0}), 0.0);
+}
+
+TEST(SvmClassifier, DeterministicPerSeed) {
+  std::vector<FeatureRow> x{{0, 0}, {1, 1}, {0, 1}, {1, 0},
+                            {2, 2}, {-1, -1}, {3, 3}, {-2, -2}};
+  std::vector<int> y{0, 1, 0, 1, 1, 0, 1, 0};
+  SvmClassifier a(1e-3, 40, 9), b(1e-3, 40, 9);
+  a.fit(x, y);
+  b.fit(x, y);
+  for (double v = -2.0; v <= 2.0; v += 0.5) {
+    EXPECT_EQ(a.predict({v, 0.0}), b.predict({v, 0.0}));
+  }
+}
+
+TEST(SvmClassifier, Errors) {
+  EXPECT_THROW(SvmClassifier(0.0), std::invalid_argument);
+  SvmClassifier svm;
+  EXPECT_THROW(svm.predict({1.0}), std::logic_error);
+  EXPECT_THROW(svm.fit({{1.0}}, {5}), std::invalid_argument);
+}
+
+TEST(SvRegressor, FitsLinearTrend) {
+  Rng rng(73);
+  DataSet train, test;
+  for (int i = 0; i < 700; ++i) {
+    const double a = rng.uniform(0, 10);
+    const double b = rng.uniform(0, 10);
+    const double y = 1.0 + 0.7 * a - 0.3 * b + rng.normal(0, 0.05);
+    (i < 500 ? train : test).add({a, b}, y);
+  }
+  SvRegressor svr;
+  svr.fit(train);
+  EXPECT_GT(r_squared(test.y, svr.predict_batch(test.x)), 0.95);
+}
+
+TEST(SvRegressor, ConstantTargetSafe) {
+  DataSet d;
+  for (int i = 0; i < 30; ++i) d.add({static_cast<double>(i)}, 4.0);
+  SvRegressor svr;
+  svr.fit(d);
+  EXPECT_NEAR(svr.predict({15.0}), 4.0, 0.5);
+}
+
+TEST(SvRegressor, Errors) {
+  EXPECT_THROW(SvRegressor(0.0), std::invalid_argument);
+  EXPECT_THROW(SvRegressor(1.0, -0.1), std::invalid_argument);
+  SvRegressor svr;
+  EXPECT_THROW(svr.predict({1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sturgeon::ml

@@ -1,0 +1,71 @@
+#include "sim/cache_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::sim {
+namespace {
+
+const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+
+TEST(CacheModel, WaysToMb) {
+  EXPECT_DOUBLE_EQ(ways_to_mb(m, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ways_to_mb(m, 20), 25.0);
+  EXPECT_DOUBLE_EQ(ways_to_mb(m, 4), 5.0);
+  EXPECT_THROW(ways_to_mb(m, -1), std::invalid_argument);
+  EXPECT_THROW(ways_to_mb(m, 21), std::invalid_argument);
+}
+
+TEST(CacheModel, MissRatioMonotoneDecreasingInWays) {
+  double prev = 1.1;
+  for (int w = 1; w <= m.llc_ways; ++w) {
+    const double miss = miss_ratio(m, w, 8.0);
+    EXPECT_LT(miss, prev) << "ways=" << w;
+    EXPECT_GT(miss, 0.0);
+    EXPECT_LT(miss, 1.0);
+    prev = miss;
+  }
+}
+
+TEST(CacheModel, MissRatioIncreasesWithWorkingSet) {
+  EXPECT_LT(miss_ratio(m, 10, 2.0), miss_ratio(m, 10, 8.0));
+  EXPECT_LT(miss_ratio(m, 10, 8.0), miss_ratio(m, 10, 32.0));
+}
+
+TEST(CacheModel, ZeroWorkingSetNeverMisses) {
+  EXPECT_DOUBLE_EQ(miss_ratio(m, 1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(miss_ratio(m, 1, -1.0), 0.0);
+}
+
+TEST(CacheModel, SquaredKnee) {
+  // miss = (w/(w+a))^2: with wss == alloc, miss should be 0.25.
+  const double alloc = ways_to_mb(m, 8);  // 10 MB
+  EXPECT_NEAR(miss_ratio(m, 8, alloc), 0.25, 1e-12);
+}
+
+TEST(CacheModel, InflationBounds) {
+  // sensitivity 0 -> no inflation; grows with sensitivity.
+  EXPECT_DOUBLE_EQ(cache_inflation(m, 5, 8.0, 0.0), 1.0);
+  const double low = cache_inflation(m, 5, 8.0, 0.3);
+  const double high = cache_inflation(m, 5, 8.0, 0.9);
+  EXPECT_GT(low, 1.0);
+  EXPECT_GT(high, low);
+  EXPECT_THROW(cache_inflation(m, 5, 8.0, -0.1), std::invalid_argument);
+}
+
+TEST(CacheModel, InflationMonotoneInWays) {
+  double prev = 1e9;
+  for (int w = 1; w <= m.llc_ways; ++w) {
+    const double f = cache_inflation(m, w, 12.0, 0.5);
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(CacheModel, BwFractionNormalizedAtOneWay) {
+  EXPECT_NEAR(bw_fraction(m, 1, 8.0), 1.0, 1e-12);
+  EXPECT_LT(bw_fraction(m, 20, 8.0), bw_fraction(m, 2, 8.0));
+  EXPECT_DOUBLE_EQ(bw_fraction(m, 5, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace sturgeon::sim

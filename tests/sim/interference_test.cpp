@@ -1,0 +1,78 @@
+#include "sim/interference.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::sim {
+namespace {
+
+TEST(Interference, DisabledIsAlwaysOne) {
+  InterferenceConfig cfg;
+  cfg.enabled = false;
+  InterferenceProcess p(cfg, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(p.step(), 1.0);
+  }
+}
+
+TEST(Interference, EpisodesOccurAtConfiguredRate) {
+  InterferenceConfig cfg;
+  cfg.episode_rate_per_s = 0.05;
+  InterferenceProcess p(cfg, 2);
+  int active_seconds = 0;
+  const int total = 20000;
+  for (int i = 0; i < total; ++i) {
+    if (p.step() > 1.0) ++active_seconds;
+  }
+  // Expected active fraction ~ rate * mean duration (0.05 * ~3.5) but
+  // bounded below by > 0 and well under half the time.
+  EXPECT_GT(active_seconds, total / 50);
+  EXPECT_LT(active_seconds, total / 2);
+}
+
+TEST(Interference, FactorsWithinConfiguredRange) {
+  InterferenceConfig cfg;
+  cfg.episode_rate_per_s = 0.2;
+  InterferenceProcess p(cfg, 3);
+  for (int i = 0; i < 5000; ++i) {
+    const double f = p.step();
+    if (f > 1.0) {
+      EXPECT_GE(f, cfg.min_factor);
+      EXPECT_LE(f, cfg.max_factor);
+    }
+  }
+}
+
+TEST(Interference, EpisodesPersistForTheirDuration) {
+  InterferenceConfig cfg;
+  cfg.episode_rate_per_s = 1.0;  // immediate onset
+  cfg.min_duration_s = 4.0;
+  cfg.max_duration_s = 4.0;
+  InterferenceProcess p(cfg, 4);
+  const double f0 = p.step();
+  ASSERT_GT(f0, 1.0);
+  // Same factor for the remaining seconds of the episode.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(p.step(), f0) << "second " << i;
+  }
+}
+
+TEST(Interference, DeterministicPerSeed) {
+  InterferenceConfig cfg;
+  cfg.episode_rate_per_s = 0.1;
+  InterferenceProcess a(cfg, 5), b(cfg, 5);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_DOUBLE_EQ(a.step(), b.step());
+  }
+}
+
+TEST(Interference, RejectsBadConfig) {
+  InterferenceConfig bad;
+  bad.min_factor = 0.9;
+  EXPECT_THROW(InterferenceProcess(bad, 1), std::invalid_argument);
+  InterferenceConfig bad2;
+  bad2.max_duration_s = bad2.min_duration_s - 1.0;
+  EXPECT_THROW(InterferenceProcess(bad2, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::sim

@@ -1,0 +1,135 @@
+#include "sim/ls_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sturgeon::sim {
+namespace {
+
+TEST(LsQueue, LowUtilizationLatencyNearServiceTime) {
+  LsQueueSim q(1);
+  // 4 servers, 100 QPS, 1 ms mean service: utilization ~2.5%.
+  IntervalStats total;
+  for (int i = 0; i < 5; ++i) {
+    const auto s = q.step(1000.0, 4, 100.0, 1.0, 0.5, 50.0);
+    total.completed += s.completed;
+    total.qos_violations += s.qos_violations;
+  }
+  EXPECT_GT(total.completed, 300u);
+  EXPECT_EQ(total.qos_violations, 0u);
+}
+
+TEST(LsQueue, UtilizationMatchesLoad) {
+  LsQueueSim q(2);
+  // lambda * S / k = 2000/1000 * 2 / 8 = 0.5
+  double util = 0.0;
+  int n = 0;
+  for (int i = 0; i < 10; ++i) {
+    util += q.step(1000.0, 8, 2000.0, 2.0, 0.8, 100.0).utilization;
+    ++n;
+  }
+  EXPECT_NEAR(util / n, 0.5, 0.05);
+}
+
+TEST(LsQueue, TailGrowsWithUtilization) {
+  double p95_low, p95_high;
+  {
+    LsQueueSim q(3);
+    q.step(1000.0, 4, 500.0, 2.0, 0.8, 1000.0);  // warm-up
+    p95_low = q.step(1000.0, 4, 500.0, 2.0, 0.8, 1000.0).p95_ms;  // util .25
+  }
+  {
+    LsQueueSim q(3);
+    q.step(1000.0, 4, 1800.0, 2.0, 0.8, 1000.0);
+    p95_high = q.step(1000.0, 4, 1800.0, 2.0, 0.8, 1000.0).p95_ms;  // util .9
+  }
+  EXPECT_GT(p95_high, p95_low * 1.3);
+}
+
+TEST(LsQueue, OverloadBacklogGrowsAndCarriesOver) {
+  LsQueueSim q(4);
+  // util = 1.5: queue must grow across intervals.
+  const auto s1 = q.step(1000.0, 2, 1500.0, 2.0, 0.8, 10.0);
+  const auto s2 = q.step(1000.0, 2, 1500.0, 2.0, 0.8, 10.0);
+  EXPECT_GT(s2.backlog, s1.backlog);
+  EXPECT_GT(s2.p95_ms, s1.p95_ms);
+
+  // Recovery: plenty of servers drain the backlog.
+  std::uint64_t backlog = s2.backlog;
+  for (int i = 0; i < 3; ++i) {
+    backlog = q.step(1000.0, 16, 100.0, 1.0, 0.5, 10.0).backlog;
+  }
+  EXPECT_LT(backlog, 5u);
+}
+
+TEST(LsQueue, FasterServiceAppliesToBacklog) {
+  // Queue up work at a slow service rate, then finish it at a fast rate:
+  // the drain must use the new rate (dispatch-time demand draw).
+  LsQueueSim q(5);
+  q.step(1000.0, 1, 900.0, 2.0, 0.1, 1e6);  // util 1.8 -> backlog builds
+  const auto backlog = q.backlog();
+  ASSERT_GT(backlog, 100u);
+  const auto drained = q.step(1000.0, 8, 0.0, 0.2, 0.1, 1e6);
+  EXPECT_GT(drained.completed, backlog - 10);
+}
+
+TEST(LsQueue, ViolationsCountedAgainstTarget) {
+  LsQueueSim q(6);
+  // Mean service 5 ms, target 1 ms: nearly everything violates.
+  const auto s = q.step(1000.0, 8, 500.0, 5.0, 0.5, 1.0);
+  EXPECT_GT(s.completed, 0u);
+  EXPECT_GT(static_cast<double>(s.qos_violations) /
+                static_cast<double>(s.completed),
+            0.9);
+}
+
+TEST(LsQueue, ZeroRateProducesNothing) {
+  LsQueueSim q(7);
+  const auto s = q.step(1000.0, 4, 0.0, 1.0, 0.5, 10.0);
+  EXPECT_EQ(s.arrivals, 0u);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_DOUBLE_EQ(s.utilization, 0.0);
+}
+
+TEST(LsQueue, ZeroServersQueuesEverything) {
+  LsQueueSim q(8);
+  const auto s = q.step(1000.0, 0, 300.0, 1.0, 0.5, 10.0);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_EQ(s.backlog, s.arrivals);
+  // The oldest waiting request's age is surfaced as the latency signal.
+  const auto s2 = q.step(1000.0, 0, 300.0, 1.0, 0.5, 10.0);
+  EXPECT_GT(s2.p95_ms, 900.0);
+}
+
+TEST(LsQueue, DeterministicPerSeed) {
+  LsQueueSim a(9), b(9);
+  for (int i = 0; i < 3; ++i) {
+    const auto sa = a.step(1000.0, 4, 800.0, 1.5, 0.9, 10.0);
+    const auto sb = b.step(1000.0, 4, 800.0, 1.5, 0.9, 10.0);
+    EXPECT_EQ(sa.completed, sb.completed);
+    EXPECT_DOUBLE_EQ(sa.p95_ms, sb.p95_ms);
+  }
+}
+
+TEST(LsQueue, ResetClearsState) {
+  LsQueueSim q(10);
+  q.step(1000.0, 1, 2000.0, 2.0, 0.5, 10.0);
+  EXPECT_GT(q.backlog(), 0u);
+  q.reset();
+  EXPECT_EQ(q.backlog(), 0u);
+}
+
+TEST(LsQueue, RejectsBadArguments) {
+  LsQueueSim q(11);
+  EXPECT_THROW(q.step(0.0, 4, 100.0, 1.0, 0.5, 10.0), std::invalid_argument);
+  EXPECT_THROW(q.step(1000.0, 4, -1.0, 1.0, 0.5, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(q.step(1000.0, 4, 100.0, 0.0, 0.5, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(q.step(1000.0, 4, 100.0, 1.0, 0.5, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::sim

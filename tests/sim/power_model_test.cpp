@@ -1,0 +1,98 @@
+#include "sim/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::sim {
+namespace {
+
+const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+
+TEST(PowerModel, IdleEqualsUncore) {
+  PowerModel pm(m);
+  EXPECT_DOUBLE_EQ(pm.idle_power_w(), pm.coefficients().uncore_w);
+  AppSlice none{0, 0, 0};
+  EXPECT_DOUBLE_EQ(
+      pm.package_power_w(none, 0, 1.0, none, 0, 1.0, 0.0),
+      pm.coefficients().uncore_w);
+}
+
+TEST(PowerModel, MonotoneInFrequency) {
+  PowerModel pm(m);
+  double prev = 0.0;
+  for (int f = 0; f <= m.max_freq_level(); ++f) {
+    const double p = pm.slice_power_w(8, f, 1.0, 1.0);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, SuperlinearInFrequency) {
+  PowerModel pm(m);
+  // Dynamic part at 2.2 GHz should exceed (2.2/1.2)x the 1.2 GHz dynamic
+  // part (alpha > 1): compare increments above the static floor.
+  const double static_part = pm.slice_power_w(8, 0, 0.0, 0.0);
+  const double lo = pm.slice_power_w(8, 0, 1.0, 1.0) - static_part;
+  const double hi = pm.slice_power_w(8, m.max_freq_level(), 1.0, 1.0) -
+                    static_part;
+  EXPECT_GT(hi / lo, 2.2 / 1.2);
+}
+
+TEST(PowerModel, MonotoneInCoresAndUtil) {
+  PowerModel pm(m);
+  EXPECT_LT(pm.slice_power_w(4, 5, 0.5, 1.0), pm.slice_power_w(8, 5, 0.5, 1.0));
+  EXPECT_LT(pm.slice_power_w(8, 5, 0.2, 1.0), pm.slice_power_w(8, 5, 0.9, 1.0));
+}
+
+TEST(PowerModel, UtilizationFloorMakesIdleCoresExpensive) {
+  PowerModel pm(m);
+  const double at_zero = pm.slice_power_w(8, 5, 0.0, 1.0);
+  const double at_full = pm.slice_power_w(8, 5, 1.0, 1.0);
+  // Energy non-proportionality: zero-util active cores draw more than
+  // half of the full-util power.
+  EXPECT_GT(at_zero, 0.5 * at_full);
+  EXPECT_LT(at_zero, at_full);
+}
+
+TEST(PowerModel, ActivityFactorScalesDynamicPower) {
+  PowerModel pm(m);
+  const double ls = pm.slice_power_w(10, 8, 1.0, 1.0);
+  const double be = pm.slice_power_w(10, 8, 1.0, 1.15);
+  EXPECT_GT(be, ls);  // the root cause of the paper's Fig 2 overload
+}
+
+TEST(PowerModel, PackageSumsSlicesAndBandwidth) {
+  PowerModel pm(m);
+  AppSlice ls{4, 4, 6};
+  AppSlice be{16, 10, 14};
+  const double base =
+      pm.package_power_w(ls, 0.6, 1.0, be, 1.0, 1.1, 0.0);
+  const double with_bw =
+      pm.package_power_w(ls, 0.6, 1.0, be, 1.0, 1.1, 20.0);
+  EXPECT_NEAR(with_bw - base, 20.0 * pm.coefficients().k_bw_w_per_gbps,
+              1e-9);
+  EXPECT_GT(base, pm.idle_power_w());
+}
+
+TEST(PowerModel, UtilClamped) {
+  PowerModel pm(m);
+  EXPECT_DOUBLE_EQ(pm.slice_power_w(4, 4, 1.5, 1.0),
+                   pm.slice_power_w(4, 4, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(pm.slice_power_w(4, 4, -0.5, 1.0),
+                   pm.slice_power_w(4, 4, 0.0, 1.0));
+}
+
+TEST(PowerModel, RejectsBadInputs) {
+  PowerModel pm(m);
+  EXPECT_THROW(pm.slice_power_w(-1, 0, 0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(pm.slice_power_w(m.num_cores + 1, 0, 0.5, 1.0),
+               std::invalid_argument);
+  PowerCoefficients bad;
+  bad.alpha = -1.0;
+  EXPECT_THROW(PowerModel(m, bad), std::invalid_argument);
+  PowerCoefficients bad2;
+  bad2.util_floor = 1.5;
+  EXPECT_THROW(PowerModel(m, bad2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::sim

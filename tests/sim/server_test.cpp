@@ -1,0 +1,174 @@
+#include "sim/server.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::sim {
+namespace {
+
+ServerConfig quiet() {
+  ServerConfig cfg;
+  cfg.interference.enabled = false;
+  cfg.power_noise = 0.0;
+  return cfg;
+}
+
+SimulatedServer make_server(const char* ls = "memcached",
+                            const char* be = "rt", std::uint64_t seed = 1) {
+  return SimulatedServer(find_ls(ls), find_be(be), seed, quiet());
+}
+
+TEST(Server, InitialPartitionIsAllToLs) {
+  auto server = make_server();
+  EXPECT_EQ(server.partition().ls.cores, 20);
+  EXPECT_EQ(server.partition().be.cores, 0);
+}
+
+TEST(Server, StepProducesCoherentTelemetry) {
+  auto server = make_server();
+  Partition p;
+  p.ls = {4, 4, 6};
+  p.be = complement_slice(server.machine(), p.ls, 8);
+  server.set_partition(p);
+  const auto t = server.step(0.2);
+  EXPECT_GT(t.ls.completed, 0u);
+  EXPECT_GT(t.ls.p95_ms, 0.0);
+  EXPECT_GT(t.power_w, server.power_model().idle_power_w());
+  EXPECT_GT(t.be_throughput_norm, 0.0);
+  EXPECT_LT(t.be_throughput_norm, 1.0);
+  EXPECT_GT(t.be_ipc, 0.0);
+  EXPECT_DOUBLE_EQ(t.qos_target_ms, 10.0);
+  EXPECT_NEAR(t.qps_real, 0.2 * 60000, 1e-9);
+}
+
+TEST(Server, BeThroughputMonotoneInCores) {
+  auto server = make_server();
+  double prev = 0.0;
+  for (int be_cores : {2, 6, 10, 14}) {
+    AppSlice ls{20 - be_cores, 4, 6};
+    Partition p{ls, complement_slice(server.machine(), ls, 8)};
+    const double thr = server.be_raw_throughput(p.be);
+    EXPECT_GT(thr, prev);
+    prev = thr;
+  }
+}
+
+TEST(Server, BeThroughputMonotoneInFrequency) {
+  auto server = make_server();
+  AppSlice be{10, 0, 10};
+  double prev = 0.0;
+  for (int f = 0; f <= server.machine().max_freq_level(); ++f) {
+    be.freq_level = f;
+    const double thr = server.be_raw_throughput(be);
+    EXPECT_GT(thr, prev);
+    prev = thr;
+  }
+}
+
+TEST(Server, SoloThroughputIsUpperBound) {
+  auto server = make_server("memcached", "bs");
+  const double solo = server.be_solo_throughput();
+  for (int cores : {4, 10, 16, 19}) {
+    AppSlice be{cores, server.machine().max_freq_level(), 10};
+    EXPECT_LE(server.be_raw_throughput(be), solo + 1e-9);
+  }
+}
+
+TEST(Server, LsDemandRisesWhenSqueezed) {
+  auto server = make_server();
+  const AppSlice rich{8, 10, 12};
+  const AppSlice poor_cache{8, 10, 2};
+  const AppSlice poor_freq{8, 0, 12};
+  const double base = server.ls_mean_demand_ms(rich, 0.0, 1.0);
+  EXPECT_GT(server.ls_mean_demand_ms(poor_cache, 0.0, 1.0), base);
+  EXPECT_GT(server.ls_mean_demand_ms(poor_freq, 0.0, 1.0), base);
+  EXPECT_GT(server.ls_mean_demand_ms(rich, 0.5, 1.0), base);  // bw pressure
+  EXPECT_GT(server.ls_mean_demand_ms(rich, 0.0, 1.3), base);  // interference
+}
+
+TEST(Server, HigherLoadMoreLatency) {
+  auto server = make_server();
+  Partition p;
+  p.ls = {6, 6, 8};
+  p.be = complement_slice(server.machine(), p.ls, 5);
+  server.set_partition(p);
+  double p95_low = 0.0, p95_high = 0.0;
+  for (int i = 0; i < 3; ++i) p95_low += server.step(0.2).ls.p95_ms;
+  server.reset();
+  server.set_partition(p);
+  for (int i = 0; i < 3; ++i) p95_high += server.step(0.55).ls.p95_ms;
+  EXPECT_GT(p95_high, p95_low);
+}
+
+TEST(Server, PowerBudgetIsLsAtPeak) {
+  auto server = make_server();
+  const double budget = server.power_budget_w();
+  EXPECT_GT(budget, 50.0);
+  EXPECT_LT(budget, 200.0);
+  // Running the LS service alone at peak should land close to the budget.
+  server.set_partition(Partition::all_to_ls(server.machine()));
+  double peak = 0.0;
+  for (int i = 0; i < 3; ++i) peak = std::max(peak, server.step(1.0).power_w);
+  EXPECT_NEAR(peak / budget, 1.0, 0.05);
+}
+
+TEST(Server, PowerObliviousColocationOverloads) {
+  // The Fig 2 mechanism: QoS-min LS slice + BE at top frequency exceeds
+  // the budget for every BE application.
+  for (const auto& be : be_catalog()) {
+    SimulatedServer server(find_ls("memcached"), be, 3, quiet());
+    AppSlice ls{4, server.machine().level_for(1.6), 6};
+    Partition p{ls, complement_slice(server.machine(), ls,
+                                     server.machine().max_freq_level())};
+    server.set_partition(p);
+    double peak = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      peak = std::max(peak, server.step(0.2).power_w);
+    }
+    EXPECT_GT(peak / server.power_budget_w(), 1.0) << be.name;
+    EXPECT_LT(peak / server.power_budget_w(), 1.20) << be.name;
+  }
+}
+
+TEST(Server, BandwidthContentionThrottlesBothSides) {
+  // fd is the bandwidth hog: squeezing the LS cache while fd runs wide
+  // open must show bandwidth pressure in the telemetry.
+  SimulatedServer server(find_ls("memcached"), find_be("fd"), 4, quiet());
+  AppSlice ls{6, 10, 2};
+  Partition p{ls, complement_slice(server.machine(), ls, 8)};
+  server.set_partition(p);
+  const auto t = server.step(0.5);
+  EXPECT_GT(t.bw_gbps, server.machine().mem_bw_gbps * 0.8);
+  EXPECT_LT(t.be_throughput_norm, 1.0);
+}
+
+TEST(Server, InvalidPartitionsRejected) {
+  auto server = make_server();
+  Partition p;
+  p.ls = {12, 4, 10};
+  p.be = {12, 4, 10};  // 24 cores on a 20-core machine
+  EXPECT_THROW(server.set_partition(p), std::invalid_argument);
+  p.ls = {0, 4, 10};
+  p.be = {0, 0, 0};
+  EXPECT_THROW(server.set_partition(p), std::invalid_argument);
+  EXPECT_THROW(server.step(1.5), std::invalid_argument);
+  EXPECT_THROW(server.step(-0.1), std::invalid_argument);
+}
+
+TEST(Server, DeterministicPerSeed) {
+  auto a = make_server("xapian", "fe", 77);
+  auto b = make_server("xapian", "fe", 77);
+  Partition p;
+  p.ls = {5, 6, 5};
+  p.be = complement_slice(a.machine(), p.ls, 7);
+  a.set_partition(p);
+  b.set_partition(p);
+  for (int i = 0; i < 3; ++i) {
+    const auto ta = a.step(0.4);
+    const auto tb = b.step(0.4);
+    EXPECT_DOUBLE_EQ(ta.ls.p95_ms, tb.ls.p95_ms);
+    EXPECT_DOUBLE_EQ(ta.power_w, tb.power_w);
+  }
+}
+
+}  // namespace
+}  // namespace sturgeon::sim

@@ -1,0 +1,101 @@
+#include "telemetry/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::telemetry {
+namespace {
+
+sim::ServerTelemetry sample_with(double p95, double power = 100.0,
+                                 std::uint64_t completed = 1000,
+                                 std::uint64_t violations = 0,
+                                 double be_thr = 0.5) {
+  sim::ServerTelemetry t;
+  t.ls.p95_ms = p95;
+  t.ls.completed = completed;
+  t.ls.qos_violations = violations;
+  t.power_w = power;
+  t.be_throughput_norm = be_thr;
+  t.qos_target_ms = 10.0;
+  t.qps_real = 12000;
+  return t;
+}
+
+TEST(LatencySlack, Definition) {
+  EXPECT_DOUBLE_EQ(latency_slack(8.0, 10.0), 0.2);
+  EXPECT_DOUBLE_EQ(latency_slack(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(latency_slack(12.0, 10.0), -0.2);
+  EXPECT_THROW(latency_slack(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(QosMonitor, TracksLatestSample) {
+  QosMonitor mon(10.0);
+  EXPECT_DOUBLE_EQ(mon.slack(), 1.0);  // nothing observed yet
+  mon.observe(sample_with(8.0, 90.0));
+  EXPECT_DOUBLE_EQ(mon.slack(), 0.2);
+  EXPECT_DOUBLE_EQ(mon.p95_ms(), 8.0);
+  EXPECT_DOUBLE_EQ(mon.power_w(), 90.0);
+  EXPECT_DOUBLE_EQ(mon.qps(), 12000.0);
+  EXPECT_EQ(mon.samples_seen(), 1u);
+}
+
+TEST(QosMonitor, RollingWindowMean) {
+  QosMonitor mon(10.0, 3);
+  for (double p95 : {2.0, 4.0, 6.0, 8.0}) {
+    mon.observe(sample_with(p95));
+  }
+  // Window holds the last 3: (4+6+8)/3.
+  EXPECT_DOUBLE_EQ(mon.window_p95_ms(), 6.0);
+}
+
+TEST(QosMonitor, RejectsBadParameters) {
+  EXPECT_THROW(QosMonitor(0.0), std::invalid_argument);
+  EXPECT_THROW(QosMonitor(10.0, 0), std::invalid_argument);
+}
+
+TEST(RunMetrics, QosGuaranteeRate) {
+  RunMetrics rm(100.0);
+  rm.observe(sample_with(8.0, 90.0, 1000, 50));
+  rm.observe(sample_with(9.0, 95.0, 1000, 0));
+  EXPECT_DOUBLE_EQ(rm.qos_guarantee_rate(), 1950.0 / 2000.0);
+  EXPECT_EQ(rm.total_completed(), 2000u);
+  EXPECT_EQ(rm.total_violations(), 50u);
+}
+
+TEST(RunMetrics, EmptyRunIsPerfect) {
+  RunMetrics rm(100.0);
+  EXPECT_DOUBLE_EQ(rm.qos_guarantee_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(rm.interval_qos_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(rm.power_overshoot_fraction(), 0.0);
+}
+
+TEST(RunMetrics, PowerAccounting) {
+  RunMetrics rm(100.0);
+  rm.observe(sample_with(8.0, 90.0));
+  rm.observe(sample_with(8.0, 105.0));
+  rm.observe(sample_with(8.0, 99.0));
+  rm.observe(sample_with(8.0, 112.0));
+  EXPECT_DOUBLE_EQ(rm.power_overshoot_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(rm.max_power_ratio(), 1.12);
+  EXPECT_EQ(rm.intervals(), 4u);
+}
+
+TEST(RunMetrics, IntervalQosRateUsesTarget) {
+  RunMetrics rm(100.0);
+  rm.observe(sample_with(8.0));   // within 10 ms target
+  rm.observe(sample_with(12.0));  // violation
+  EXPECT_DOUBLE_EQ(rm.interval_qos_rate(), 0.5);
+}
+
+TEST(RunMetrics, MeanBeThroughput) {
+  RunMetrics rm(100.0);
+  rm.observe(sample_with(8.0, 90.0, 100, 0, 0.4));
+  rm.observe(sample_with(8.0, 90.0, 100, 0, 0.6));
+  EXPECT_DOUBLE_EQ(rm.mean_be_throughput_norm(), 0.5);
+}
+
+TEST(RunMetrics, RejectsBadBudget) {
+  EXPECT_THROW(RunMetrics(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::telemetry

@@ -1,0 +1,65 @@
+#include "telemetry/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sturgeon::telemetry {
+namespace {
+
+sim::ServerTelemetry sample(double load, double p95) {
+  sim::ServerTelemetry t;
+  t.load_fraction = load;
+  t.qps_real = load * 60000;
+  t.ls.p95_ms = p95;
+  t.power_w = 100.0;
+  t.be_throughput_norm = 0.5;
+  return t;
+}
+
+Partition partition() {
+  Partition p;
+  p.ls = {4, 4, 6};
+  p.be = {16, 8, 14};
+  return p;
+}
+
+TEST(TraceRecorder, RecordsRows) {
+  TraceRecorder rec(MachineSpec::xeon_e5_2630_v4());
+  EXPECT_TRUE(rec.empty());
+  rec.record(0, sample(0.2, 5.0), partition());
+  rec.record(1, sample(0.3, 6.0), partition());
+  ASSERT_EQ(rec.rows().size(), 2u);
+  EXPECT_EQ(rec.rows()[1].t_s, 1);
+  EXPECT_DOUBLE_EQ(rec.rows()[1].p95_ms, 6.0);
+  EXPECT_EQ(rec.rows()[0].partition.ls.cores, 4);
+}
+
+TEST(TraceRecorder, CsvHasHeaderAndRows) {
+  TraceRecorder rec(MachineSpec::xeon_e5_2630_v4());
+  rec.record(0, sample(0.2, 5.0), partition());
+  std::ostringstream os;
+  rec.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("t_s,load,qps,p95_ms"), std::string::npos);
+  EXPECT_NE(out.find("\n0.000000,0.200000"), std::string::npos);
+  // 1 header + 1 data row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(TraceRecorder, SummaryStrides) {
+  TraceRecorder rec(MachineSpec::xeon_e5_2630_v4());
+  for (int t = 0; t < 10; ++t) {
+    rec.record(t, sample(0.2, 5.0), partition());
+  }
+  std::ostringstream os;
+  rec.write_summary(os, 5);
+  const std::string out = os.str();
+  // Header + rule + rows for t=0 and t=5.
+  EXPECT_NE(out.find("<4C, 1.6F, 6L; 16C, 2.0F, 14L>"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_THROW(rec.write_summary(os, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon::telemetry

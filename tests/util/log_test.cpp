@@ -1,0 +1,55 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon {
+namespace {
+
+/// Restore the global level after each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LogTest, DefaultIsWarn) {
+  // The library default keeps bench output clean.
+  EXPECT_EQ(saved_, LogLevel::kWarn);
+}
+
+TEST_F(LogTest, MacrosEvaluateLazily) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return std::string("payload");
+  };
+  LOG_DEBUG << expensive();
+  LOG_ERROR << expensive();
+  // Below-threshold statements must not evaluate their stream arguments.
+  EXPECT_EQ(evaluations, 0);
+
+  set_log_level(LogLevel::kDebug);
+  LOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, EmissionDoesNotThrow) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_NO_THROW(log_message(LogLevel::kInfo, "info line"));
+  // The macro expands to a statement, so wrap it for EXPECT_NO_THROW.
+  const auto emit = [] { LOG_WARN << "warn " << 42 << ' ' << 1.5; };
+  EXPECT_NO_THROW(emit());
+}
+
+}  // namespace
+}  // namespace sturgeon

@@ -1,0 +1,119 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sturgeon {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(7);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++hits[rng.next_below(10)];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 9000);
+    EXPECT_LT(h, 11000);
+  }
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.005);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(17);
+  for (double mean : {0.5, 5.0, 80.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, LognormalMeanCv) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal_mean_cv(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+  // cv=0 degenerates to the mean.
+  EXPECT_DOUBLE_EQ(rng.lognormal_mean_cv(3.0, 0.0), 3.0);
+}
+
+TEST(Rng, ForkIsIndependentAndStable) {
+  Rng parent(99);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(1);
+  Rng c3 = parent.fork(2);
+  EXPECT_EQ(c1.next_u64(), c2.next_u64());  // same label -> same stream
+  EXPECT_NE(c1.next_u64(), c3.next_u64());
+}
+
+}  // namespace
+}  // namespace sturgeon

@@ -1,0 +1,139 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sturgeon {
+namespace {
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeEqualsBulk) {
+  OnlineStats a, b, all;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 1.5);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Percentile, ExactSmallCases) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 95), 7.0);
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 50), 5.0);
+}
+
+TEST(P2Quantile, MatchesExactOnNormalData) {
+  Rng rng(21);
+  P2Quantile p95(0.95);
+  std::vector<double> all;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    p95.add(v);
+    all.push_back(v);
+  }
+  const double exact = percentile(all, 95.0);
+  EXPECT_NEAR(p95.value(), exact, 0.1);
+}
+
+TEST(P2Quantile, SmallSampleIsExact) {
+  P2Quantile p50(0.5);
+  p50.add(1.0);
+  p50.add(3.0);
+  p50.add(2.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 2.0);
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+TEST(P2Quantile, HeavyTailTracksHighQuantile) {
+  Rng rng(23);
+  P2Quantile p99(0.99);
+  std::vector<double> all;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.lognormal_mean_cv(5.0, 1.2);
+    p99.add(v);
+    all.push_back(v);
+  }
+  const double exact = percentile(all, 99.0);
+  EXPECT_NEAR(p99.value() / exact, 1.0, 0.08);
+}
+
+TEST(Metrics, RSquared) {
+  const std::vector<double> truth{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(r_squared(truth, truth), 1.0);
+  // Mean predictor scores 0.
+  const std::vector<double> mean_pred(5, 3.0);
+  EXPECT_NEAR(r_squared(truth, mean_pred), 0.0, 1e-12);
+  EXPECT_THROW(r_squared(truth, {1.0}), std::invalid_argument);
+}
+
+TEST(Metrics, MseMae) {
+  const std::vector<double> t{1, 2, 3};
+  const std::vector<double> p{2, 2, 5};
+  EXPECT_DOUBLE_EQ(mse(t, p), (1.0 + 0.0 + 4.0) / 3.0);
+  EXPECT_DOUBLE_EQ(mae(t, p), (1.0 + 0.0 + 2.0) / 3.0);
+}
+
+TEST(Metrics, Accuracy) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 0, 1, 1}, {1, 0, 0, 1}), 0.75);
+}
+
+TEST(Metrics, PrecisionRecallF1) {
+  // truth: 3 positives; pred: 2 true positives, 1 false positive.
+  const std::vector<int> truth{1, 1, 1, 0, 0, 0};
+  const std::vector<int> pred{1, 1, 0, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(precision(truth, pred), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(recall(truth, pred), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(f1_score(truth, pred), 2.0 / 3.0);
+
+  // Perfect classifier.
+  EXPECT_DOUBLE_EQ(f1_score(truth, truth), 1.0);
+}
+
+TEST(Metrics, F1DegenerateCases) {
+  // No predicted positives.
+  EXPECT_DOUBLE_EQ(precision({1, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(f1_score({1, 0}, {0, 0}), 0.0);
+  // No actual positives but a false alarm.
+  EXPECT_DOUBLE_EQ(recall({0, 0}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(f1_score({0, 0}, {1, 0}), 0.0);
+  EXPECT_THROW(f1_score({1}, {1, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon

@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sturgeon {
+namespace {
+
+TEST(TablePrinter, AlignsAndRules) {
+  TablePrinter t({"pair", "value"});
+  t.add_row({"bs", TablePrinter::fmt(1.2345, 2)});
+  t.add_row({"ferret", "10.00"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("pair"), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("ferret"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinter, RejectsBadArity) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt_pct(0.2496, 2), "24.96%");
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"t", "lat"});
+  w.write_row(std::vector<std::string>{"0", "1.5"});
+  w.write_row(std::vector<double>{1.0, 2.5});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("t,lat\n"), std::string::npos);
+  EXPECT_NE(out.find("0,1.5\n"), std::string::npos);
+  EXPECT_NE(out.find("1.000000,2.500000\n"), std::string::npos);
+}
+
+TEST(CsvWriter, RejectsArityMismatch) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a"});
+  EXPECT_THROW(w.write_row(std::vector<std::string>{"1", "2"}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon

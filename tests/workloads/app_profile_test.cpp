@@ -1,0 +1,105 @@
+#include "workloads/app_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sturgeon {
+namespace {
+
+TEST(Catalog, PaperWorkloadsPresent) {
+  const auto& ls = ls_catalog();
+  ASSERT_EQ(ls.size(), 3u);
+  EXPECT_EQ(ls[0].name, "memcached");
+  EXPECT_EQ(ls[1].name, "xapian");
+  EXPECT_EQ(ls[2].name, "img-dnn");
+
+  const auto& be = be_catalog();
+  ASSERT_EQ(be.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& b : be) names.insert(b.name);
+  for (const char* n : {"bs", "fa", "fe", "rt", "sp", "fd"}) {
+    EXPECT_EQ(names.count(n), 1u) << n;
+  }
+}
+
+TEST(Catalog, PaperQosTargetsAndPeaks) {
+  EXPECT_DOUBLE_EQ(find_ls("memcached").qos_target_ms, 10.0);
+  EXPECT_DOUBLE_EQ(find_ls("xapian").qos_target_ms, 15.0);
+  EXPECT_DOUBLE_EQ(find_ls("img-dnn").qos_target_ms, 10.0);
+  EXPECT_DOUBLE_EQ(find_ls("memcached").peak_qps, 60000);
+  EXPECT_DOUBLE_EQ(find_ls("xapian").peak_qps, 3500);
+  EXPECT_DOUBLE_EQ(find_ls("img-dnn").peak_qps, 3000);
+}
+
+TEST(Catalog, ProfilesAreSane) {
+  for (const auto& ls : ls_catalog()) {
+    EXPECT_GT(ls.work_ghz_ms, 0.0) << ls.name;
+    EXPECT_GT(ls.sim_scale, 0.0) << ls.name;
+    EXPECT_LE(ls.sim_scale, 1.0) << ls.name;
+    EXPECT_GE(ls.service_cv, 0.0) << ls.name;
+    EXPECT_GT(ls.cache_wss_mb, 0.0) << ls.name;
+    EXPECT_GT(ls.sim_peak_qps(), 0.0) << ls.name;
+  }
+  for (const auto& be : be_catalog()) {
+    EXPECT_GT(be.parallel_fraction, 0.5) << be.name;
+    EXPECT_LT(be.parallel_fraction, 1.0) << be.name;
+    EXPECT_GT(be.freq_exponent, 0.0) << be.name;
+    EXPECT_LE(be.freq_exponent, 1.0) << be.name;
+    EXPECT_GT(be.power_activity, 0.5) << be.name;
+  }
+}
+
+TEST(Catalog, PreferenceDiversityEncoded) {
+  // The paper's finding requires diverse BE profiles: at least one
+  // near-linear scaler with full frequency gain (bs/sp) and at least one
+  // memory-bound app with weak frequency gain (fd/fe).
+  const auto& bs = find_be("bs");
+  const auto& fd = find_be("fd");
+  EXPECT_GT(bs.parallel_fraction, 0.99);
+  EXPECT_DOUBLE_EQ(bs.freq_exponent, 1.0);
+  EXPECT_LT(fd.freq_exponent, 0.7);
+  EXPECT_GT(fd.bw_gbps_max, 2.0 * bs.bw_gbps_max);
+}
+
+TEST(Catalog, BeActivityGenerallyAboveLs) {
+  // Fig 2's root cause: BE apps draw more power than the LS services at
+  // equal resources (on average).
+  double ls_mean = 0.0, be_mean = 0.0;
+  for (const auto& ls : ls_catalog()) ls_mean += ls.power_activity;
+  for (const auto& be : be_catalog()) be_mean += be.power_activity;
+  EXPECT_GT(be_mean / 6.0, ls_mean / 3.0);
+}
+
+TEST(Catalog, FindThrowsOnUnknown) {
+  EXPECT_THROW(find_ls("nginx"), std::invalid_argument);
+  EXPECT_THROW(find_be("x264"), std::invalid_argument);
+}
+
+TEST(Amdahl, KnownValues) {
+  EXPECT_DOUBLE_EQ(amdahl_speedup(1, 0.9), 1.0);
+  EXPECT_NEAR(amdahl_speedup(2, 1.0 - 1e-13), 2.0, 1e-9);
+  // p=0.5, n->inf converges to 2.
+  EXPECT_NEAR(amdahl_speedup(1000000, 0.5), 2.0, 0.01);
+  EXPECT_DOUBLE_EQ(amdahl_speedup(0, 0.9), 0.0);
+  EXPECT_THROW(amdahl_speedup(4, -0.1), std::invalid_argument);
+  EXPECT_THROW(amdahl_speedup(4, 1.1), std::invalid_argument);
+}
+
+TEST(Amdahl, MonotoneWithDiminishingReturns) {
+  double prev = 0.0;
+  double prev_gain = 1e9;
+  for (int n = 1; n <= 20; ++n) {
+    const double s = amdahl_speedup(n, 0.95);
+    EXPECT_GT(s, prev);
+    if (n > 1) {
+      const double gain = s - prev;
+      EXPECT_LE(gain, prev_gain + 1e-12);
+      prev_gain = gain;
+    }
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace sturgeon

@@ -1,0 +1,79 @@
+#include "workloads/load_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon {
+namespace {
+
+TEST(LoadTrace, RampUpDownShape) {
+  const auto t = LoadTrace::ramp_up_down(0.2, 0.8, 100);
+  EXPECT_EQ(t.duration_s(), 100);
+  EXPECT_NEAR(t.at(0), 0.2, 1e-9);
+  EXPECT_NEAR(t.at(50), 0.8, 0.02);
+  EXPECT_NEAR(t.at(99), 0.2, 0.02);
+  // Monotone up then down.
+  for (int i = 1; i < 50; ++i) EXPECT_GE(t.at(i), t.at(i - 1) - 1e-12);
+  for (int i = 51; i < 100; ++i) EXPECT_LE(t.at(i), t.at(i - 1) + 1e-12);
+}
+
+TEST(LoadTrace, RampEndpoints) {
+  const auto t = LoadTrace::ramp(0.2, 0.5, 400);
+  EXPECT_DOUBLE_EQ(t.at(0), 0.2);
+  EXPECT_DOUBLE_EQ(t.at(399), 0.5);
+  EXPECT_NEAR(t.at(200), 0.35, 0.01);
+}
+
+TEST(LoadTrace, DiurnalMinAtStartMaxAtMiddle) {
+  const auto t = LoadTrace::diurnal(0.1, 0.9, 240);
+  EXPECT_NEAR(t.at(0), 0.1, 1e-9);
+  EXPECT_NEAR(t.at(120), 0.9, 1e-3);
+  for (int i = 0; i < 240; ++i) {
+    EXPECT_GE(t.at(i), 0.1 - 1e-12);
+    EXPECT_LE(t.at(i), 0.9 + 1e-12);
+  }
+}
+
+TEST(LoadTrace, ConstantAndSteps) {
+  const auto c = LoadTrace::constant(0.5, 10);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(c.at(i), 0.5);
+
+  const auto s = LoadTrace::steps({0.2, 0.7}, 5);
+  EXPECT_EQ(s.duration_s(), 10);
+  EXPECT_DOUBLE_EQ(s.at(0), 0.2);
+  EXPECT_DOUBLE_EQ(s.at(4), 0.2);
+  EXPECT_DOUBLE_EQ(s.at(5), 0.7);
+}
+
+TEST(LoadTrace, ClampsOutOfRangeTime) {
+  const auto t = LoadTrace::ramp(0.2, 0.6, 10);
+  EXPECT_DOUBLE_EQ(t.at(-5), 0.2);
+  EXPECT_DOUBLE_EQ(t.at(1000), 0.6);
+}
+
+TEST(LoadTrace, NoiseBoundedAndDeterministic) {
+  const auto base = LoadTrace::constant(0.5, 200);
+  const auto a = base.with_noise(0.1, 7);
+  const auto b = base.with_noise(0.1, 7);
+  const auto c = base.with_noise(0.1, 8);
+  bool differs_seed = false, differs_base = false;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(a.at(i), b.at(i));
+    EXPECT_GE(a.at(i), 0.01);
+    EXPECT_LE(a.at(i), 1.0);
+    differs_seed |= a.at(i) != c.at(i);
+    differs_base |= a.at(i) != base.at(i);
+  }
+  EXPECT_TRUE(differs_seed);
+  EXPECT_TRUE(differs_base);
+}
+
+TEST(LoadTrace, RejectsBadParameters) {
+  EXPECT_THROW(LoadTrace::ramp_up_down(0.2, 0.8, 1), std::invalid_argument);
+  EXPECT_THROW(LoadTrace::constant(1.5, 10), std::invalid_argument);
+  EXPECT_THROW(LoadTrace::constant(-0.1, 10), std::invalid_argument);
+  EXPECT_THROW(LoadTrace::steps({}, 5), std::invalid_argument);
+  EXPECT_THROW(LoadTrace::steps({0.5}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sturgeon
