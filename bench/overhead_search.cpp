@@ -14,8 +14,8 @@
 #include "bench_common.h"
 #include "core/balancer.h"
 #include "core/config_search.h"
-#include "util/thread_pool.h"
 #include "exp/model_registry.h"
+#include "util/thread_pool.h"
 
 using namespace sturgeon;
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.h"
+#include "util/invariants.h"
+
 namespace sturgeon::core {
 
 ResourceBalancer::ResourceBalancer(const Predictor& predictor,
@@ -112,6 +115,8 @@ std::optional<Partition> ResourceBalancer::step(double slack, double qps_real,
     last_amount_ -= back;
     if (last_amount_ <= 0) last_harvest_.reset();
     last_action_ = "revert";
+    ValidateConfig(m, p, "ResourceBalancer::step(revert)",
+                   /*allow_empty_be=*/false);
     return p;
   }
 
@@ -163,6 +168,8 @@ std::optional<Partition> ResourceBalancer::step(double slack, double qps_real,
     }
   }
   if (!best) return std::nullopt;  // BE already minimal everywhere
+  ValidateConfig(predictor_.machine(), *best, "ResourceBalancer::step(harvest)",
+                 /*allow_empty_be=*/false);
   last_harvest_ = best_r;
   last_amount_ = best_amount;
   slack_at_harvest_ = slack;

@@ -1,17 +1,47 @@
 #include "core/config_search.h"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "util/check.h"
+#include "util/invariants.h"
 
 namespace sturgeon::core {
 
+namespace {
+
+// Postcondition of every search flavor: the chosen partition is
+// expressible on the machine, and a feasible result respects the budget
+// its own power prediction was admitted under.
+void check_search_result(const MachineSpec& m, const SearchResult& r,
+                         double budget_w, const char* where) {
+  ValidateConfig(m, r.best, where);
+  if (r.feasible) {
+    STURGEON_DCHECK(r.best.be.cores >= 1,
+                    "" << where << ": feasible result with empty BE slice");
+    STURGEON_DCHECK(std::isfinite(r.predicted_power_w) &&
+                        r.predicted_power_w <= budget_w,
+                    "" << where << ": predicted power " << r.predicted_power_w
+                       << " W exceeds budget " << budget_w << " W");
+    STURGEON_DCHECK(std::isfinite(r.predicted_throughput) &&
+                        r.predicted_throughput >= 0.0,
+                    "" << where << ": bad predicted throughput "
+                       << r.predicted_throughput);
+  }
+}
+
+}  // namespace
+
 ConfigSearch::ConfigSearch(const Predictor& predictor, double power_budget_w)
     : predictor_(predictor), budget_w_(power_budget_w) {
-  if (power_budget_w <= 0.0) {
+  if (!std::isfinite(power_budget_w) || power_budget_w <= 0.0) {
     throw std::invalid_argument("ConfigSearch: bad power budget");
   }
 }
 
 std::optional<int> ConfigSearch::min_ls_cores(double qps_real) const {
+  STURGEON_CHECK(std::isfinite(qps_real) && qps_real >= 0.0,
+                 "min_ls_cores: qps = " << qps_real);
   const MachineSpec& m = predictor_.machine();
   AppSlice probe{m.num_cores, m.max_freq_level(), m.llc_ways};
   if (!predictor_.ls_qos_ok(qps_real, probe)) return std::nullopt;
@@ -55,6 +85,7 @@ int ConfigSearch::min_ls_freq(double qps_real, AppSlice slice) const {
       lo = mid + 1;
     }
   }
+  STURGEON_DCHECK_RANGE(hi, 0, m.max_freq_level());
   return hi;
 }
 
@@ -97,6 +128,8 @@ SearchResult ConfigSearch::search(double qps_real) const {
 
   // Sweep candidate LS core counts upward from the minimum; each candidate
   // gives the BE side fewer cores but (potentially) a higher frequency.
+  result.candidates.reserve(
+      static_cast<std::size_t>(m.num_cores - *c1_min));
   for (int c1 = *c1_min; c1 < m.num_cores; ++c1) {
     AppSlice ls{c1, m.max_freq_level(), m.llc_ways};
     // Just-enough ways, then just-enough frequency (Section V-B order).
@@ -131,6 +164,7 @@ SearchResult ConfigSearch::search(double qps_real) const {
 
   result.model_invocations =
       predictor_.model_invocations() - invocations_before;
+  check_search_result(m, result, budget_w_, "ConfigSearch::search");
   return result;
 }
 
@@ -174,6 +208,7 @@ SearchResult ConfigSearch::search_parallel(double qps_real,
     evaluated[i] = cand;
   });
 
+  result.candidates.reserve(evaluated.size());
   for (const auto& cand : evaluated) {
     if (!cand) continue;
     result.candidates.push_back(*cand);
@@ -188,6 +223,7 @@ SearchResult ConfigSearch::search_parallel(double qps_real,
   }
   result.model_invocations =
       predictor_.model_invocations() - invocations_before;
+  check_search_result(m, result, budget_w_, "ConfigSearch::search_parallel");
   return result;
 }
 
@@ -221,6 +257,7 @@ SearchResult ConfigSearch::exhaustive(double qps_real) const {
   }
   result.model_invocations =
       predictor_.model_invocations() - invocations_before;
+  check_search_result(m, result, budget_w_, "ConfigSearch::exhaustive");
   return result;
 }
 

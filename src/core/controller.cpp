@@ -1,11 +1,29 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "telemetry/monitor.h"
+#include "util/check.h"
+#include "util/invariants.h"
 
 namespace sturgeon::core {
+
+namespace {
+
+// The member-initializer list dereferences the predictor (ConfigSearch and
+// ResourceBalancer hold references), so the null check must run before any
+// member is constructed — a check in the constructor body would be too late.
+const Predictor& require_predictor(
+    const std::shared_ptr<const Predictor>& predictor) {
+  if (!predictor) {
+    throw std::invalid_argument("SturgeonController: null predictor");
+  }
+  return *predictor;
+}
+
+}  // namespace
 
 SturgeonController::SturgeonController(
     std::shared_ptr<const Predictor> predictor, double qos_target_ms,
@@ -13,13 +31,10 @@ SturgeonController::SturgeonController(
     : predictor_(std::move(predictor)),
       qos_target_ms_(qos_target_ms),
       options_(options),
-      search_(*predictor_, power_budget_w),
+      search_(require_predictor(predictor_), power_budget_w),
       balancer_(*predictor_, power_budget_w,
                 BalancerConfig{options.alpha, options.beta,
                                options.balancer_granularity}) {
-  if (!predictor_) {
-    throw std::invalid_argument("SturgeonController: null predictor");
-  }
   if (qos_target_ms <= 0.0) {
     throw std::invalid_argument("SturgeonController: bad QoS target");
   }
@@ -63,6 +78,14 @@ Partition SturgeonController::apply_reserves(Partition p) const {
 
 Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
                                      const Partition& current) {
+  // Telemetry and the running partition are this layer's preconditions:
+  // a malformed sample or an inexpressible current config means a layer
+  // below us already failed.
+  ValidateConfig(predictor_->machine(), current, "SturgeonController::decide");
+  STURGEON_DCHECK(std::isfinite(sample.ls.p95_ms) && sample.ls.p95_ms >= 0.0,
+                  "decide: p95 = " << sample.ls.p95_ms);
+  STURGEON_DCHECK(std::isfinite(sample.qps_real) && sample.qps_real >= 0.0,
+                  "decide: qps = " << sample.qps_real);
   const double slack =
       telemetry::latency_slack(sample.ls.p95_ms, qos_target_ms_);
   const double qps = sample.qps_real;
@@ -118,6 +141,8 @@ Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
   SearchResult result = search_.search(qps);
   ++searches_;
   result.best = apply_reserves(result.best);
+  ValidateConfig(predictor_->machine(), result.best,
+                 "SturgeonController::decide(apply_reserves)");
   if (!(result.best == current)) {
     if (options_.enable_balancer) {
       balancer_.arm(result.best);

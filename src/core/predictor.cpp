@@ -1,9 +1,12 @@
 #include "core/predictor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/features.h"
+#include "util/check.h"
+#include "util/invariants.h"
 
 namespace sturgeon::core {
 
@@ -13,31 +16,44 @@ Predictor::Predictor(const MachineSpec& machine, TrainedModels models)
       !models_.be_power) {
     throw std::invalid_argument("Predictor: missing trained models");
   }
+  STURGEON_CHECK(machine_.num_cores >= 1 && machine_.llc_ways >= 1 &&
+                     machine_.num_freq_levels() >= 1,
+                 "Predictor: degenerate machine spec");
 }
 
 bool Predictor::ls_qos_ok(double qps_real, const AppSlice& slice) const {
+  STURGEON_DCHECK(std::isfinite(qps_real) && qps_real >= 0.0,
+                  "ls_qos_ok: qps = " << qps_real);
   invocations_.fetch_add(1, std::memory_order_relaxed);
   return models_.ls_qos->predict(ls_features(machine_, qps_real, slice)) == 1;
 }
 
 double Predictor::ls_power_w(double qps_real, const AppSlice& slice) const {
   invocations_.fetch_add(1, std::memory_order_relaxed);
-  return models_.ls_power->predict(ls_features(machine_, qps_real, slice));
+  // A regression model may extrapolate slightly below zero at the edge of
+  // the feature space; that is benign, but non-finite output never is.
+  return ValidateModelOutput(
+      models_.ls_power->predict(ls_features(machine_, qps_real, slice)),
+      "ls_power", /*allow_negative=*/true);
 }
 
 double Predictor::be_power_w(const AppSlice& slice) const {
   if (slice.cores == 0) return 0.0;
   invocations_.fetch_add(1, std::memory_order_relaxed);
   return std::max(
-      0.0, models_.be_power->predict(
-               be_features(machine_, kNativeInputLevel, slice)));
+      0.0, ValidateModelOutput(
+               models_.be_power->predict(
+                   be_features(machine_, kNativeInputLevel, slice)),
+               "be_power", /*allow_negative=*/true));
 }
 
 double Predictor::be_ipc(const AppSlice& slice) const {
   if (slice.cores == 0) return 0.0;
   invocations_.fetch_add(1, std::memory_order_relaxed);
-  return std::max(0.0, models_.be_ipc->predict(be_features(
-                           machine_, kNativeInputLevel, slice)));
+  return std::max(0.0, ValidateModelOutput(
+                           models_.be_ipc->predict(be_features(
+                               machine_, kNativeInputLevel, slice)),
+                           "be_ipc", /*allow_negative=*/true));
 }
 
 double Predictor::be_throughput(const AppSlice& slice) const {
@@ -47,7 +63,10 @@ double Predictor::be_throughput(const AppSlice& slice) const {
 }
 
 double Predictor::total_power_w(double qps_real, const Partition& p) const {
-  return ls_power_w(qps_real, p.ls) + be_power_w(p.be);
+  const double total = ls_power_w(qps_real, p.ls) + be_power_w(p.be);
+  STURGEON_DCHECK(std::isfinite(total),
+                  "total_power_w: non-finite total " << total);
+  return total;
 }
 
 }  // namespace sturgeon::core

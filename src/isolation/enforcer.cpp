@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace sturgeon::isolation {
 
 ResourceEnforcer::ResourceEnforcer(const MachineSpec& machine,
@@ -50,6 +52,15 @@ void ResourceEnforcer::apply(const Partition& target) {
   const std::uint32_t ls_mask = contiguous_mask(target.ls.llc_ways, 0);
   const std::uint32_t be_mask = contiguous_mask(
       target.be.llc_ways, machine_.llc_ways - target.be.llc_ways);
+
+  // Layout invariant behind the shrink-before-grow sequencing: the two
+  // apps' way masks and core lists must never overlap, or a transition
+  // would momentarily co-schedule them on the same resource.
+  STURGEON_DCHECK((ls_mask & be_mask) == 0u,
+                  "apply: overlapping way masks " << ls_mask << " / "
+                                                  << be_mask);
+  STURGEON_DCHECK(be_cores.empty() || ls_cores.back() < be_cores.front(),
+                  "apply: overlapping core lists");
 
   // Shrink before grow, per resource type, so co-located apps never hold
   // the same core or way at any point in the sequence.

@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace sturgeon::ml {
@@ -60,7 +61,9 @@ double RandomForestRegressor::predict(const FeatureRow& row) const {
   if (trees_.empty()) throw std::logic_error("RFRegressor: not fitted");
   double acc = 0.0;
   for (const auto& tree : trees_) acc += tree.predict(row);
-  return acc / static_cast<double>(trees_.size());
+  const double mean = acc / static_cast<double>(trees_.size());
+  STURGEON_DCHECK(std::isfinite(mean), "RFRegressor: non-finite prediction");
+  return mean;
 }
 
 RandomForestClassifier::RandomForestClassifier(ForestParams params)

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace sturgeon::ml {
@@ -198,7 +199,10 @@ void MlpRegressor::fit(const DataSet& data) {
 double MlpRegressor::predict(const FeatureRow& row) const {
   if (!scaler_.fitted()) throw std::logic_error("MlpRegressor: not fitted");
   std::vector<std::vector<double>> acts;
-  return net_.forward(scaler_.transform(row), acts) * y_scale_ + y_mean_;
+  const double v = net_.forward(scaler_.transform(row), acts) * y_scale_ +
+                   y_mean_;
+  STURGEON_DCHECK(std::isfinite(v), "MlpRegressor: non-finite prediction");
+  return v;
 }
 
 MlpClassifier::MlpClassifier(MlpParams params) : params_(std::move(params)) {

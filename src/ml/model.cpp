@@ -1,12 +1,21 @@
 #include "ml/model.h"
 
+#include <cmath>
+
+#include "util/check.h"
+
 namespace sturgeon::ml {
 
 std::vector<double> Regressor::predict_batch(
     const std::vector<FeatureRow>& x) const {
   std::vector<double> out;
   out.reserve(x.size());
-  for (const auto& row : x) out.push_back(predict(row));
+  for (const auto& row : x) {
+    const double v = predict(row);
+    STURGEON_DCHECK(std::isfinite(v),
+                    "" << name() << ": non-finite prediction");
+    out.push_back(v);
+  }
   return out;
 }
 

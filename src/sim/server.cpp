@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "sim/cache_model.h"
+#include "util/check.h"
+#include "util/invariants.h"
 
 namespace sturgeon::sim {
 
@@ -152,6 +154,17 @@ ServerTelemetry SimulatedServer::step(double load_fraction) {
       partition_.ls, t.ls.utilization, ls_.power_activity, partition_.be,
       be_util, be_.power_activity, t.bw_gbps);
   t.power_w = power * (1.0 + noise_rng_.normal(0.0, config_.power_noise));
+
+  // The sample crosses into the telemetry/controller layers: everything a
+  // controller reads must be finite, and rates/powers non-negative.
+  STURGEON_DCHECK(std::isfinite(t.power_w) && t.power_w >= 0.0,
+                  "step: power = " << t.power_w);
+  STURGEON_DCHECK(std::isfinite(t.ls.p95_ms) && t.ls.p95_ms >= 0.0,
+                  "step: p95 = " << t.ls.p95_ms);
+  STURGEON_DCHECK(std::isfinite(t.be_throughput) && t.be_throughput >= 0.0,
+                  "step: be throughput = " << t.be_throughput);
+  STURGEON_DCHECK(std::isfinite(t.bw_gbps) && t.bw_gbps >= 0.0,
+                  "step: bandwidth = " << t.bw_gbps);
   return t;
 }
 

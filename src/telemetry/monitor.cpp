@@ -25,8 +25,8 @@ void QosMonitor::observe(const sim::ServerTelemetry& sample) {
   ++count_;
 }
 
-double QosMonitor::slack() const {
-  if (count_ == 0) return 1.0;
+std::optional<double> QosMonitor::slack() const {
+  if (count_ == 0) return std::nullopt;
   return latency_slack(last_p95_ms_, qos_target_ms_);
 }
 

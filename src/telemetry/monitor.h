@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 
 #include "sim/server.h"
 #include "util/stats.h"
@@ -24,8 +25,11 @@ class QosMonitor {
 
   void observe(const sim::ServerTelemetry& sample);
 
-  /// Slack of the most recent sample; +1 if nothing observed yet.
-  double slack() const;
+  /// Slack of the most recent sample, or std::nullopt before the first
+  /// observe() call (there is no meaningful slack with nothing observed;
+  /// the old interface returned a +1 sentinel that callers could silently
+  /// mistake for 100% headroom).
+  std::optional<double> slack() const;
 
   /// Most recent sample values.
   double p95_ms() const { return last_p95_ms_; }

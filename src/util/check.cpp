@@ -1,0 +1,21 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sturgeon::check_internal {
+
+void check_fail(const char* file, int line, const char* cond,
+                const std::string& message) {
+  if (message.empty()) {
+    std::fprintf(stderr, "%s:%d: STURGEON_CHECK failed: %s\n", file, line,
+                 cond);
+  } else {
+    std::fprintf(stderr, "%s:%d: STURGEON_CHECK failed: %s (%s)\n", file,
+                 line, cond, message.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sturgeon::check_internal

@@ -1,0 +1,102 @@
+// Invariant-contract macros used across the Sturgeon codebase.
+//
+// The runtime's promise is a *guarantee* -- QoS met and power under budget
+// every control interval -- so a wrong-but-plausible value crossing a layer
+// boundary is the failure mode to engineer against. These macros make every
+// cross-layer handoff assert its preconditions and abort with context the
+// moment an invariant is broken, instead of letting a silently invalid
+// <C1,F1,L1;C2,F2,L2> configuration reach the enforcer.
+//
+//   STURGEON_CHECK(cond)                always on; aborts with file:line and
+//                                       the condition text on failure
+//   STURGEON_CHECK(cond, "v = " << v)   optional streamed message; it must
+//                                       start with a string literal and is
+//                                       only evaluated on the failure path
+//   STURGEON_DCHECK(cond, ...)          debug/sanitizer builds only;
+//                                       compiles to nothing otherwise
+//   STURGEON_CHECK_RANGE(v, lo, hi)     inclusive-range check reporting the
+//                                       offending value and both bounds
+//   STURGEON_DCHECK_RANGE(v, lo, hi)    ditto, debug/sanitizer builds only
+//
+// Dchecks are enabled when NDEBUG is unset or when the build defines
+// STURGEON_ENABLE_DCHECKS=1 (the STURGEON_SANITIZE builds do; see the
+// top-level CMakeLists). Release builds pay one well-predicted branch per
+// CHECK and nothing at all per DCHECK.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sturgeon::check_internal {
+
+/// Prints "file:line: CHECK failed: cond (message)" to stderr and aborts.
+[[noreturn]] void check_fail(const char* file, int line, const char* cond,
+                             const std::string& message);
+
+/// Accumulates the optional failure message from streamed operands; only
+/// instantiated on the failure path, so the happy path never touches
+/// iostreams.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+  std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+};
+
+}  // namespace sturgeon::check_internal
+
+// The leading "" lets the message be omitted entirely and concatenates with
+// the message's leading string literal when present; the operands are never
+// evaluated while the condition holds.
+#define STURGEON_CHECK(cond, ...)                                \
+  do {                                                           \
+    if (!(cond)) [[unlikely]] {                                  \
+      ::sturgeon::check_internal::MessageBuilder sturgeon_mb_;   \
+      sturgeon_mb_ << "" __VA_ARGS__;                            \
+      ::sturgeon::check_internal::check_fail(__FILE__, __LINE__, \
+                                             #cond, sturgeon_mb_.str()); \
+    }                                                            \
+  } while (false)
+
+#define STURGEON_CHECK_RANGE(val, lo, hi)                                \
+  do {                                                                   \
+    const auto& sturgeon_v_ = (val);                                     \
+    const auto& sturgeon_lo_ = (lo);                                     \
+    const auto& sturgeon_hi_ = (hi);                                     \
+    if (!(sturgeon_lo_ <= sturgeon_v_ && sturgeon_v_ <= sturgeon_hi_))   \
+        [[unlikely]] {                                                   \
+      ::sturgeon::check_internal::MessageBuilder sturgeon_mb_;           \
+      sturgeon_mb_ << #val " = " << sturgeon_v_ << " outside ["          \
+                   << sturgeon_lo_ << ", " << sturgeon_hi_ << "]";       \
+      ::sturgeon::check_internal::check_fail(                            \
+          __FILE__, __LINE__, #val " in [" #lo ", " #hi "]",             \
+          sturgeon_mb_.str());                                           \
+    }                                                                    \
+  } while (false)
+
+#if !defined(STURGEON_ENABLE_DCHECKS)
+#if defined(NDEBUG)
+#define STURGEON_ENABLE_DCHECKS 0
+#else
+#define STURGEON_ENABLE_DCHECKS 1
+#endif
+#endif
+
+#if STURGEON_ENABLE_DCHECKS
+#define STURGEON_DCHECK(cond, ...) \
+  STURGEON_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#define STURGEON_DCHECK_RANGE(val, lo, hi) STURGEON_CHECK_RANGE(val, lo, hi)
+#else
+// Swallow the arguments without evaluating them; the sizeof keeps the
+// condition syntactically checked so it cannot rot in release builds.
+#define STURGEON_DCHECK(cond, ...) \
+  static_cast<void>(sizeof(static_cast<bool>(cond)))
+#define STURGEON_DCHECK_RANGE(val, lo, hi) \
+  static_cast<void>(sizeof(static_cast<bool>((lo) <= (val) && (val) <= (hi))))
+#endif

@@ -62,10 +62,8 @@ bool Rng::bernoulli(double p) { return next_double() < p; }
 
 double Rng::exponential(double rate) {
   if (rate <= 0.0) throw std::invalid_argument("Rng::exponential: rate <= 0");
-  double u;
-  do {
-    u = next_double();
-  } while (u <= 0.0);
+  double u = next_double();
+  while (u <= 0.0) u = next_double();
   return -std::log(u) / rate;
 }
 

@@ -6,8 +6,8 @@
 // recommended seeding procedure and avoids correlated low-entropy seeds.
 #pragma once
 
-#include <cstdint>
 #include <cmath>
+#include <cstdint>
 
 namespace sturgeon {
 

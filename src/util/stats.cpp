@@ -88,15 +88,13 @@ void P2Quantile::add(double x) {
   }
   ++count_;
 
-  int k;
+  int k = 0;
   if (x < q_[0]) {
     q_[0] = x;
-    k = 0;
   } else if (x >= q_[4]) {
     q_[4] = x;
     k = 3;
   } else {
-    k = 0;
     while (k < 3 && x >= q_[k + 1]) ++k;
   }
   for (int i = k + 1; i < 5; ++i) n_[i] += 1.0;

@@ -1,6 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
+#include <stdexcept>
+
+#include "util/check.h"
 
 namespace sturgeon {
 
@@ -14,13 +18,20 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  // Claim the worker threads under the lock so concurrent shutdown()
+  // calls (or shutdown racing the destructor) cannot join a thread twice;
+  // join outside the lock so draining workers can still pop tasks.
+  std::vector<std::thread> claimed;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
+    claimed.swap(workers_);
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : claimed) w.join();
 }
 
 void ThreadPool::worker_loop() {
@@ -39,7 +50,11 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  STURGEON_CHECK(fn != nullptr, "parallel_for: null body");
   if (n == 0) return;
+  if (size() == 0) {
+    throw std::runtime_error("ThreadPool::parallel_for after shutdown");
+  }
   const std::size_t blocks = std::min(n, size());
   const std::size_t chunk = (n + blocks - 1) / blocks;
   std::vector<std::future<void>> futs;
@@ -52,7 +67,19 @@ void ThreadPool::parallel_for(std::size_t n,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futs) f.get();
+  // Every block must finish before we rethrow: blocks borrow `fn` (and
+  // whatever its captures reference), so returning early would let still-
+  // running blocks touch dead stack frames. Futures are visited in block
+  // order, so the lowest-indexed failing block wins deterministically.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace sturgeon

@@ -14,6 +14,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -27,8 +28,14 @@ class ThreadPool {
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+  ThreadPool(ThreadPool&&) = delete;
+  ThreadPool& operator=(ThreadPool&&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+
+  /// Drain queued tasks and join the workers. Idempotent; the destructor
+  /// calls it. After shutdown, submit() and parallel_for() throw.
+  void shutdown();
 
   /// Enqueue a task; the returned future rethrows task exceptions.
   template <typename F>
@@ -48,7 +55,9 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n), blocking until all complete. Work is
-  /// block-partitioned; exceptions from any block are rethrown (first one).
+  /// block-partitioned; if blocks throw, the exception from the
+  /// lowest-indexed failing block is rethrown after every block has
+  /// finished (so no block can outlive `fn` or its captures).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -29,9 +29,10 @@ TEST(LatencySlack, Definition) {
 
 TEST(QosMonitor, TracksLatestSample) {
   QosMonitor mon(10.0);
-  EXPECT_DOUBLE_EQ(mon.slack(), 1.0);  // nothing observed yet
+  EXPECT_FALSE(mon.slack().has_value());  // nothing observed yet
   mon.observe(sample_with(8.0, 90.0));
-  EXPECT_DOUBLE_EQ(mon.slack(), 0.2);
+  ASSERT_TRUE(mon.slack().has_value());
+  EXPECT_DOUBLE_EQ(*mon.slack(), 0.2);
   EXPECT_DOUBLE_EQ(mon.p95_ms(), 8.0);
   EXPECT_DOUBLE_EQ(mon.power_w(), 90.0);
   EXPECT_DOUBLE_EQ(mon.qps(), 12000.0);

@@ -1,0 +1,131 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/invariants.h"
+#include "util/types.h"
+
+namespace sturgeon {
+namespace {
+
+TEST(SturgeonCheck, PassingCheckIsSilent) {
+  STURGEON_CHECK(1 + 1 == 2);
+  STURGEON_CHECK(true, "never rendered");
+  STURGEON_CHECK_RANGE(5, 1, 10);
+  SUCCEED();
+}
+
+TEST(SturgeonCheck, MessageOperandsNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return 7;
+  };
+  STURGEON_CHECK(true, "value = " << count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(SturgeonCheckDeathTest, FailureAbortsWithContext) {
+  EXPECT_DEATH(STURGEON_CHECK(false), "STURGEON_CHECK failed: false");
+  const int x = 41;
+  EXPECT_DEATH(STURGEON_CHECK(x > 41, "x = " << x), "x = 41");
+}
+
+TEST(SturgeonCheckDeathTest, RangeFailureReportsValueAndBounds) {
+  const int v = 42;
+  EXPECT_DEATH(STURGEON_CHECK_RANGE(v, 0, 10), "v = 42 outside \\[0, 10\\]");
+  EXPECT_DEATH(STURGEON_CHECK_RANGE(-1.5, 0.0, 1.0), "outside \\[0, 1\\]");
+}
+
+#if STURGEON_ENABLE_DCHECKS
+TEST(SturgeonCheckDeathTest, DcheckActiveInDebugBuilds) {
+  EXPECT_DEATH(STURGEON_DCHECK(false, "dcheck fired"), "dcheck fired");
+  EXPECT_DEATH(STURGEON_DCHECK_RANGE(99, 0, 10), "outside");
+}
+#else
+TEST(SturgeonCheck, DcheckCompiledOutInRelease) {
+  int evaluations = 0;
+  const auto boom = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  STURGEON_DCHECK(boom(), "never");
+  STURGEON_DCHECK_RANGE(99, 0, 10);
+  EXPECT_EQ(evaluations, 0);  // disabled dchecks evaluate nothing
+}
+#endif
+
+// ---- domain invariant helpers ------------------------------------------
+
+TEST(Invariants, ValidConfigPasses) {
+  const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+  Partition p;
+  p.ls = AppSlice{8, 3, 7};
+  p.be = AppSlice{12, 5, 13};
+  ValidateConfig(m, p, "test");
+  ValidateConfig(m, Partition::all_to_ls(m), "test");  // empty BE allowed
+  SUCCEED();
+}
+
+TEST(InvariantsDeathTest, RejectsMalformedConfigs) {
+  const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
+  Partition p;
+  p.ls = AppSlice{8, 3, 7};
+  p.be = AppSlice{12, 5, 13};
+
+  Partition bad = p;
+  bad.ls.cores = 0;
+  EXPECT_DEATH(ValidateConfig(m, bad, "test"), "LS cores = 0");
+
+  bad = p;
+  bad.be.cores = 13;  // total 21 > 20
+  EXPECT_DEATH(ValidateConfig(m, bad, "test"), "core total 21");
+
+  bad = p;
+  bad.be.llc_ways = 14;  // total 21 > 20
+  EXPECT_DEATH(ValidateConfig(m, bad, "test"), "way total 21");
+
+  bad = p;
+  bad.ls.freq_level = m.num_freq_levels();
+  EXPECT_DEATH(ValidateConfig(m, bad, "test"), "P-state");
+
+  EXPECT_DEATH(
+      ValidateConfig(m, Partition::all_to_ls(m), "test",
+                     /*allow_empty_be=*/false),
+      "empty BE slice");
+}
+
+TEST(Invariants, PowerBudget) {
+  ValidatePowerBudget(105.0, "test");
+  SUCCEED();
+}
+
+TEST(InvariantsDeathTest, RejectsBadPowerBudgets) {
+  EXPECT_DEATH(ValidatePowerBudget(0.0, "test"), "finite and > 0");
+  EXPECT_DEATH(ValidatePowerBudget(-5.0, "test"), "finite and > 0");
+  EXPECT_DEATH(
+      ValidatePowerBudget(std::numeric_limits<double>::quiet_NaN(), "test"),
+      "finite and > 0");
+}
+
+TEST(Invariants, ModelOutputPassesThroughValue) {
+  EXPECT_DOUBLE_EQ(ValidateModelOutput(12.5, "power"), 12.5);
+  EXPECT_DOUBLE_EQ(ValidateModelOutput(-0.25, "resid", true), -0.25);
+}
+
+TEST(InvariantsDeathTest, RejectsBadModelOutputs) {
+  EXPECT_DEATH(
+      ValidateModelOutput(std::numeric_limits<double>::infinity(), "power"),
+      "not finite");
+  EXPECT_DEATH(
+      ValidateModelOutput(std::numeric_limits<double>::quiet_NaN(), "power",
+                          true),
+      "not finite");
+  EXPECT_DEATH(ValidateModelOutput(-1.0, "power"), "< 0");
+}
+
+}  // namespace
+}  // namespace sturgeon

@@ -1,0 +1,123 @@
+// TSan-targeted stress tests for ThreadPool.
+//
+// These tests exist primarily for the STURGEON_SANITIZE=thread build: many
+// external producer threads hammer submit()/parallel_for() on one shared
+// pool so that any missing synchronization on the queue, the stopping flag
+// or the futures shows up as a reported race rather than a rare flake. The
+// assertions still verify full delivery, so the tests are meaningful (if
+// less sharp) in plain builds too.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace sturgeon {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentProducersSubmit) {
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 250;
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &sum] {
+      std::vector<std::future<void>> futs;
+      futs.reserve(kTasksPerProducer);
+      for (int i = 1; i <= kTasksPerProducer; ++i) {
+        futs.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+      }
+      for (auto& f : futs) f.get();
+    });
+  }
+  for (auto& t : producers) t.join();
+  const long per_producer = kTasksPerProducer * (kTasksPerProducer + 1L) / 2L;
+  EXPECT_EQ(sum.load(), kProducers * per_producer);
+}
+
+TEST(ThreadPoolStress, ConcurrentParallelForCallers) {
+  // parallel_for from several caller threads at once: the blocks of all
+  // callers interleave in the shared queue.
+  constexpr int kCallers = 3;
+  constexpr std::size_t kN = 512;
+  ThreadPool pool(4);
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& v : hits) {
+    v = std::vector<std::atomic<int>>(kN);
+  }
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      pool.parallel_for(kN, [&hits, c](std::size_t i) {
+        hits[static_cast<std::size_t>(c)][i].fetch_add(1);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& v : hits) {
+    for (const auto& h : v) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolStress, ProducersRacingShutdown) {
+  // Producers keep submitting while another thread shuts the pool down;
+  // every submit either succeeds (and its task runs: shutdown drains the
+  // queue) or throws the documented runtime_error. Nothing may be lost.
+  ThreadPool pool(2);
+  std::atomic<long> executed{0};
+  std::atomic<long> accepted{0};
+  constexpr int kProducers = 3;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (;;) {
+        try {
+          pool.submit([&executed] { executed.fetch_add(1); });
+          accepted.fetch_add(1);
+        } catch (const std::runtime_error&) {
+          return;  // pool shut down
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pool.shutdown();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(executed.load(), accepted.load());
+}
+
+TEST(ThreadPoolStress, ExceptionsUnderConcurrency) {
+  // Throwing tasks racing non-throwing ones must not corrupt delivery.
+  ThreadPool pool(4);
+  std::atomic<int> ok{0};
+  std::atomic<int> threw{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(400);
+  for (int i = 0; i < 400; ++i) {
+    futs.push_back(pool.submit([i] {
+      if (i % 7 == 0) throw std::runtime_error("boom");
+    }));
+  }
+  for (auto& f : futs) {
+    try {
+      f.get();
+      ok.fetch_add(1);
+    } catch (const std::runtime_error&) {
+      threw.fetch_add(1);
+    }
+  }
+  EXPECT_EQ(threw.load(), 400 / 7 + 1);
+  EXPECT_EQ(ok.load() + threw.load(), 400);
+}
+
+}  // namespace
+}  // namespace sturgeon

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Dependency-free custom linter for the Sturgeon repository.
+
+Registered as a ctest test (`lint.sturgeon`) so `ctest` fails on any
+violation. Checks are deliberately conservative -- every rule is either
+mechanical (pragma once, include order) or bans a call that has a strictly
+better replacement in this codebase (Rng over std::rand, log.h over printf,
+containers/smart pointers over raw new/delete).
+
+Rules:
+  SL001  header file missing `#pragma once`
+  SL002  banned call: std::rand/srand (use util/rng.h), printf/puts to
+         stdout (use util/log.h or fprintf/snprintf with explicit streams)
+  SL003  raw `new` / `delete` expression (use containers or smart pointers)
+  SL004  include-order hygiene: within a contiguous include block, <...>
+         includes must precede "..." includes, and each group must be
+         alphabetically sorted
+  SL005  TODO/FIXME without an issue reference (write `TODO(#123): ...`)
+  SL006  `using namespace` at file scope in a header
+
+Run locally:  python3 tools/lint.py [--root .] [--list-rules]
+Exit status:  0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+HEADER_SUFFIXES = {".h", ".hpp"}
+CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+
+BANNED_CALLS = (
+    # (regex on comment/string-stripped code, message)
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\("),
+     "std::rand/srand banned: use util/rng.h (seedable, reproducible)"),
+    (re.compile(r"(?<![\w:])(?:std::)?printf\s*\(|(?<![\w:])puts\s*\("),
+     "printf/puts banned: use util/log.h (or fprintf/snprintf with an "
+     "explicit stream)"),
+)
+
+RAW_NEW_RE = re.compile(r"(?<![\w_])new\s+[A-Za-z_:<]")
+RAW_DELETE_RE = re.compile(r"(?<![\w_])delete(\s*\[\s*\])?\s+[A-Za-z_:*(]")
+TODO_RE = re.compile(r"\b(TODO|FIXME)\b(?!\(#\d+\))")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line breaks.
+
+    A lexer-lite pass: good enough for banned-token scans without false
+    positives from documentation or log messages.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":  # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":  # block comment
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c in "\"'":  # string / char literal
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.violations: list[tuple[Path, int, str, str]] = []
+
+    def report(self, path: Path, line: int, rule: str, msg: str) -> None:
+        self.violations.append((path.relative_to(self.root), line, rule, msg))
+
+    # -- rules ------------------------------------------------------------
+
+    def check_pragma_once(self, path: Path, text: str) -> None:
+        if path.suffix not in HEADER_SUFFIXES:
+            return
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if line.strip() == "#pragma once":
+                return
+        self.report(path, 1, "SL001", "header is missing `#pragma once`")
+
+    def check_banned_calls(self, path: Path, stripped: str) -> None:
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            for pattern, msg in BANNED_CALLS:
+                if pattern.search(line):
+                    self.report(path, lineno, "SL002", msg)
+            if RAW_NEW_RE.search(line) or RAW_DELETE_RE.search(line):
+                self.report(
+                    path, lineno, "SL003",
+                    "raw new/delete banned: use containers or smart pointers")
+
+    def check_include_order(self, path: Path, text: str) -> None:
+        lines = text.splitlines()
+        block: list[tuple[int, str]] = []  # (lineno, include spec)
+        for lineno, line in enumerate(lines + [""], 1):
+            m = INCLUDE_RE.match(line)
+            if m:
+                block.append((lineno, m.group(1)))
+                continue
+            if block:
+                self._check_include_block(path, block)
+                block = []
+
+    def _check_include_block(self, path: Path,
+                             block: list[tuple[int, str]]) -> None:
+        # Within one contiguous block: system includes first, then project
+        # includes, each group sorted. Blocks are separated by blank lines,
+        # so the conventional own-header / system / project grouping is
+        # expressible and only intra-block disorder is flagged.
+        seen_quoted = False
+        prev_system: str | None = None
+        prev_quoted: str | None = None
+        for lineno, spec in block:
+            if spec.startswith("<"):
+                if seen_quoted:
+                    self.report(
+                        path, lineno, "SL004",
+                        f"system include {spec} after project includes in "
+                        "the same block (separate groups with a blank line)")
+                elif prev_system is not None and spec < prev_system:
+                    self.report(
+                        path, lineno, "SL004",
+                        f"system include {spec} not sorted (after "
+                        f"{prev_system})")
+                prev_system = spec if prev_system is None \
+                    else max(prev_system, spec)
+            else:
+                seen_quoted = True
+                if prev_quoted is not None and spec < prev_quoted:
+                    self.report(
+                        path, lineno, "SL004",
+                        f"project include {spec} not sorted (after "
+                        f"{prev_quoted})")
+                prev_quoted = spec if prev_quoted is None \
+                    else max(prev_quoted, spec)
+
+    def check_todo_hygiene(self, path: Path, text: str) -> None:
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if TODO_RE.search(line):
+                self.report(
+                    path, lineno, "SL005",
+                    "TODO/FIXME without an issue reference: write "
+                    "`TODO(#123): ...`")
+
+    def check_using_namespace(self, path: Path, stripped: str) -> None:
+        if path.suffix not in HEADER_SUFFIXES:
+            return
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            if USING_NAMESPACE_RE.match(line):
+                self.report(
+                    path, lineno, "SL006",
+                    "`using namespace` in a header leaks into every "
+                    "includer")
+
+    # -- driver -----------------------------------------------------------
+
+    def lint_file(self, path: Path) -> None:
+        if path == Path(__file__).resolve():
+            return  # the rule docs here would trip the TODO check
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as e:
+            self.report(path, 1, "SL000", f"unreadable: {e}")
+            return
+        if path.suffix in CXX_SUFFIXES:
+            stripped = strip_comments_and_strings(text)
+            self.check_pragma_once(path, text)
+            self.check_banned_calls(path, stripped)
+            self.check_include_order(path, text)
+            self.check_using_namespace(path, stripped)
+        self.check_todo_hygiene(path, text)
+
+    def run(self) -> int:
+        files: list[Path] = []
+        for d in SOURCE_DIRS:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in CXX_SUFFIXES | {".py"} and path.is_file():
+                    files.append(path)
+        for path in files:
+            self.lint_file(path)
+        if self.violations:
+            for path, line, rule, msg in self.violations:
+                print(f"{path}:{line}: [{rule}] {msg}")
+            print(f"\nlint.py: {len(self.violations)} violation(s) in "
+                  f"{len(files)} files")
+            return 1
+        print(f"lint.py: OK ({len(files)} files clean)")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and exit")
+    args = parser.parse_args()
+    if args.list_rules:
+        print(__doc__)
+        return 0
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"lint.py: no such directory: {root}", file=sys.stderr)
+        return 2
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
