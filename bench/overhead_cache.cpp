@@ -1,0 +1,202 @@
+// Inference fast-path overhead: cached vs uncached configuration search
+// and batched vs scalar model inference (extension of the Section VII-E
+// overhead experiments). Demonstrates the prediction cache's steady-state
+// claim: at a fixed QPS bucket a warmed search issues ~0 model calls --
+// every answer is a dense-table lookup -- while results stay bit-identical
+// to the uncached search (asserted by tests/core/prediction_cache_test).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/config_search.h"
+#include "core/features.h"
+#include "core/prediction_cache.h"
+#include "exp/model_registry.h"
+#include "util/thread_pool.h"
+
+using namespace sturgeon;
+
+namespace {
+
+struct Fixture {
+  core::TrainedModels models;
+  MachineSpec machine;
+  double budget = 0.0;
+  double qps = 0.0;
+
+  static const Fixture& get() {
+    static const Fixture f = [] {
+      Fixture fx;
+      const auto& ls = find_ls("memcached");
+      const auto& be = find_be("rt");
+      const auto cfg = bench::trainer_config();
+      fx.models = core::assemble_models(exp::ls_models_for(ls, cfg),
+                                        exp::be_models_for(be, cfg));
+      fx.machine = cfg.server.machine;
+      sim::SimulatedServer probe(ls, be, 7);
+      fx.budget = probe.power_budget_w();
+      fx.qps = 0.35 * ls.peak_qps;
+      return fx;
+    }();
+    return f;
+  }
+};
+
+std::unique_ptr<core::Predictor> make_predictor(bool cached) {
+  const auto& fx = Fixture::get();
+  auto p = std::make_unique<core::Predictor>(fx.machine, fx.models);
+  if (cached) p->enable_cache();
+  return p;
+}
+
+void run_search_bench(benchmark::State& state, bool cached, bool exhaustive) {
+  const auto& fx = Fixture::get();
+  auto predictor = make_predictor(cached);
+  core::ConfigSearch search(*predictor, fx.budget);
+  if (cached) {
+    // Warm the dense tables: the bench reports the steady-state cost.
+    benchmark::DoNotOptimize(exhaustive ? search.exhaustive(fx.qps)
+                                        : search.search(fx.qps));
+  }
+  std::uint64_t invocations = 0, searches = 0;
+  for (auto _ : state) {
+    const auto result =
+        exhaustive ? search.exhaustive(fx.qps) : search.search(fx.qps);
+    benchmark::DoNotOptimize(result.best);
+    invocations += result.model_invocations;
+    ++searches;
+  }
+  state.counters["model_calls_per_search"] =
+      static_cast<double>(invocations) / static_cast<double>(searches);
+  const auto s = predictor->cache_stats();
+  if (s.hits + s.misses > 0) {
+    state.counters["cache_hit_rate"] = s.hit_rate();
+  }
+}
+
+void BM_SturgeonSearchUncached(benchmark::State& state) {
+  run_search_bench(state, /*cached=*/false, /*exhaustive=*/false);
+}
+
+void BM_SturgeonSearchCached(benchmark::State& state) {
+  run_search_bench(state, /*cached=*/true, /*exhaustive=*/false);
+}
+
+void BM_ExhaustiveSearchUncached(benchmark::State& state) {
+  run_search_bench(state, /*cached=*/false, /*exhaustive=*/true);
+}
+
+void BM_ExhaustiveSearchCached(benchmark::State& state) {
+  run_search_bench(state, /*cached=*/true, /*exhaustive=*/true);
+}
+
+void BM_SturgeonSearchParallelCached(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  auto predictor = make_predictor(/*cached=*/true);
+  core::ConfigSearch search(*predictor, fx.budget);
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  benchmark::DoNotOptimize(search.search_parallel(fx.qps, pool));  // warm
+  std::uint64_t invocations = 0, searches = 0;
+  for (auto _ : state) {
+    const auto result = search.search_parallel(fx.qps, pool);
+    benchmark::DoNotOptimize(result.best);
+    invocations += result.model_invocations;
+    ++searches;
+  }
+  state.counters["model_calls_per_search"] =
+      static_cast<double>(invocations) / static_cast<double>(searches);
+  state.counters["cache_hit_rate"] = predictor->cache_stats().hit_rate();
+}
+
+/// One dense-table sweep (every slice in the cache geometry) through the
+/// deployed LS power regressor: scalar loop vs one predict_batch call.
+std::vector<ml::FeatureRow> table_rows() {
+  const auto& fx = Fixture::get();
+  core::PredictionCache geometry(fx.machine, {});
+  std::vector<ml::FeatureRow> rows;
+  rows.reserve(geometry.table_size());
+  for (std::size_t i = 0; i < geometry.table_size(); ++i) {
+    rows.push_back(
+        core::ls_features(fx.machine, fx.qps, geometry.slice_at(i)));
+  }
+  return rows;
+}
+
+void BM_ScalarPredictTableSweep(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const auto rows = table_rows();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto& row : rows) acc += fx.models.ls_power->predict(row);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+  state.SetLabel(fx.models.ls_power->name());
+}
+
+void BM_BatchPredictTableSweep(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const auto rows = table_rows();
+  const std::size_t stride = rows[0].size();
+  std::vector<double> flat;
+  flat.reserve(rows.size() * stride);
+  for (const auto& row : rows) flat.insert(flat.end(), row.begin(), row.end());
+  std::vector<double> out(rows.size());
+  for (auto _ : state) {
+    fx.models.ls_power->predict_batch(flat.data(), rows.size(), stride,
+                                      out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+  state.SetLabel(fx.models.ls_power->name());
+}
+
+void BM_ScalarClassifyTableSweep(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const auto rows = table_rows();
+  for (auto _ : state) {
+    int acc = 0;
+    for (const auto& row : rows) acc += fx.models.ls_qos->predict(row);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+  state.SetLabel(fx.models.ls_qos->name());
+}
+
+void BM_BatchClassifyTableSweep(benchmark::State& state) {
+  const auto& fx = Fixture::get();
+  const auto rows = table_rows();
+  const std::size_t stride = rows[0].size();
+  std::vector<double> flat;
+  flat.reserve(rows.size() * stride);
+  for (const auto& row : rows) flat.insert(flat.end(), row.begin(), row.end());
+  std::vector<int> out(rows.size());
+  for (auto _ : state) {
+    fx.models.ls_qos->predict_batch(flat.data(), rows.size(), stride,
+                                    out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+  state.SetLabel(fx.models.ls_qos->name());
+}
+
+}  // namespace
+
+BENCHMARK(BM_SturgeonSearchUncached)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SturgeonSearchCached)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SturgeonSearchParallelCached)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ExhaustiveSearchUncached)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExhaustiveSearchCached)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScalarPredictTableSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchPredictTableSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScalarClassifyTableSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchClassifyTableSweep)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

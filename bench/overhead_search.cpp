@@ -59,9 +59,15 @@ void BM_SturgeonSearchParallel(benchmark::State& state) {
   const auto& fx = Fixture::get();
   core::ConfigSearch search(*fx.predictor, fx.budget);
   ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t invocations = 0, searches = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(search.search_parallel(fx.qps, pool));
+    const auto result = search.search_parallel(fx.qps, pool);
+    benchmark::DoNotOptimize(result.best);
+    invocations += result.model_invocations;
+    ++searches;
   }
+  state.counters["model_calls_per_search"] =
+      static_cast<double>(invocations) / static_cast<double>(searches);
 }
 
 void BM_ExhaustiveSearch(benchmark::State& state) {

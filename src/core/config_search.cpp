@@ -111,6 +111,28 @@ std::optional<int> ConfigSearch::max_be_freq(double qps_real,
   return lo;
 }
 
+std::optional<Candidate> ConfigSearch::evaluate_candidate(double qps_real,
+                                                          int c1) const {
+  const MachineSpec& m = predictor_.machine();
+  AppSlice ls{c1, m.max_freq_level(), m.llc_ways};
+  // Just-enough ways, then just-enough frequency (Section V-B order).
+  ls.llc_ways = min_ls_ways(qps_real, ls);
+  if (ls.llc_ways >= m.llc_ways) return std::nullopt;  // nothing left for BE
+  ls.freq_level = min_ls_freq(qps_real, ls);
+
+  AppSlice be = complement_slice(m, ls, 0);
+  if (be.cores < 1 || be.llc_ways < 1) return std::nullopt;
+  const auto f2 = max_be_freq(qps_real, ls, be);
+  if (!f2) return std::nullopt;  // power infeasible even at the bottom P-state
+  be.freq_level = *f2;
+
+  Candidate cand;
+  cand.partition = Partition{ls, be};
+  cand.predicted_throughput = predictor_.be_throughput(be);
+  cand.predicted_power_w = predictor_.total_power_w(qps_real, cand.partition);
+  return cand;
+}
+
 SearchResult ConfigSearch::search(double qps_real) const {
   const MachineSpec& m = predictor_.machine();
   const std::uint64_t invocations_before = predictor_.model_invocations();
@@ -131,35 +153,20 @@ SearchResult ConfigSearch::search(double qps_real) const {
   result.candidates.reserve(
       static_cast<std::size_t>(m.num_cores - *c1_min));
   for (int c1 = *c1_min; c1 < m.num_cores; ++c1) {
-    AppSlice ls{c1, m.max_freq_level(), m.llc_ways};
-    // Just-enough ways, then just-enough frequency (Section V-B order).
-    ls.llc_ways = min_ls_ways(qps_real, ls);
-    if (ls.llc_ways >= m.llc_ways) continue;  // nothing left for the BE app
-    ls.freq_level = min_ls_freq(qps_real, ls);
-
-    AppSlice be = complement_slice(m, ls, 0);
-    if (be.cores < 1 || be.llc_ways < 1) continue;
-    const auto f2 = max_be_freq(qps_real, ls, be);
-    if (!f2) continue;  // power infeasible even at the bottom P-state
-    be.freq_level = *f2;
-
-    Candidate cand;
-    cand.partition = Partition{ls, be};
-    cand.predicted_throughput = predictor_.be_throughput(be);
-    cand.predicted_power_w =
-        predictor_.total_power_w(qps_real, cand.partition);
-    result.candidates.push_back(cand);
+    const auto cand = evaluate_candidate(qps_real, c1);
+    if (!cand) continue;
+    result.candidates.push_back(*cand);
 
     if (!result.feasible ||
-        cand.predicted_throughput > result.predicted_throughput) {
+        cand->predicted_throughput > result.predicted_throughput) {
       result.feasible = true;
-      result.best = cand.partition;
-      result.predicted_throughput = cand.predicted_throughput;
-      result.predicted_power_w = cand.predicted_power_w;
+      result.best = cand->partition;
+      result.predicted_throughput = cand->predicted_throughput;
+      result.predicted_power_w = cand->predicted_power_w;
     }
     // Once the BE slice already runs at the top P-state, shrinking it
     // further cannot raise its frequency any more: stop (Section V-B).
-    if (*f2 == m.max_freq_level()) break;
+    if (cand->partition.be.freq_level == m.max_freq_level()) break;
   }
 
   result.model_invocations =
@@ -190,22 +197,7 @@ SearchResult ConfigSearch::search_parallel(double qps_real,
   std::vector<std::optional<Candidate>> evaluated(
       static_cast<std::size_t>(count));
   pool.parallel_for(static_cast<std::size_t>(count), [&](std::size_t i) {
-    const int c1 = first + static_cast<int>(i);
-    AppSlice ls{c1, m.max_freq_level(), m.llc_ways};
-    ls.llc_ways = min_ls_ways(qps_real, ls);
-    if (ls.llc_ways >= m.llc_ways) return;
-    ls.freq_level = min_ls_freq(qps_real, ls);
-    AppSlice be = complement_slice(m, ls, 0);
-    if (be.cores < 1 || be.llc_ways < 1) return;
-    const auto f2 = max_be_freq(qps_real, ls, be);
-    if (!f2) return;
-    be.freq_level = *f2;
-    Candidate cand;
-    cand.partition = Partition{ls, be};
-    cand.predicted_throughput = predictor_.be_throughput(be);
-    cand.predicted_power_w = predictor_.total_power_w(qps_real,
-                                                      cand.partition);
-    evaluated[i] = cand;
+    evaluated[i] = evaluate_candidate(qps_real, first + static_cast<int>(i));
   });
 
   result.candidates.reserve(evaluated.size());
@@ -241,14 +233,14 @@ SearchResult ConfigSearch::exhaustive(double qps_real) const {
         for (int f2 = m.max_freq_level(); f2 >= 0; --f2) {
           AppSlice be = complement_slice(m, ls, f2);
           Partition p{ls, be};
-          if (predictor_.total_power_w(qps_real, p) > budget_w_) continue;
+          const double power = predictor_.total_power_w(qps_real, p);
+          if (power > budget_w_) continue;
           const double thr = predictor_.be_throughput(be);
           if (!result.feasible || thr > result.predicted_throughput) {
             result.feasible = true;
             result.best = p;
             result.predicted_throughput = thr;
-            result.predicted_power_w =
-                predictor_.total_power_w(qps_real, p);
+            result.predicted_power_w = power;
           }
           break;  // lower F2 can only reduce throughput
         }

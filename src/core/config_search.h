@@ -74,6 +74,12 @@ class ConfigSearch {
   std::optional<int> max_be_freq(double qps_real, const AppSlice& ls,
                                  AppSlice be) const;
 
+  /// Evaluate one candidate LS core count: just-enough ways and
+  /// frequency, BE complement, budget-limited F2, predicted throughput
+  /// and power. Shared by search() and search_parallel(); nullopt when
+  /// the candidate leaves nothing for the BE app or busts the budget.
+  std::optional<Candidate> evaluate_candidate(double qps_real, int c1) const;
+
   const Predictor& predictor_;
   double budget_w_;
 };

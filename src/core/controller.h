@@ -59,6 +59,9 @@ class SturgeonController : public Policy {
 
   const ResourceBalancer& balancer() const { return balancer_; }
 
+  /// The shared predictor (e.g. for cache/invocation statistics).
+  const Predictor& predictor() const { return *predictor_; }
+
   /// Current compensation reserves (for tracing/tests).
   struct Reserves {
     int cores = 0;

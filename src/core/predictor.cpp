@@ -10,26 +10,143 @@
 
 namespace sturgeon::core {
 
-Predictor::Predictor(const MachineSpec& machine, TrainedModels models)
-    : machine_(machine), models_(std::move(models)) {
-  if (!models_.ls_qos || !models_.ls_power || !models_.be_ipc ||
-      !models_.be_power) {
+namespace {
+
+/// Flattened feature matrix covering every dense-table slice, in
+/// slice_at() order. `row_fn` maps an AppSlice to its FeatureRow, so the
+/// fills reuse the exact feature encoding of the scalar paths.
+template <typename RowFn>
+std::vector<double> build_feature_matrix(const PredictionCache& cache,
+                                         RowFn&& row_fn,
+                                         std::size_t* stride_out) {
+  const std::size_t n = cache.table_size();
+  std::vector<double> xs;
+  std::size_t stride = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ml::FeatureRow row = row_fn(cache.slice_at(i));
+    if (i == 0) {
+      stride = row.size();
+      xs.reserve(n * stride);
+    }
+    STURGEON_DCHECK(row.size() == stride, "feature matrix: ragged row");
+    xs.insert(xs.end(), row.begin(), row.end());
+  }
+  *stride_out = stride;
+  return xs;
+}
+
+}  // namespace
+
+TrainedModels Predictor::validate_models(TrainedModels models) {
+  if (!models.ls_qos || !models.ls_power || !models.be_ipc ||
+      !models.be_power) {
     throw std::invalid_argument("Predictor: missing trained models");
   }
+  return models;
+}
+
+Predictor::Predictor(const MachineSpec& machine, TrainedModels models)
+    : machine_(machine), models_(validate_models(std::move(models))) {
   STURGEON_CHECK(machine_.num_cores >= 1 && machine_.llc_ways >= 1 &&
                      machine_.num_freq_levels() >= 1,
                  "Predictor: degenerate machine spec");
 }
 
+void Predictor::enable_cache(PredictionCacheConfig config) {
+  cache_ = std::make_unique<PredictionCache>(machine_, config);
+}
+
+void Predictor::disable_cache() { cache_.reset(); }
+
+void Predictor::swap_models(TrainedModels models) {
+  models_ = validate_models(std::move(models));
+  if (cache_) cache_->invalidate();
+}
+
+telemetry::PredictionCacheStats Predictor::cache_stats() const {
+  return cache_ ? cache_->stats() : telemetry::PredictionCacheStats{};
+}
+
+void Predictor::fill_ls_qos_table(double qps_real,
+                                  std::vector<int>& table) const {
+  std::size_t stride = 0;
+  const auto xs = build_feature_matrix(
+      *cache_,
+      [&](const AppSlice& s) { return ls_features(machine_, qps_real, s); },
+      &stride);
+  models_.ls_qos->predict_batch(xs.data(), table.size(), stride, table.data());
+  counters_.ls_qos.fetch_add(table.size(), std::memory_order_relaxed);
+}
+
+void Predictor::fill_ls_power_table(double qps_real,
+                                    std::vector<double>& table) const {
+  std::size_t stride = 0;
+  const auto xs = build_feature_matrix(
+      *cache_,
+      [&](const AppSlice& s) { return ls_features(machine_, qps_real, s); },
+      &stride);
+  models_.ls_power->predict_batch(xs.data(), table.size(), stride,
+                                  table.data());
+  for (double& v : table) {
+    v = ValidateModelOutput(v, "ls_power", /*allow_negative=*/true);
+  }
+  counters_.ls_power.fetch_add(table.size(), std::memory_order_relaxed);
+}
+
+void Predictor::fill_be_ipc_table(std::vector<double>& table) const {
+  std::size_t stride = 0;
+  const auto xs = build_feature_matrix(
+      *cache_,
+      [&](const AppSlice& s) {
+        return be_features(machine_, kNativeInputLevel, s);
+      },
+      &stride);
+  models_.be_ipc->predict_batch(xs.data(), table.size(), stride, table.data());
+  for (double& v : table) {
+    v = std::max(0.0, ValidateModelOutput(v, "be_ipc",
+                                          /*allow_negative=*/true));
+  }
+  counters_.be_ipc.fetch_add(table.size(), std::memory_order_relaxed);
+}
+
+void Predictor::fill_be_power_table(std::vector<double>& table) const {
+  std::size_t stride = 0;
+  const auto xs = build_feature_matrix(
+      *cache_,
+      [&](const AppSlice& s) {
+        return be_features(machine_, kNativeInputLevel, s);
+      },
+      &stride);
+  models_.be_power->predict_batch(xs.data(), table.size(), stride,
+                                  table.data());
+  for (double& v : table) {
+    v = std::max(0.0, ValidateModelOutput(v, "be_power",
+                                          /*allow_negative=*/true));
+  }
+  counters_.be_power.fetch_add(table.size(), std::memory_order_relaxed);
+}
+
 bool Predictor::ls_qos_ok(double qps_real, const AppSlice& slice) const {
   STURGEON_DCHECK(std::isfinite(qps_real) && qps_real >= 0.0,
                   "ls_qos_ok: qps = " << qps_real);
-  invocations_.fetch_add(1, std::memory_order_relaxed);
+  if (PredictionCache* cache = cache_.get()) {
+    return cache->ls_qos(qps_real, slice,
+                         [this](double q, std::vector<int>& t) {
+                           fill_ls_qos_table(q, t);
+                         }) == 1;
+  }
+  counters_.ls_qos.fetch_add(1, std::memory_order_relaxed);
   return models_.ls_qos->predict(ls_features(machine_, qps_real, slice)) == 1;
 }
 
 double Predictor::ls_power_w(double qps_real, const AppSlice& slice) const {
-  invocations_.fetch_add(1, std::memory_order_relaxed);
+  if (PredictionCache* cache = cache_.get()) {
+    return cache->ls_power(qps_real, slice,
+                           [this](double q, std::vector<double>& t) {
+                             fill_ls_power_table(q, t);
+                           });
+  }
+  counters_.ls_power.fetch_add(1, std::memory_order_relaxed);
   // A regression model may extrapolate slightly below zero at the edge of
   // the feature space; that is benign, but non-finite output never is.
   return ValidateModelOutput(
@@ -39,7 +156,12 @@ double Predictor::ls_power_w(double qps_real, const AppSlice& slice) const {
 
 double Predictor::be_power_w(const AppSlice& slice) const {
   if (slice.cores == 0) return 0.0;
-  invocations_.fetch_add(1, std::memory_order_relaxed);
+  if (PredictionCache* cache = cache_.get()) {
+    return cache->be_power(slice, [this](double, std::vector<double>& t) {
+      fill_be_power_table(t);
+    });
+  }
+  counters_.be_power.fetch_add(1, std::memory_order_relaxed);
   return std::max(
       0.0, ValidateModelOutput(
                models_.be_power->predict(
@@ -49,7 +171,12 @@ double Predictor::be_power_w(const AppSlice& slice) const {
 
 double Predictor::be_ipc(const AppSlice& slice) const {
   if (slice.cores == 0) return 0.0;
-  invocations_.fetch_add(1, std::memory_order_relaxed);
+  if (PredictionCache* cache = cache_.get()) {
+    return cache->be_ipc(slice, [this](double, std::vector<double>& t) {
+      fill_be_ipc_table(t);
+    });
+  }
+  counters_.be_ipc.fetch_add(1, std::memory_order_relaxed);
   return std::max(0.0, ValidateModelOutput(
                            models_.be_ipc->predict(be_features(
                                machine_, kNativeInputLevel, slice)),

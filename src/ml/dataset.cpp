@@ -114,6 +114,13 @@ FeatureRow StandardScaler::transform(const FeatureRow& row) const {
   return out;
 }
 
+void StandardScaler::transform_into(const double* row, double* out) const {
+  if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
+  for (std::size_t j = 0; j < mean_.size(); ++j) {
+    out[j] = stddev_[j] == 0.0 ? 0.0 : (row[j] - mean_[j]) / stddev_[j];
+  }
+}
+
 std::vector<FeatureRow> StandardScaler::transform(
     const std::vector<FeatureRow>& x) const {
   std::vector<FeatureRow> out;

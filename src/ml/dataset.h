@@ -52,7 +52,11 @@ class StandardScaler {
   void fit(const std::vector<FeatureRow>& x);
   FeatureRow transform(const FeatureRow& row) const;
   std::vector<FeatureRow> transform(const std::vector<FeatureRow>& x) const;
+  /// Allocation-free variant for the batched-inference hot path: scales
+  /// `row[0..dim)` into `out` with arithmetic identical to transform().
+  void transform_into(const double* row, double* out) const;
   bool fitted() const { return !mean_.empty(); }
+  std::size_t dim() const { return mean_.size(); }
 
   const std::vector<double>& mean() const { return mean_; }
   const std::vector<double>& stddev() const { return stddev_; }

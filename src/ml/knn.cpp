@@ -44,9 +44,7 @@ void KnnRegressor::fit(const DataSet& data) {
   y_ = data.y;
 }
 
-double KnnRegressor::predict(const FeatureRow& row) const {
-  if (x_.empty()) throw std::logic_error("KnnRegressor: not fitted");
-  const auto q = scaler_.transform(row);
+double KnnRegressor::predict_scaled(const FeatureRow& q) const {
   const auto idx = detail::knn_indices(x_, q, k_);
   if (!weighted_) {
     double acc = 0.0;
@@ -67,6 +65,24 @@ double KnnRegressor::predict(const FeatureRow& row) const {
   return acc / wsum;
 }
 
+double KnnRegressor::predict(const FeatureRow& row) const {
+  if (x_.empty()) throw std::logic_error("KnnRegressor: not fitted");
+  return predict_scaled(scaler_.transform(row));
+}
+
+void KnnRegressor::predict_batch(const double* xs, std::size_t n,
+                                 std::size_t stride, double* out) const {
+  if (x_.empty()) throw std::logic_error("KnnRegressor: not fitted");
+  if (stride != scaler_.dim()) {
+    throw std::invalid_argument("KnnRegressor: arity mismatch");
+  }
+  FeatureRow q(stride);
+  for (std::size_t r = 0; r < n; ++r) {
+    scaler_.transform_into(xs + r * stride, q.data());
+    out[r] = predict_scaled(q);
+  }
+}
+
 KnnClassifier::KnnClassifier(int k) : k_(k) {
   if (k < 1) throw std::invalid_argument("KnnClassifier: k < 1");
 }
@@ -81,9 +97,7 @@ void KnnClassifier::fit(const std::vector<FeatureRow>& x,
   labels_ = labels;
 }
 
-int KnnClassifier::predict(const FeatureRow& row) const {
-  if (x_.empty()) throw std::logic_error("KnnClassifier: not fitted");
-  const auto q = scaler_.transform(row);
+int KnnClassifier::predict_scaled(const FeatureRow& q) const {
   const auto idx = detail::knn_indices(x_, q, k_);
   std::map<int, int> votes;
   for (std::size_t i : idx) ++votes[labels_[i]];
@@ -96,6 +110,24 @@ int KnnClassifier::predict(const FeatureRow& row) const {
     }
   }
   return best_label;
+}
+
+int KnnClassifier::predict(const FeatureRow& row) const {
+  if (x_.empty()) throw std::logic_error("KnnClassifier: not fitted");
+  return predict_scaled(scaler_.transform(row));
+}
+
+void KnnClassifier::predict_batch(const double* xs, std::size_t n,
+                                  std::size_t stride, int* out) const {
+  if (x_.empty()) throw std::logic_error("KnnClassifier: not fitted");
+  if (stride != scaler_.dim()) {
+    throw std::invalid_argument("KnnClassifier: arity mismatch");
+  }
+  FeatureRow q(stride);
+  for (std::size_t r = 0; r < n; ++r) {
+    scaler_.transform_into(xs + r * stride, q.data());
+    out[r] = predict_scaled(q);
+  }
 }
 
 }  // namespace sturgeon::ml

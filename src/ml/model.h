@@ -1,7 +1,16 @@
 // Abstract model interfaces. The predictor layer (src/core) talks only to
 // these, so any model family can back a performance or power model.
+//
+// Batched inference: every model exposes a strided predict_batch over a
+// dense row-major feature matrix. The base implementation loops over the
+// scalar predict(); families with a cheap vectorized form (linear, SVM,
+// MLP matrix-matrix, ...) override it. Overrides must stay bit-identical
+// to the scalar path -- the prediction cache (src/core/prediction_cache)
+// prefills its tables through predict_batch and the search results must
+// not depend on whether the cache is on.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +32,14 @@ class Regressor {
 
   virtual std::string name() const = 0;
 
+  /// Batched prediction over a dense row-major matrix: `n` rows of
+  /// `stride` features each (row i starts at xs + i * stride, and all
+  /// `stride` values of a row are features). Writes one prediction per
+  /// row into `out`. Default: scalar-predict loop.
+  virtual void predict_batch(const double* xs, std::size_t n,
+                             std::size_t stride, double* out) const;
+
+  /// Convenience overload; flattens and forwards to the strided batch.
   std::vector<double> predict_batch(const std::vector<FeatureRow>& x) const;
 };
 
@@ -39,6 +56,11 @@ class Classifier {
 
   virtual std::string name() const = 0;
 
+  /// Batched prediction; same matrix contract as Regressor::predict_batch.
+  virtual void predict_batch(const double* xs, std::size_t n,
+                             std::size_t stride, int* out) const;
+
+  /// Convenience overload; flattens and forwards to the strided batch.
   std::vector<int> predict_batch(const std::vector<FeatureRow>& x) const;
 };
 

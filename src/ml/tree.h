@@ -37,6 +37,9 @@ class CartTree {
   void fit(const std::vector<FeatureRow>& x, const std::vector<double>& y,
            const TreeParams& params, bool classification);
   double predict(const FeatureRow& row) const;
+  /// Raw-pointer traversal for batched callers; `arity` bounds the
+  /// feature indices the tree may touch.
+  double predict(const double* row, std::size_t arity) const;
   bool fitted() const { return !nodes_.empty(); }
   std::size_t node_count() const { return nodes_.size(); }
   int depth() const;
@@ -59,6 +62,9 @@ class DecisionTreeRegressor : public Regressor {
 
   void fit(const DataSet& data) override;
   double predict(const FeatureRow& row) const override;
+  using Regressor::predict_batch;
+  void predict_batch(const double* xs, std::size_t n, std::size_t stride,
+                     double* out) const override;
   std::string name() const override { return "DecisionTreeRegressor"; }
 
   const detail::CartTree& tree() const { return tree_; }
@@ -75,6 +81,9 @@ class DecisionTreeClassifier : public Classifier {
   void fit(const std::vector<FeatureRow>& x,
            const std::vector<int>& labels) override;
   int predict(const FeatureRow& row) const override;
+  using Classifier::predict_batch;
+  void predict_batch(const double* xs, std::size_t n, std::size_t stride,
+                     int* out) const override;
   std::string name() const override { return "DecisionTreeClassifier"; }
 
   const detail::CartTree& tree() const { return tree_; }

@@ -8,6 +8,12 @@ namespace sturgeon::telemetry {
 
 void TraceRecorder::record(int t_s, const sim::ServerTelemetry& sample,
                            const Partition& partition) {
+  record(t_s, sample, partition, PredictionCacheStats{});
+}
+
+void TraceRecorder::record(int t_s, const sim::ServerTelemetry& sample,
+                           const Partition& partition,
+                           const PredictionCacheStats& cache) {
   TraceRow row;
   row.t_s = t_s;
   row.load_fraction = sample.load_fraction;
@@ -16,13 +22,15 @@ void TraceRecorder::record(int t_s, const sim::ServerTelemetry& sample,
   row.power_w = sample.power_w;
   row.be_throughput_norm = sample.be_throughput_norm;
   row.partition = partition;
+  row.cache = cache;
   rows_.push_back(row);
 }
 
 void TraceRecorder::write_csv(std::ostream& os) const {
   CsvWriter csv(os, {"t_s", "load", "qps", "p95_ms", "power_w", "be_thr_norm",
                      "ls_cores", "ls_freq_ghz", "ls_ways", "be_cores",
-                     "be_freq_ghz", "be_ways"});
+                     "be_freq_ghz", "be_ways", "cache_hits", "cache_misses",
+                     "cache_fills"});
   for (const auto& r : rows_) {
     csv.write_row(std::vector<double>{
         static_cast<double>(r.t_s), r.load_fraction, r.qps, r.p95_ms,
@@ -34,7 +42,10 @@ void TraceRecorder::write_csv(std::ostream& os) const {
         r.partition.be.cores > 0
             ? machine_.freq_at(r.partition.be.freq_level)
             : 0.0,
-        static_cast<double>(r.partition.be.llc_ways)});
+        static_cast<double>(r.partition.be.llc_ways),
+        static_cast<double>(r.cache.hits),
+        static_cast<double>(r.cache.misses),
+        static_cast<double>(r.cache.fills)});
   }
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/server.h"
+#include "telemetry/monitor.h"
 #include "util/types.h"
 
 namespace sturgeon::telemetry {
@@ -20,6 +21,9 @@ struct TraceRow {
   double power_w = 0.0;
   double be_throughput_norm = 0.0;
   Partition partition;
+  /// Cumulative prediction-cache counters at record time (all-zero when
+  /// the controller runs without a cache).
+  PredictionCacheStats cache;
 };
 
 class TraceRecorder {
@@ -28,6 +32,9 @@ class TraceRecorder {
 
   void record(int t_s, const sim::ServerTelemetry& sample,
               const Partition& partition);
+  /// Same, also capturing the predictor's cache counters for the row.
+  void record(int t_s, const sim::ServerTelemetry& sample,
+              const Partition& partition, const PredictionCacheStats& cache);
 
   const std::vector<TraceRow>& rows() const { return rows_; }
   bool empty() const { return rows_.empty(); }

@@ -1,0 +1,156 @@
+// Batched inference contract: for every model family, predict_batch must
+// reproduce the scalar predict() bit-for-bit (same accumulation order),
+// because the core prediction cache serves batched results where the
+// uncached path would have called predict() -- search results must not
+// change when the cache is enabled.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "ml/factory.h"
+#include "util/rng.h"
+
+namespace sturgeon::ml {
+namespace {
+
+constexpr std::size_t kArity = 4;  // the Sturgeon feature arity
+
+DataSet random_regression_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  DataSet d;
+  for (std::size_t i = 0; i < n; ++i) {
+    FeatureRow row(kArity);
+    for (auto& v : row) v = rng.uniform(0.0, 4.0);
+    const double y =
+        2.0 * row[0] + row[1] * row[2] - 0.5 * row[3] + rng.uniform(-0.1, 0.1);
+    d.add(row, y);
+  }
+  return d;
+}
+
+std::vector<FeatureRow> random_rows(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureRow> rows(n);
+  for (auto& row : rows) {
+    row.resize(kArity);
+    for (auto& v : row) v = rng.uniform(-1.0, 5.0);
+  }
+  return rows;
+}
+
+std::vector<double> flatten(const std::vector<FeatureRow>& rows) {
+  std::vector<double> flat;
+  flat.reserve(rows.size() * kArity);
+  for (const auto& row : rows) flat.insert(flat.end(), row.begin(), row.end());
+  return flat;
+}
+
+std::vector<ModelKind> regressor_kinds() {
+  return {ModelKind::kLinear,       ModelKind::kLasso, ModelKind::kDecisionTree,
+          ModelKind::kRandomForest, ModelKind::kKnn,   ModelKind::kSvm,
+          ModelKind::kMlp};
+}
+
+std::vector<ModelKind> classifier_kinds() {
+  return {ModelKind::kLinear, ModelKind::kDecisionTree,
+          ModelKind::kRandomForest, ModelKind::kKnn, ModelKind::kSvm,
+          ModelKind::kMlp};
+}
+
+TEST(BatchPredict, RegressorsBitIdenticalToScalar) {
+  const auto train = random_regression_data(240, 11);
+  const auto rows = random_rows(64, 12);
+  const auto flat = flatten(rows);
+  for (ModelKind kind : regressor_kinds()) {
+    auto model = make_regressor(kind);
+    model->fit(train);
+    std::vector<double> batch(rows.size());
+    model->predict_batch(flat.data(), rows.size(), kArity, batch.data());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(batch[i]),
+                std::bit_cast<std::uint64_t>(model->predict(rows[i])))
+          << to_string(kind) << " row " << i;
+    }
+    // The vector<FeatureRow> convenience overload must agree too.
+    const auto vec = model->predict_batch(rows);
+    ASSERT_EQ(vec.size(), rows.size()) << to_string(kind);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(vec[i]),
+                std::bit_cast<std::uint64_t>(batch[i]))
+          << to_string(kind) << " row " << i;
+    }
+  }
+}
+
+TEST(BatchPredict, ClassifiersMatchScalar) {
+  const auto rows = random_rows(200, 13);
+  std::vector<int> labels(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    labels[i] = rows[i][0] + rows[i][1] > rows[i][2] + rows[i][3] ? 1 : 0;
+  }
+  const auto test_rows = random_rows(64, 14);
+  const auto flat = flatten(test_rows);
+  for (ModelKind kind : classifier_kinds()) {
+    auto model = make_classifier(kind);
+    model->fit(rows, labels);
+    std::vector<int> batch(test_rows.size());
+    model->predict_batch(flat.data(), test_rows.size(), kArity, batch.data());
+    for (std::size_t i = 0; i < test_rows.size(); ++i) {
+      EXPECT_EQ(batch[i], model->predict(test_rows[i]))
+          << to_string(kind) << " row " << i;
+    }
+    const auto vec = model->predict_batch(test_rows);
+    ASSERT_EQ(vec.size(), test_rows.size()) << to_string(kind);
+    for (std::size_t i = 0; i < test_rows.size(); ++i) {
+      EXPECT_EQ(vec[i], batch[i]) << to_string(kind) << " row " << i;
+    }
+  }
+}
+
+TEST(BatchPredict, EmptyBatchIsNoop) {
+  auto model = make_regressor(ModelKind::kLinear);
+  model->fit(random_regression_data(50, 15));
+  double sentinel = 42.0;
+  model->predict_batch(nullptr, 0, kArity, &sentinel);
+  EXPECT_EQ(sentinel, 42.0);
+  EXPECT_TRUE(model->predict_batch(std::vector<FeatureRow>{}).empty());
+}
+
+TEST(BatchPredict, RaggedRowsRejected) {
+  auto model = make_regressor(ModelKind::kLinear);
+  model->fit(random_regression_data(50, 16));
+  std::vector<FeatureRow> ragged = {{1.0, 2.0, 3.0, 4.0}, {1.0, 2.0}};
+  EXPECT_THROW(model->predict_batch(ragged), std::invalid_argument);
+}
+
+TEST(BatchPredict, ArityMismatchRejected) {
+  const auto train = random_regression_data(50, 17);
+  std::vector<double> xs(6, 1.0);
+  std::vector<double> out(2);
+  for (ModelKind kind : {ModelKind::kLinear, ModelKind::kKnn, ModelKind::kSvm,
+                         ModelKind::kMlp}) {
+    auto model = make_regressor(kind);
+    model->fit(train);
+    EXPECT_THROW(model->predict_batch(xs.data(), 2, 3, out.data()),
+                 std::invalid_argument)
+        << to_string(kind);
+  }
+}
+
+TEST(BatchPredict, UnfittedRejected) {
+  std::vector<double> xs(kArity, 1.0);
+  double out = 0.0;
+  for (ModelKind kind : {ModelKind::kLinear, ModelKind::kKnn,
+                         ModelKind::kSvm, ModelKind::kMlp}) {
+    auto model = make_regressor(kind);
+    EXPECT_THROW(model->predict_batch(xs.data(), 1, kArity, &out),
+                 std::logic_error)
+        << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace sturgeon::ml
