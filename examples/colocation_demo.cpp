@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"policy", "QoS rate", "BE thr", "over-budget s",
                       "max P/budget"});
   const auto report = [&](core::Policy& policy) {
+    std::cout << "  " << policy.describe() << "\n";
     const auto r = exp::run_colocation(ls, be, policy, trace, rc);
     table.add_row({policy.name(),
                    TablePrinter::fmt_pct(r.qos_guarantee_rate, 2),

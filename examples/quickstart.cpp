@@ -43,6 +43,7 @@ int main() {
   std::cout << "Power budget: " << budget << " W\n";
 
   core::SturgeonController sturgeon(predictor, ls.qos_target_ms, budget);
+  std::cout << "Policy: " << sturgeon.describe() << "\n";
   const auto trace = LoadTrace::ramp_up_down(0.2, 0.8, 180);
   exp::RunConfig run_cfg;
   run_cfg.seed = 1;
@@ -59,6 +60,11 @@ int main() {
             << "  worst power / budget:      " << result.max_power_ratio
             << "\n  predictor searches run:    " << sturgeon.searches_run()
             << "\n  balancer interventions:    "
-            << sturgeon.balancer_actions() << "\n";
+            << sturgeon.balancer_actions() << "\n  last decision:             "
+            << sturgeon.last_decision().action << "\n\n";
+
+  // Every run carries a metrics registry; the end-of-run summary shows
+  // counters, gauges, and per-phase duration histograms.
+  result.telemetry->write_summary(std::cout);
   return 0;
 }

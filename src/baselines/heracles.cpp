@@ -1,7 +1,9 @@
 #include "baselines/heracles.h"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "telemetry/monitor.h"
 
@@ -17,10 +19,22 @@ HeraclesController::HeraclesController(const MachineSpec& machine,
   }
 }
 
+std::string HeraclesController::describe() const {
+  std::ostringstream os;
+  os << name() << "(alpha=" << options_.alpha << ", beta=" << options_.beta
+     << ", qos_target_ms=" << qos_target_ms_
+     << ", power_budget_w=" << options_.power_budget_w
+     << ", guard=" << options_.power_guard
+     << ", slack=" << options_.power_slack << ")";
+  return os.str();
+}
+
 Partition HeraclesController::decide(const sim::ServerTelemetry& sample,
                                      const Partition& current) {
   const double slack =
       telemetry::latency_slack(sample.ls.p95_ms, qos_target_ms_);
+  begin_decision().slack = slack;
+  std::string action = "hold";
   Partition p = current;
   p.ls.freq_level = machine_.max_freq_level();  // LS always full speed
 
@@ -31,6 +45,7 @@ Partition HeraclesController::decide(const sim::ServerTelemetry& sample,
     if (grab > 0) {
       p.ls.cores += grab;
       p.be.cores -= grab;
+      action = "upsize:cores";
     } else if (p.be.cores == 0) {
       // nothing to take
     }
@@ -39,9 +54,11 @@ Partition HeraclesController::decide(const sim::ServerTelemetry& sample,
     if (ways > 0) {
       p.ls.llc_ways += ways;
       p.be.llc_ways -= ways;
+      if (action == "hold") action = "upsize:ways";
     }
   } else if (slack > options_.beta) {
     if (p.be.cores == 0) {
+      action = "seed_be";
       // Bootstrap a minimal BE slice at the lowest P-state.
       p.ls.cores = std::max(1, p.ls.cores - 1);
       p.ls.llc_ways = std::max(1, p.ls.llc_ways - 1);
@@ -51,11 +68,13 @@ Partition HeraclesController::decide(const sim::ServerTelemetry& sample,
       if (p.ls.cores > 1) {
         --p.ls.cores;
         ++p.be.cores;
+        action = "downsize:cores";
       }
       // Cache subcontroller: grow the BE share slowly while healthy.
       if (p.ls.llc_ways > 1) {
         --p.ls.llc_ways;
         ++p.be.llc_ways;
+        if (action == "hold") action = "downsize:ways";
       }
     }
   }
@@ -64,12 +83,16 @@ Partition HeraclesController::decide(const sim::ServerTelemetry& sample,
   if (p.be.cores > 0) {
     if (sample.power_w > options_.power_guard * options_.power_budget_w) {
       p.be.freq_level = std::max(0, p.be.freq_level - 1);
+      if (action == "hold") action = "power_cap:freq";
     } else if (sample.power_w <
                options_.power_slack * options_.power_budget_w) {
       p.be.freq_level =
           std::min(machine_.max_freq_level(), p.be.freq_level + 1);
+      if (action == "hold") action = "be_boost:freq";
     }
   }
+  last_decision_.partition = p;
+  last_decision_.action = std::move(action);
   return p;
 }
 

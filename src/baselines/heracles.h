@@ -34,7 +34,8 @@ class HeraclesController : public core::Policy {
                      HeraclesOptions options);
 
   std::string name() const override { return "Heracles"; }
-  void reset() override {}
+  std::string describe() const override;
+  void reset() override { clear_decision(); }
   Partition decide(const sim::ServerTelemetry& sample,
                    const Partition& current) override;
 

@@ -1,7 +1,9 @@
 #include "baselines/parties.h"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "telemetry/monitor.h"
 
@@ -22,6 +24,15 @@ std::string PartiesController::name() const {
                                        : "PARTIES";
 }
 
+std::string PartiesController::describe() const {
+  std::ostringstream os;
+  os << name() << "(alpha=" << options_.alpha << ", beta=" << options_.beta
+     << ", qos_target_ms=" << qos_target_ms_
+     << ", power_budget_w=" << options_.power_budget_w
+     << ", probe_patience_s=" << options_.probe_patience_s << ")";
+  return os.str();
+}
+
 void PartiesController::reset() {
   resource_idx_ = 0;
   pending_feedback_ = false;
@@ -29,6 +40,22 @@ void PartiesController::reset() {
   p95_before_ms_ = 0.0;
   healthy_streak_ = 0;
   cooldown_ = 0;
+  clear_decision();
+}
+
+const char* PartiesController::resource_name(Resource r) {
+  switch (r) {
+    case Resource::kCores: return "cores";
+    case Resource::kFreq: return "freq";
+    case Resource::kWays: return "ways";
+  }
+  return "?";
+}
+
+Partition PartiesController::finish(const Partition& p, std::string action) {
+  last_decision_.partition = p;
+  last_decision_.action = std::move(action);
+  return p;
 }
 
 std::optional<Partition> PartiesController::adjust(const Partition& p,
@@ -80,6 +107,7 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
                                     const Partition& current) {
   const double slack =
       telemetry::latency_slack(sample.ls.p95_ms, qos_target_ms_);
+  begin_decision().slack = slack;
   const bool power_aware = options_.power_budget_w > 0.0;
 
   // Power-enhancement: a live overload preempts everything; back the BE
@@ -89,16 +117,16 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
     if (current.be.cores > 0 && current.be.freq_level > 0) {
       Partition p = current;
       --p.be.freq_level;
-      return p;
+      return finish(p, "power_cap:freq");
     }
     // Already at the lowest P-state: shrink the BE span instead.
     if (current.be.cores > 1) {
       Partition p = current;
       --p.be.cores;
       ++p.ls.cores;
-      return p;
+      return finish(p, "power_cap:cores");
     }
-    return current;
+    return finish(current, "hold");
   }
 
   // Evaluate the feedback of the adjustment made last interval.
@@ -115,7 +143,7 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
         resource_idx_ = (resource_idx_ + 1) % kNumResources;
         if (const auto p = adjust(
                 current, static_cast<Resource>(pending_resource_), false)) {
-          return *p;
+          return finish(*p, "revert");
         }
       }
     } else {
@@ -123,7 +151,7 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
         // Downsizing collapsed the slack: give the unit back.
         if (const auto p = adjust(
                 current, static_cast<Resource>(pending_resource_), true)) {
-          return *p;
+          return finish(*p, "revert");
         }
       }
     }
@@ -149,11 +177,12 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
         pending_upsize_ = true;
         pending_resource_ = r;
         p95_before_ms_ = sample.ls.p95_ms;
-        return *stepped;
+        return finish(*stepped,
+                      std::string("upsize:") + resource_name(r));
       }
       resource_idx_ = (resource_idx_ + 1) % kNumResources;
     }
-    return current;
+    return finish(current, "hold");
   }
 
   // Track how long slack has been healthy; a long healthy streak lets
@@ -176,7 +205,7 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
       p.be = AppSlice{machine_.num_cores - p.ls.cores,
                       power_aware ? 0 : machine_.max_freq_level(),
                       machine_.llc_ways - p.ls.llc_ways};
-      return p;
+      return finish(p, "seed_be");
     }
     for (int attempt = 0; attempt < kNumResources; ++attempt) {
       const auto r = static_cast<Resource>(resource_idx_);
@@ -186,10 +215,12 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
         pending_upsize_ = false;
         pending_resource_ = r;
         p95_before_ms_ = sample.ls.p95_ms;
-        return *p;
+        return finish(*p, std::string(probe_downsize ? "probe:"
+                                                     : "downsize:") +
+                              resource_name(r));
       }
     }
-    return current;
+    return finish(current, "hold");
   }
 
   // In-band: opportunistically raise the BE frequency one step when the
@@ -202,10 +233,10 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
     if (headroom) {
       Partition p = current;
       ++p.be.freq_level;
-      return p;
+      return finish(p, "be_boost:freq");
     }
   }
-  return current;
+  return finish(current, "hold");
 }
 
 }  // namespace sturgeon::baselines

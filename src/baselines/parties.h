@@ -41,6 +41,7 @@ class PartiesController : public core::Policy {
                     PartiesOptions options);
 
   std::string name() const override;
+  std::string describe() const override;
   void reset() override;
   Partition decide(const sim::ServerTelemetry& sample,
                    const Partition& current) override;
@@ -48,6 +49,11 @@ class PartiesController : public core::Policy {
  private:
   enum class Resource { kCores, kFreq, kWays };
   static constexpr int kNumResources = 3;
+
+  static const char* resource_name(Resource r);
+
+  /// Record the epoch's outcome on last_decision() and return `p`.
+  Partition finish(const Partition& p, std::string action);
 
   /// Apply one unit of `r` toward the LS service (`toward_ls`) or back to
   /// the BE side; returns nullopt when not expressible.

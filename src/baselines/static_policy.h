@@ -3,6 +3,8 @@
 // configurations), by tests, and as the "no management" strawman.
 #pragma once
 
+#include <sstream>
+
 #include "core/policy.h"
 
 namespace sturgeon::baselines {
@@ -13,9 +15,20 @@ class StaticPolicy : public core::Policy {
       : partition_(partition), label_(std::move(label)) {}
 
   std::string name() const override { return label_; }
-  void reset() override {}
+  std::string describe() const override {
+    std::ostringstream os;
+    os << label_ << "(ls=C" << partition_.ls.cores << "/F"
+       << partition_.ls.freq_level << "/L" << partition_.ls.llc_ways
+       << ", be=C" << partition_.be.cores << "/F" << partition_.be.freq_level
+       << "/L" << partition_.be.llc_ways << ")";
+    return os.str();
+  }
+  void reset() override { clear_decision(); }
   Partition decide(const sim::ServerTelemetry& /*sample*/,
                    const Partition& /*current*/) override {
+    begin_decision();
+    last_decision_.partition = partition_;
+    last_decision_.action = "static";
     return partition_;
   }
 

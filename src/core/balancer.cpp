@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/invariants.h"
 
@@ -18,6 +20,15 @@ ResourceBalancer::ResourceBalancer(const Predictor& predictor,
       config.initial_granularity > 1.0) {
     throw std::invalid_argument("ResourceBalancer: bad configuration");
   }
+}
+
+void ResourceBalancer::bind_telemetry(telemetry::MetricsRegistry* metrics,
+                                      telemetry::Tracer* tracer) {
+  tracer_ = tracer;
+  harvests_counter_ =
+      metrics != nullptr ? &metrics->counter("balancer.harvests") : nullptr;
+  reverts_counter_ =
+      metrics != nullptr ? &metrics->counter("balancer.reverts") : nullptr;
 }
 
 void ResourceBalancer::arm(const Partition& current) {
@@ -71,6 +82,10 @@ std::optional<Partition> ResourceBalancer::harvested(const Partition& current,
 
 std::optional<Partition> ResourceBalancer::step(double slack, double qps_real,
                                                 const Partition& current) {
+  telemetry::Span span = tracer_ != nullptr
+                             ? tracer_->start_span("balance_step")
+                             : telemetry::Span{};
+  span.attr("slack", slack);
   last_action_.clear();
   if (current.be.cores == 0) {
     active_ = false;
@@ -115,6 +130,8 @@ std::optional<Partition> ResourceBalancer::step(double slack, double qps_real,
     last_amount_ -= back;
     if (last_amount_ <= 0) last_harvest_.reset();
     last_action_ = "revert";
+    if (reverts_counter_ != nullptr) reverts_counter_->inc();
+    span.attr("action", last_action_).attr("amount", back);
     ValidateConfig(m, p, "ResourceBalancer::step(revert)",
                    /*allow_empty_be=*/false);
     return p;
@@ -179,6 +196,8 @@ std::optional<Partition> ResourceBalancer::step(double slack, double qps_real,
     case Resource::kWays: last_action_ = "ways"; break;
     case Resource::kPower: last_action_ = "power"; break;
   }
+  if (harvests_counter_ != nullptr) harvests_counter_->inc();
+  span.attr("action", last_action_).attr("amount", best_amount);
   return best;
 }
 

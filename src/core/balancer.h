@@ -23,6 +23,12 @@
 
 #include "core/predictor.h"
 
+namespace sturgeon::telemetry {
+class Counter;
+class MetricsRegistry;
+class Tracer;
+}  // namespace sturgeon::telemetry
+
 namespace sturgeon::core {
 
 struct BalancerConfig {
@@ -57,6 +63,13 @@ class ResourceBalancer {
   /// "revert" or ""); exposed for tracing and tests.
   const std::string& last_action() const { return last_action_; }
 
+  /// Report "balancer.harvests"/"balancer.reverts" counters and
+  /// "balance_step" spans through the given registry/tracer (nullptr =
+  /// off). Both must outlive the balancer; the controller rebinds on
+  /// every TelemetryContext attach.
+  void bind_telemetry(telemetry::MetricsRegistry* metrics,
+                      telemetry::Tracer* tracer);
+
  private:
   enum class Resource { kCores, kWays, kPower };
 
@@ -78,6 +91,10 @@ class ResourceBalancer {
   std::string last_action_;
   double slack_at_harvest_ = 0.0;     ///< measured slack when we harvested
   bool ineffective_[3] = {false, false, false};  ///< per-Resource exclusion
+
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::Counter* harvests_counter_ = nullptr;
+  telemetry::Counter* reverts_counter_ = nullptr;
 };
 
 }  // namespace sturgeon::core

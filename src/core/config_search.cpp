@@ -3,12 +3,23 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/invariants.h"
 
 namespace sturgeon::core {
 
 namespace {
+
+// Candidate-sweep attributes shared by every search flavor, so Sturgeon
+// and the exhaustive oracle emit the same span schema.
+void annotate_sweep(telemetry::Span& span, const SearchResult& r) {
+  span.attr("candidates", static_cast<std::uint64_t>(r.candidates.size()))
+      .attr("feasible", r.feasible)
+      .attr("model_calls", r.model_invocations)
+      .attr("predicted_throughput", r.predicted_throughput)
+      .attr("predicted_power_w", r.predicted_power_w);
+}
 
 // Postcondition of every search flavor: the chosen partition is
 // expressible on the machine, and a feasible result respects the budget
@@ -136,6 +147,9 @@ std::optional<Candidate> ConfigSearch::evaluate_candidate(double qps_real,
 SearchResult ConfigSearch::search(double qps_real) const {
   const MachineSpec& m = predictor_.machine();
   const std::uint64_t invocations_before = predictor_.model_invocations();
+  telemetry::Span span = tracer_ != nullptr
+                             ? tracer_->start_span("candidate_eval")
+                             : telemetry::Span{};
   SearchResult result;
   result.best = Partition::all_to_ls(m);
 
@@ -145,6 +159,7 @@ SearchResult ConfigSearch::search(double qps_real) const {
     // service (Algorithm 1's conservative initial allocation).
     result.model_invocations =
         predictor_.model_invocations() - invocations_before;
+    annotate_sweep(span, result);
     return result;
   }
 
@@ -171,6 +186,7 @@ SearchResult ConfigSearch::search(double qps_real) const {
 
   result.model_invocations =
       predictor_.model_invocations() - invocations_before;
+  annotate_sweep(span, result);
   check_search_result(m, result, budget_w_, "ConfigSearch::search");
   return result;
 }
@@ -179,6 +195,9 @@ SearchResult ConfigSearch::search_parallel(double qps_real,
                                            ThreadPool& pool) const {
   const MachineSpec& m = predictor_.machine();
   const std::uint64_t invocations_before = predictor_.model_invocations();
+  telemetry::Span span = tracer_ != nullptr
+                             ? tracer_->start_span("candidate_eval")
+                             : telemetry::Span{};
   SearchResult result;
   result.best = Partition::all_to_ls(m);
 
@@ -186,6 +205,7 @@ SearchResult ConfigSearch::search_parallel(double qps_real,
   if (!c1_min) {
     result.model_invocations =
         predictor_.model_invocations() - invocations_before;
+    annotate_sweep(span, result);
     return result;
   }
 
@@ -215,6 +235,7 @@ SearchResult ConfigSearch::search_parallel(double qps_real,
   }
   result.model_invocations =
       predictor_.model_invocations() - invocations_before;
+  annotate_sweep(span, result);
   check_search_result(m, result, budget_w_, "ConfigSearch::search_parallel");
   return result;
 }
@@ -222,6 +243,9 @@ SearchResult ConfigSearch::search_parallel(double qps_real,
 SearchResult ConfigSearch::exhaustive(double qps_real) const {
   const MachineSpec& m = predictor_.machine();
   const std::uint64_t invocations_before = predictor_.model_invocations();
+  telemetry::Span span = tracer_ != nullptr
+                             ? tracer_->start_span("candidate_eval")
+                             : telemetry::Span{};
   SearchResult result;
   result.best = Partition::all_to_ls(m);
 
@@ -249,6 +273,7 @@ SearchResult ConfigSearch::exhaustive(double qps_real) const {
   }
   result.model_invocations =
       predictor_.model_invocations() - invocations_before;
+  annotate_sweep(span, result);
   check_search_result(m, result, budget_w_, "ConfigSearch::exhaustive");
   return result;
 }

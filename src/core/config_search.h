@@ -19,6 +19,10 @@
 #include "core/predictor.h"
 #include "util/thread_pool.h"
 
+namespace sturgeon::telemetry {
+class Tracer;
+}  // namespace sturgeon::telemetry
+
 namespace sturgeon::core {
 
 struct Candidate {
@@ -59,6 +63,11 @@ class ConfigSearch {
 
   double power_budget_w() const { return budget_w_; }
 
+  /// Emit a "candidate_eval" child span (candidate count, model calls,
+  /// winner) through `tracer` on every search. Nullptr switches the
+  /// instrumentation off; the tracer must outlive the search.
+  void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   /// Smallest C1 in [1, num_cores] meeting QoS with F1, L1 maxed, or
   /// nullopt if even the full machine fails.
@@ -82,6 +91,7 @@ class ConfigSearch {
 
   const Predictor& predictor_;
   double budget_w_;
+  telemetry::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sturgeon::core

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
+#include "telemetry/context.h"
 #include "telemetry/monitor.h"
 #include "util/check.h"
 #include "util/invariants.h"
@@ -41,18 +43,50 @@ SturgeonController::SturgeonController(
   if (options.alpha < 0.0 || options.beta <= options.alpha) {
     throw std::invalid_argument("SturgeonController: alpha/beta");
   }
+  rebind_instruments();
 }
 
 std::string SturgeonController::name() const {
   return options_.enable_balancer ? "Sturgeon" : "Sturgeon-NoB";
 }
 
+std::string SturgeonController::describe() const {
+  std::ostringstream os;
+  os << name() << "(alpha=" << options_.alpha << ", beta=" << options_.beta
+     << ", qos_target_ms=" << qos_target_ms_
+     << ", power_budget_w=" << search_.power_budget_w() << ", balancer="
+     << (options_.enable_balancer ? "on" : "off")
+     << ", cache=" << (predictor_->cache_enabled() ? "on" : "off") << ")";
+  return os.str();
+}
+
+void SturgeonController::rebind_instruments() {
+  auto& metrics = telemetry().metrics();
+  decisions_counter_ = &metrics.counter("controller.decisions");
+  searches_counter_ = &metrics.counter("controller.searches");
+  balancer_actions_counter_ = &metrics.counter("controller.balancer_actions");
+  search_.set_tracer(&telemetry().tracer());
+  balancer_.bind_telemetry(&metrics, &telemetry().tracer());
+}
+
+void SturgeonController::on_telemetry_attached() { rebind_instruments(); }
+
+std::uint64_t SturgeonController::searches_run() const {
+  return searches_counter_->value();
+}
+
+std::uint64_t SturgeonController::balancer_actions() const {
+  return balancer_actions_counter_->value();
+}
+
 void SturgeonController::reset() {
   balancer_armed_ = false;
-  searches_ = 0;
-  balancer_actions_ = 0;
   reserves_ = Reserves{};
   calm_intervals_ = 0;
+  clear_decision();
+  decisions_counter_->reset();
+  searches_counter_->reset();
+  balancer_actions_counter_->reset();
 }
 
 Partition SturgeonController::apply_reserves(Partition p) const {
@@ -76,6 +110,26 @@ Partition SturgeonController::apply_reserves(Partition p) const {
   return p;
 }
 
+Partition SturgeonController::finish_decision(const Partition& p,
+                                              const char* action,
+                                              double predicted_throughput,
+                                              double predicted_power_w) {
+  last_decision_.partition = p;
+  last_decision_.action = action;
+  last_decision_.predicted_throughput = predicted_throughput;
+  last_decision_.predicted_power_w = predicted_power_w;
+
+  auto& metrics = telemetry().metrics();
+  metrics.gauge("controller.reserves.cores")
+      .set(static_cast<double>(reserves_.cores));
+  metrics.gauge("controller.reserves.ways")
+      .set(static_cast<double>(reserves_.ways));
+  metrics.gauge("controller.reserves.freq")
+      .set(static_cast<double>(reserves_.freq));
+  predictor_->publish_metrics(metrics);
+  return p;
+}
+
 Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
                                      const Partition& current) {
   // Telemetry and the running partition are this layer's preconditions:
@@ -86,29 +140,46 @@ Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
                   "decide: p95 = " << sample.ls.p95_ms);
   STURGEON_DCHECK(std::isfinite(sample.qps_real) && sample.qps_real >= 0.0,
                   "decide: qps = " << sample.qps_real);
+
+  auto& tracer = telemetry().tracer();
+  PolicyDecision& decision = begin_decision();
+  decisions_counter_->inc();
+
   const double slack =
       telemetry::latency_slack(sample.ls.p95_ms, qos_target_ms_);
   const double qps = sample.qps_real;
+  decision.slack = slack;
 
-  // Decay the compensation reserves after sustained calm.
-  if (slack >= options_.alpha && !balancer_.active()) {
-    if (++calm_intervals_ >= options_.reserve_decay_interval_s) {
-      reserves_.cores /= 2;
-      reserves_.ways /= 2;
-      reserves_.freq /= 2;
+  {
+    // Feature-extraction phase: slack banding and reserve bookkeeping.
+    telemetry::Span span = tracer.start_span("features");
+    span.attr("slack", slack)
+        .attr("qps", qps)
+        .attr("observed_p95_ms", sample.ls.p95_ms)
+        .attr("observed_power_w", sample.power_w);
+
+    // Decay the compensation reserves after sustained calm.
+    if (slack >= options_.alpha && !balancer_.active()) {
+      if (++calm_intervals_ >= options_.reserve_decay_interval_s) {
+        reserves_.cores /= 2;
+        reserves_.ways /= 2;
+        reserves_.freq /= 2;
+        calm_intervals_ = 0;
+      }
+    } else {
       calm_intervals_ = 0;
     }
-  } else {
-    calm_intervals_ = 0;
   }
 
   // Slack inside the band: nothing to do (Algorithm 1 line 5). Let an
   // in-flight balancer sequence observe the settled state.
   if (slack >= options_.alpha && slack <= options_.beta) {
     if (options_.enable_balancer && balancer_armed_) {
+      telemetry::Span span = tracer.start_span("balance");
       balancer_.step(slack, qps, current);  // disarms itself in-band
+      span.attr("action", "settle");
     }
-    return current;
+    return finish_decision(current, "hold", 0.0, 0.0);
   }
 
   // A live balancer sequence continues before any new search: it is the
@@ -116,9 +187,13 @@ Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
   // LS-ward movement accumulates into the reserves.
   const auto run_balancer = [&](const Partition& base)
       -> std::optional<Partition> {
+    telemetry::Span span = tracer.start_span("balance");
     const auto p = balancer_.step(slack, qps, base);
+    span.attr("action",
+              balancer_.last_action().empty() ? "none"
+                                              : balancer_.last_action());
     if (p) {
-      ++balancer_actions_;
+      balancer_actions_counter_->inc();
       reserves_.cores =
           std::clamp(reserves_.cores + (p->ls.cores - base.ls.cores), 0,
                      predictor_->machine().num_cores - 1);
@@ -133,14 +208,27 @@ Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
   };
 
   if (options_.enable_balancer && balancer_armed_ && balancer_.active()) {
-    if (const auto p = run_balancer(current)) return *p;
+    if (const auto p = run_balancer(current)) {
+      return finish_decision(
+          *p, ("balance:" + balancer_.last_action()).c_str(), 0.0, 0.0);
+    }
   }
 
   // Find and apply a new configuration with the predictor (line 6),
   // shifted by the compensation reserves the balancer has accumulated.
-  SearchResult result = search_.search(qps);
-  ++searches_;
-  result.best = apply_reserves(result.best);
+  SearchResult result;
+  {
+    telemetry::Span span = tracer.start_span("search");
+    result = search_.search(qps);
+    searches_counter_->inc();
+    result.best = apply_reserves(result.best);
+    span.attr("feasible", result.feasible)
+        .attr("model_calls", result.model_invocations)
+        .attr("predicted_throughput", result.predicted_throughput)
+        .attr("predicted_power_w", result.predicted_power_w)
+        .attr("chosen", result.best.to_string(predictor_->machine()))
+        .attr("cache_hit_rate", predictor_->cache_stats().hit_rate());
+  }
   ValidateConfig(predictor_->machine(), result.best,
                  "SturgeonController::decide(apply_reserves)");
   if (!(result.best == current)) {
@@ -148,7 +236,8 @@ Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
       balancer_.arm(result.best);
       balancer_armed_ = true;
     }
-    return result.best;
+    return finish_decision(result.best, "search", result.predicted_throughput,
+                           result.predicted_power_w);
   }
 
   // The predictor proposes the configuration we are already running, yet
@@ -160,9 +249,13 @@ Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
       balancer_.arm(current);
       balancer_armed_ = true;
     }
-    if (const auto p = run_balancer(current)) return *p;
+    if (const auto p = run_balancer(current)) {
+      return finish_decision(
+          *p, ("balance:" + balancer_.last_action()).c_str(), 0.0, 0.0);
+    }
   }
-  return current;
+  return finish_decision(current, "hold", result.predicted_throughput,
+                         result.predicted_power_w);
 }
 
 }  // namespace sturgeon::core

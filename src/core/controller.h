@@ -16,6 +16,13 @@
 // reserves and re-applies them on top of every search result; reserves
 // halve after a calm period so transient interference does not permanently
 // tax the BE application.
+//
+// Observability: every decide() opens child spans (features, search,
+// balance) under the caller's epoch span and reports through the
+// attached TelemetryContext -- counters "controller.searches",
+// "controller.balancer_actions", "controller.decisions", gauges for the
+// compensation reserves and the predictor's cache/model-call state.
+// searches_run()/balancer_actions() read those registry instruments.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +31,10 @@
 #include "core/balancer.h"
 #include "core/config_search.h"
 #include "core/policy.h"
+
+namespace sturgeon::telemetry {
+class Counter;
+}  // namespace sturgeon::telemetry
 
 namespace sturgeon::core {
 
@@ -47,15 +58,18 @@ class SturgeonController : public Policy {
                      SturgeonOptions options = {});
 
   std::string name() const override;
+  std::string describe() const override;
   void reset() override;
   Partition decide(const sim::ServerTelemetry& sample,
                    const Partition& current) override;
 
-  /// Cumulative number of predictor searches run (overhead accounting).
-  std::uint64_t searches_run() const { return searches_; }
+  /// Cumulative number of predictor searches run (overhead accounting);
+  /// reads the "controller.searches" registry counter.
+  std::uint64_t searches_run() const;
 
-  /// Cumulative balancer interventions applied.
-  std::uint64_t balancer_actions() const { return balancer_actions_; }
+  /// Cumulative balancer interventions applied ("controller.
+  /// balancer_actions" counter).
+  std::uint64_t balancer_actions() const;
 
   const ResourceBalancer& balancer() const { return balancer_; }
 
@@ -70,10 +84,22 @@ class SturgeonController : public Policy {
   };
   const Reserves& reserves() const { return reserves_; }
 
+ protected:
+  void on_telemetry_attached() override;
+
  private:
   /// Shift `p` LS-ward by the current reserves (clamped so the BE slice
   /// stays minimally viable).
   Partition apply_reserves(Partition p) const;
+
+  /// Record `p` as the epoch's outcome on last_decision() and the
+  /// registry gauges, then hand it back to the caller.
+  Partition finish_decision(const Partition& p, const char* action,
+                            double predicted_throughput,
+                            double predicted_power_w);
+
+  /// Cache instrument references from the current context.
+  void rebind_instruments();
 
   std::shared_ptr<const Predictor> predictor_;
   double qos_target_ms_;
@@ -81,10 +107,12 @@ class SturgeonController : public Policy {
   ConfigSearch search_;
   ResourceBalancer balancer_;
   bool balancer_armed_ = false;
-  std::uint64_t searches_ = 0;
-  std::uint64_t balancer_actions_ = 0;
   Reserves reserves_;
   int calm_intervals_ = 0;
+
+  telemetry::Counter* decisions_counter_ = nullptr;
+  telemetry::Counter* searches_counter_ = nullptr;
+  telemetry::Counter* balancer_actions_counter_ = nullptr;
 };
 
 }  // namespace sturgeon::core

@@ -1,0 +1,23 @@
+#include "core/policy.h"
+
+#include "telemetry/context.h"
+
+namespace sturgeon::core {
+
+Policy::Policy() : telemetry_(telemetry::TelemetryContext::noop()) {}
+
+void Policy::attach_telemetry(
+    std::shared_ptr<telemetry::TelemetryContext> context) {
+  telemetry_ =
+      context ? std::move(context) : telemetry::TelemetryContext::noop();
+  on_telemetry_attached();
+}
+
+PolicyDecision& Policy::begin_decision() {
+  const std::uint64_t next_epoch = last_decision_.epoch + 1;
+  last_decision_ = PolicyDecision{};
+  last_decision_.epoch = next_epoch;
+  return last_decision_;
+}
+
+}  // namespace sturgeon::core

@@ -2,20 +2,53 @@
 // the latest telemetry sample to the partition for the next interval.
 // Sturgeon, Sturgeon-NoB and the baseline controllers all implement this,
 // so the experiment harness can drive them interchangeably.
+//
+// Observability contract (uniform across every implementation):
+//   - describe() is a one-line, human-readable summary of the policy and
+//     its tuning (for run headers and trace metadata);
+//   - last_decision() reports what the most recent decide() call chose
+//     and why, replacing per-class ad-hoc getters;
+//   - attach_telemetry() hands the policy the run's TelemetryContext.
+//     Policies report counters/gauges/spans through it; a policy always
+//     has a context (a private no-op sink from birth), so instrument
+//     updates never need a null check.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "sim/server.h"
 #include "util/types.h"
 
+namespace sturgeon::telemetry {
+class TelemetryContext;
+}  // namespace sturgeon::telemetry
+
 namespace sturgeon::core {
+
+/// What the last decide() call chose, uniformly across policies.
+struct PolicyDecision {
+  std::uint64_t epoch = 0;  ///< 1-based decide() counter since reset()
+  Partition partition;      ///< the returned allocation
+  /// Machine-readable action tag: "hold", "search", "balance:<resource>",
+  /// "upsize:<resource>", "downsize:<resource>", "revert", "static", ...
+  std::string action = "none";
+  double slack = 0.0;  ///< measured slack this decision saw (0 if unused)
+  /// Model expectations backing the decision; 0 for model-free policies.
+  double predicted_throughput = 0.0;
+  double predicted_power_w = 0.0;
+};
 
 class Policy {
  public:
+  Policy();
   virtual ~Policy() = default;
 
   virtual std::string name() const = 0;
+
+  /// One-line description of the policy and its tuning knobs.
+  virtual std::string describe() const { return name(); }
 
   /// Forget controller state (new run).
   virtual void reset() = 0;
@@ -26,6 +59,31 @@ class Policy {
   /// see what RAPL / latency instrumentation would expose.
   virtual Partition decide(const sim::ServerTelemetry& sample,
                            const Partition& current) = 0;
+
+  /// What the most recent decide() chose; default-initialized before the
+  /// first call and after reset().
+  const PolicyDecision& last_decision() const { return last_decision_; }
+
+  /// Route this policy's instruments/spans through `context` (the
+  /// experiment runner calls this before reset()). Null restores the
+  /// built-in no-op sink.
+  void attach_telemetry(std::shared_ptr<telemetry::TelemetryContext> context);
+
+  telemetry::TelemetryContext& telemetry() const { return *telemetry_; }
+
+ protected:
+  /// Start recording decision `epoch + 1`; clears every other field.
+  PolicyDecision& begin_decision();
+  /// Forget the decision history (implementations call from reset()).
+  void clear_decision() { last_decision_ = PolicyDecision{}; }
+
+  /// Re-fetch cached instrument references after a context change.
+  virtual void on_telemetry_attached() {}
+
+  PolicyDecision last_decision_;
+
+ private:
+  std::shared_ptr<telemetry::TelemetryContext> telemetry_;
 };
 
 }  // namespace sturgeon::core

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/features.h"
+#include "telemetry/metrics.h"
 #include "util/check.h"
 #include "util/invariants.h"
 
@@ -65,6 +66,26 @@ void Predictor::swap_models(TrainedModels models) {
 
 telemetry::PredictionCacheStats Predictor::cache_stats() const {
   return cache_ ? cache_->stats() : telemetry::PredictionCacheStats{};
+}
+
+void Predictor::publish_metrics(telemetry::MetricsRegistry& metrics) const {
+  const ModelCallBreakdown calls = counters_.snapshot();
+  metrics.gauge("predictor.calls.ls_qos").set(static_cast<double>(calls.ls_qos));
+  metrics.gauge("predictor.calls.ls_power")
+      .set(static_cast<double>(calls.ls_power));
+  metrics.gauge("predictor.calls.be_ipc")
+      .set(static_cast<double>(calls.be_ipc));
+  metrics.gauge("predictor.calls.be_power")
+      .set(static_cast<double>(calls.be_power));
+  metrics.gauge("predictor.calls.total")
+      .set(static_cast<double>(calls.total()));
+
+  const telemetry::PredictionCacheStats cache = cache_stats();
+  metrics.gauge("cache.hits").set(static_cast<double>(cache.hits));
+  metrics.gauge("cache.misses").set(static_cast<double>(cache.misses));
+  metrics.gauge("cache.fills").set(static_cast<double>(cache.fills));
+  metrics.gauge("cache.hit_rate").set(cache.hit_rate());
+  metrics.gauge("cache.generation").set(static_cast<double>(cache.generation));
 }
 
 void Predictor::fill_ls_qos_table(double qps_real,

@@ -60,6 +60,12 @@ class Predictor {
   /// Cache counters; all-zero when the cache is disabled.
   telemetry::PredictionCacheStats cache_stats() const;
 
+  /// Publish the cumulative model-call and cache counters as
+  /// "predictor.calls.*" / "cache.*" gauges on `metrics` (the predictor
+  /// is shared and immutable, so its counters are re-homed behind the
+  /// registry by whoever owns the run's TelemetryContext).
+  void publish_metrics(telemetry::MetricsRegistry& metrics) const;
+
   /// Cumulative number of model invocations (overhead accounting).
   /// Thread-safe: the parallel search invokes models concurrently.
   /// Cache hits are array lookups, not invocations; a cache fill adds

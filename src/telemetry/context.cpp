@@ -1,0 +1,58 @@
+#include "telemetry/context.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "telemetry/export.h"
+
+namespace sturgeon::telemetry {
+
+TelemetryContext::TelemetryContext(const MachineSpec& machine,
+                                   TelemetryConfig config)
+    : machine_(machine),
+      config_(std::move(config)),
+      tracer_(config_.tracing, config_.clock),
+      recorder_(machine) {
+  if (config_.tracing) tracer_.bind_registry(&metrics_);
+}
+
+std::shared_ptr<TelemetryContext> TelemetryContext::noop() {
+  // A throwaway machine spec: the recorder only consults it when CSV
+  // rows are written, which a noop context never does.
+  return std::make_shared<TelemetryContext>(MachineSpec::xeon_e5_2630_v4(),
+                                            TelemetryConfig{});
+}
+
+std::shared_ptr<TelemetryContext> TelemetryContext::make(
+    const MachineSpec& machine, TelemetryConfig config) {
+  return std::make_shared<TelemetryContext>(machine, std::move(config));
+}
+
+void TelemetryContext::flush() {
+  if (!config_.trace_jsonl_path.empty()) {
+    std::ofstream os(config_.trace_jsonl_path);
+    if (!os) {
+      throw std::runtime_error("TelemetryContext: cannot open " +
+                               config_.trace_jsonl_path);
+    }
+    write_trace_jsonl(os);
+  }
+  if (!config_.csv_path.empty()) {
+    std::ofstream os(config_.csv_path);
+    if (!os) {
+      throw std::runtime_error("TelemetryContext: cannot open " +
+                               config_.csv_path);
+    }
+    write_csv(os);
+  }
+}
+
+void TelemetryContext::write_trace_jsonl(std::ostream& os) const {
+  telemetry::write_trace_jsonl(tracer_.finished(), os);
+}
+
+void TelemetryContext::write_summary(std::ostream& os) const {
+  write_metrics_summary(metrics_, os);
+}
+
+}  // namespace sturgeon::telemetry

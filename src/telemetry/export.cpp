@@ -1,0 +1,124 @@
+#include "telemetry/export.h"
+
+#include <charconv>
+#include <cstdio>
+#include <map>
+
+#include "util/table.h"
+
+namespace sturgeon::telemetry {
+
+namespace {
+
+/// Shortest round-trip decimal rendering (deterministic golden files).
+std::string double_to_json(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string attr_to_json(const AttrValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    return double_to_json(*d);
+  }
+  return "\"" + json_escape(std::get<std::string>(v)) + "\"";
+}
+
+void write_trace_jsonl(const std::vector<SpanRecord>& spans,
+                       std::ostream& os) {
+  struct PhaseTotal {
+    std::uint64_t count = 0;
+    std::int64_t total_us = 0;
+  };
+  std::map<std::string, PhaseTotal> phases;
+
+  for (const auto& s : spans) {
+    os << "{\"type\":\"span\",\"id\":" << s.id << ",\"parent\":" << s.parent
+       << ",\"name\":\"" << json_escape(s.name)
+       << "\",\"start_us\":" << s.start_us << ",\"dur_us\":" << s.dur_us
+       << ",\"attrs\":{";
+    for (std::size_t i = 0; i < s.attrs.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << json_escape(s.attrs[i].first)
+         << "\":" << attr_to_json(s.attrs[i].second);
+    }
+    os << "}}\n";
+    auto& p = phases[s.name];
+    ++p.count;
+    p.total_us += s.dur_us;
+  }
+
+  os << "{\"type\":\"run_summary\",\"span_count\":" << spans.size()
+     << ",\"phases\":{";
+  bool first = true;
+  for (const auto& [name, p] : phases) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"count\":" << p.count
+       << ",\"total_us\":" << p.total_us << "}";
+  }
+  os << "}}\n";
+}
+
+void write_metrics_summary(const MetricsRegistry& metrics, std::ostream& os) {
+  const auto snap = metrics.snapshot();
+
+  os << "== telemetry summary ==\n";
+  if (!snap.counters.empty()) {
+    os << "\ncounters:\n";
+    for (const auto& [name, v] : snap.counters) {
+      os << "  " << name << " = " << v << "\n";
+    }
+  }
+  if (!snap.gauges.empty()) {
+    os << "\ngauges:\n";
+    for (const auto& [name, v] : snap.gauges) {
+      os << "  " << name << " = " << TablePrinter::fmt(v, 4) << "\n";
+    }
+  }
+  if (!snap.histograms.empty()) {
+    os << "\nhistograms:\n";
+    TablePrinter table(
+        {"name", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, h] : snap.histograms) {
+      table.add_row({name, std::to_string(h.count),
+                     TablePrinter::fmt(h.mean(), 2),
+                     TablePrinter::fmt(h.quantile(0.50), 2),
+                     TablePrinter::fmt(h.quantile(0.95), 2),
+                     TablePrinter::fmt(h.quantile(0.99), 2),
+                     TablePrinter::fmt(h.max, 2)});
+    }
+    table.print(os);
+  }
+}
+
+}  // namespace sturgeon::telemetry

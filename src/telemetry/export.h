@@ -1,0 +1,41 @@
+// Pluggable exporters for the observability layer.
+//
+// Three sinks share the instruments and spans collected during a run:
+//   - CSV       per-interval rows (TraceRecorder, kept for back compat);
+//   - JSONL     one JSON object per finished span plus a final
+//               "run_summary" line with per-phase totals, so offline
+//               tooling (tools/trace_stats.py) can reconcile the trace
+//               against itself without a JSON library;
+//   - summary   end-of-run text report: counters, gauges, and per-phase
+//               duration quantiles (p50/p95/p99).
+//
+// Schemas are stability-tested (golden files in tests/telemetry): add
+// fields at the end, never rename or reorder existing ones.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace sturgeon::telemetry {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+/// Render one attribute value as a JSON literal.
+std::string attr_to_json(const AttrValue& v);
+
+/// Span lines followed by one {"type":"run_summary",...} line carrying
+/// span_count and per-phase {count,total_us}. Children appear before
+/// their parents (finish order).
+void write_trace_jsonl(const std::vector<SpanRecord>& spans,
+                       std::ostream& os);
+
+/// Human-readable end-of-run report over a registry snapshot.
+void write_metrics_summary(const MetricsRegistry& metrics, std::ostream& os);
+
+}  // namespace sturgeon::telemetry

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+
 namespace sturgeon::telemetry {
 
 double latency_slack(double p95_ms, double target_ms) {
@@ -74,6 +76,16 @@ double RunMetrics::interval_qos_rate() const {
   return intervals_ == 0 ? 1.0
                          : static_cast<double>(qos_ok_intervals_) /
                                static_cast<double>(intervals_);
+}
+
+void RunMetrics::publish(MetricsRegistry& metrics) const {
+  metrics.gauge("run.qos_guarantee_rate").set(qos_guarantee_rate());
+  metrics.gauge("run.mean_be_throughput_norm").set(mean_be_throughput_norm());
+  metrics.gauge("run.interval_qos_rate").set(interval_qos_rate());
+  metrics.gauge("run.power_overshoot_fraction")
+      .set(power_overshoot_fraction());
+  metrics.gauge("run.max_power_ratio").set(max_power_ratio());
+  metrics.gauge("run.intervals").set(static_cast<double>(intervals_));
 }
 
 }  // namespace sturgeon::telemetry

@@ -14,6 +14,8 @@
 
 namespace sturgeon::telemetry {
 
+class MetricsRegistry;
+
 /// Latency slack as defined by Algorithm 1: (target - latency) / target.
 /// Negative slack means the QoS target is violated.
 double latency_slack(double p95_ms, double target_ms);
@@ -92,6 +94,10 @@ class RunMetrics {
   std::uint64_t total_completed() const { return completed_; }
   std::uint64_t total_violations() const { return violations_; }
   std::size_t intervals() const { return intervals_; }
+
+  /// Publish the run-level metrics as "run.*" gauges so they appear in
+  /// the registry snapshot next to every other instrument.
+  void publish(MetricsRegistry& metrics) const;
 
  private:
   double budget_w_;

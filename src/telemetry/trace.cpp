@@ -1,0 +1,112 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "telemetry/metrics.h"
+
+namespace sturgeon::telemetry {
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    rec_ = std::move(other.rec_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+Span& Span::attr(std::string_view key, std::int64_t v) {
+  if (tracer_ != nullptr) rec_.attrs.emplace_back(std::string(key), v);
+  return *this;
+}
+
+Span& Span::attr(std::string_view key, double v) {
+  if (tracer_ != nullptr) rec_.attrs.emplace_back(std::string(key), v);
+  return *this;
+}
+
+Span& Span::attr(std::string_view key, std::string_view v) {
+  if (tracer_ != nullptr) {
+    rec_.attrs.emplace_back(std::string(key), std::string(v));
+  }
+  return *this;
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  Tracer* t = tracer_;
+  tracer_ = nullptr;
+  t->finish(std::move(rec_));
+}
+
+Tracer::Tracer(bool enabled, Clock clock)
+    : enabled_(enabled), clock_(std::move(clock)) {}
+
+std::int64_t Tracer::now_us() const {
+  if (clock_) return clock_();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Span Tracer::start_span(std::string_view name) {
+  if (!enabled_) return Span{};
+  SpanRecord rec;
+  rec.name = std::string(name);
+  rec.start_us = now_us();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rec.id = next_id_++;
+    rec.parent = open_.empty() ? 0 : open_.back();
+    open_.push_back(rec.id);
+  }
+  return Span(this, std::move(rec));
+}
+
+void Tracer::bind_registry(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+  phase_hist_.clear();
+}
+
+void Tracer::finish(SpanRecord&& rec) {
+  rec.dur_us = std::max<std::int64_t>(0, now_us() - rec.start_us);
+  Histogram* hist = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Pop this span from the open stack; out-of-order ends (a moved span
+    // outliving its parent) just remove the matching entry.
+    const auto it = std::find(open_.rbegin(), open_.rend(), rec.id);
+    if (it != open_.rend()) open_.erase(std::next(it).base());
+    if (registry_ != nullptr) {
+      const auto cached = std::find_if(
+          phase_hist_.begin(), phase_hist_.end(),
+          [&](const auto& e) { return e.first == rec.name; });
+      if (cached != phase_hist_.end()) {
+        hist = cached->second;
+      } else {
+        hist = &registry_->duration_histogram("phase." + rec.name +
+                                              ".duration_us");
+        phase_hist_.emplace_back(rec.name, hist);
+      }
+    }
+    finished_.push_back(std::move(rec));
+    if (hist != nullptr) {
+      hist->observe(static_cast<double>(finished_.back().dur_us));
+    }
+  }
+}
+
+std::size_t Tracer::finished_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.clear();
+}
+
+}  // namespace sturgeon::telemetry

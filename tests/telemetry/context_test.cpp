@@ -1,0 +1,79 @@
+#include "telemetry/context.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+namespace sturgeon::telemetry {
+namespace {
+
+TEST(TelemetryContext, NoopDefaultsKeepMetricsButDisableSinks) {
+  auto ctx = TelemetryContext::noop();
+  ASSERT_TRUE(ctx);
+  EXPECT_FALSE(ctx->tracing_enabled());
+  EXPECT_FALSE(ctx->csv_enabled());
+  // Metrics stay live -- instrument writes through a noop context are
+  // cheap but not discarded.
+  ctx->metrics().counter("x").inc();
+  EXPECT_EQ(ctx->metrics().counter("x").value(), 1u);
+  // Spans from a disabled tracer are inert.
+  { Span s = ctx->tracer().start_span("epoch"); }
+  EXPECT_EQ(ctx->tracer().finished_count(), 0u);
+  // flush() with no file sinks configured is a no-op, not an error.
+  ctx->flush();
+}
+
+TEST(TelemetryContext, MakeEnablesConfiguredFeatures) {
+  TelemetryConfig cfg;
+  cfg.tracing = true;
+  std::int64_t t = 0;
+  cfg.clock = [&t]() { return ++t; };
+  auto ctx = TelemetryContext::make(MachineSpec::xeon_e5_2630_v4(), cfg);
+  EXPECT_TRUE(ctx->tracing_enabled());
+  { Span s = ctx->tracer().start_span("epoch"); }
+  EXPECT_EQ(ctx->tracer().finished_count(), 1u);
+  // Tracing binds the registry: span durations land in phase histograms.
+  EXPECT_EQ(ctx->metrics()
+                .duration_histogram("phase.epoch.duration_us")
+                .snapshot()
+                .count,
+            1u);
+  std::ostringstream os;
+  ctx->write_trace_jsonl(os);
+  EXPECT_NE(os.str().find("\"type\":\"span\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"type\":\"run_summary\""), std::string::npos);
+}
+
+TEST(TelemetryContext, CsvHeaderGoldenSchema) {
+  // The CSV schema predates the observability layer and external tooling
+  // parses it; the header is a stability contract (append-only).
+  auto ctx = TelemetryContext::make(MachineSpec::xeon_e5_2630_v4(), {});
+  std::ostringstream os;
+  ctx->write_csv(os);
+  std::string header = os.str();
+  if (const auto nl = header.find('\n'); nl != std::string::npos) {
+    header.resize(nl);
+  }
+  EXPECT_EQ(header,
+            "t_s,load,qps,p95_ms,power_w,be_thr_norm,"
+            "ls_cores,ls_freq_ghz,ls_ways,be_cores,be_freq_ghz,be_ways,"
+            "cache_hits,cache_misses,cache_fills");
+}
+
+TEST(TelemetryContext, SummaryListsSections) {
+  auto ctx = TelemetryContext::noop();
+  ctx->metrics().counter("controller.searches").add(3);
+  ctx->metrics().gauge("cache.hit_rate").set(0.5);
+  ctx->metrics().duration_histogram("phase.search.duration_us").observe(7.0);
+  std::ostringstream os;
+  ctx->write_summary(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== telemetry summary =="), std::string::npos);
+  EXPECT_NE(out.find("controller.searches = 3"), std::string::npos);
+  EXPECT_NE(out.find("cache.hit_rate"), std::string::npos);
+  EXPECT_NE(out.find("phase.search.duration_us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sturgeon::telemetry

@@ -1,0 +1,163 @@
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <utility>
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+
+namespace sturgeon::telemetry {
+namespace {
+
+/// Deterministic microsecond clock: every call advances by `step_us`.
+struct ManualClock {
+  std::int64_t t = 0;
+  std::int64_t step_us = 1;
+  std::int64_t operator()() { return t += step_us; }
+};
+
+Tracer::Clock make_clock(std::int64_t step_us = 1) {
+  return ManualClock{0, step_us};
+}
+
+TEST(Tracer, SpansNestUnderInnermostOpenSpan) {
+  Tracer tracer(/*enabled=*/true, make_clock());
+  {
+    Span epoch = tracer.start_span("epoch");
+    {
+      Span decide = tracer.start_span("decide");
+      Span search = tracer.start_span("search");
+      search.end();
+      decide.end();
+    }
+    Span enforce = tracer.start_span("enforce");
+  }
+  const auto& spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 4u);
+  // Children finish before parents.
+  EXPECT_EQ(spans[0].name, "search");
+  EXPECT_EQ(spans[1].name, "decide");
+  EXPECT_EQ(spans[2].name, "enforce");
+  EXPECT_EQ(spans[3].name, "epoch");
+  const SpanRecord& epoch = spans[3];
+  EXPECT_EQ(epoch.parent, 0u);  // root
+  EXPECT_EQ(spans[1].parent, epoch.id);
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  // enforce opened after decide closed: also a direct epoch child.
+  EXPECT_EQ(spans[2].parent, epoch.id);
+  // The manual clock is strictly increasing, so containment holds.
+  for (const auto& s : {spans[0], spans[1], spans[2]}) {
+    EXPECT_GE(s.start_us, epoch.start_us);
+    EXPECT_LE(s.start_us + s.dur_us, epoch.start_us + epoch.dur_us);
+  }
+}
+
+TEST(Tracer, AttrsAreTypedAndPreserved) {
+  Tracer tracer(/*enabled=*/true, make_clock());
+  {
+    Span s = tracer.start_span("x");
+    s.attr("i", 42).attr("d", 2.5).attr("s", "hello").attr("b", true);
+  }
+  const auto& rec = tracer.finished().at(0);
+  ASSERT_EQ(rec.attrs.size(), 4u);
+  EXPECT_EQ(rec.attrs[0].first, "i");
+  EXPECT_EQ(std::get<std::int64_t>(rec.attrs[0].second), 42);
+  EXPECT_EQ(std::get<double>(rec.attrs[1].second), 2.5);
+  EXPECT_EQ(std::get<std::string>(rec.attrs[2].second), "hello");
+  EXPECT_EQ(std::get<std::int64_t>(rec.attrs[3].second), 1);
+}
+
+TEST(Tracer, DisabledTracerHandsOutInertSpans) {
+  Tracer tracer(/*enabled=*/false);
+  {
+    Span s = tracer.start_span("x");
+    EXPECT_FALSE(s.active());
+    s.attr("k", 1);  // no-op, no crash
+  }
+  EXPECT_EQ(tracer.finished_count(), 0u);
+  // A default-constructed span is equally inert.
+  Span inert;
+  inert.attr("k", 2);
+  inert.end();
+}
+
+TEST(Tracer, EndIsIdempotentAndMoveTransfersOwnership) {
+  Tracer tracer(/*enabled=*/true, make_clock());
+  Span a = tracer.start_span("a");
+  Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): asserting
+  EXPECT_TRUE(b.active());
+  b.end();
+  b.end();  // second end is a no-op
+  EXPECT_EQ(tracer.finished_count(), 1u);
+}
+
+TEST(Tracer, BoundRegistryCollectsPhaseDurations) {
+  MetricsRegistry registry;
+  Tracer tracer(/*enabled=*/true, make_clock(/*step_us=*/10));
+  tracer.bind_registry(&registry);
+  for (int i = 0; i < 3; ++i) {
+    Span s = tracer.start_span("decide");
+  }
+  {
+    Span s = tracer.start_span("observe");
+  }
+  const auto decide =
+      registry.duration_histogram("phase.decide.duration_us").snapshot();
+  EXPECT_EQ(decide.count, 3u);
+  EXPECT_GT(decide.sum, 0.0);
+  const auto observe =
+      registry.duration_histogram("phase.observe.duration_us").snapshot();
+  EXPECT_EQ(observe.count, 1u);
+  // The histogram is the span trace's reconciliation partner: counts must
+  // equal the number of finished spans with that name.
+  EXPECT_EQ(tracer.finished_count(), 4u);
+}
+
+TEST(Tracer, ClearDropsFinishedSpansOnly) {
+  Tracer tracer(/*enabled=*/true, make_clock());
+  Span open = tracer.start_span("open");
+  { Span s = tracer.start_span("closed"); }
+  EXPECT_EQ(tracer.finished_count(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.finished_count(), 0u);
+  open.end();
+  EXPECT_EQ(tracer.finished_count(), 1u);
+  EXPECT_EQ(tracer.finished().at(0).name, "open");
+}
+
+TEST(TraceExport, JsonlGoldenSchema) {
+  // Golden-file schema test: the JSONL layout is a stability contract
+  // with tools/trace_stats.py and offline tooling. Field names, order,
+  // and number formatting must not drift.
+  Tracer tracer(/*enabled=*/true, make_clock());
+  {
+    Span epoch = tracer.start_span("epoch");
+    epoch.attr("t_s", 0).attr("qps", 1.5).attr("tag", "a\"b");
+    Span decide = tracer.start_span("decide");
+  }
+  std::ostringstream os;
+  write_trace_jsonl(tracer.finished(), os);
+  EXPECT_EQ(os.str(),
+            "{\"type\":\"span\",\"id\":2,\"parent\":1,\"name\":\"decide\","
+            "\"start_us\":2,\"dur_us\":1,\"attrs\":{}}\n"
+            "{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"epoch\","
+            "\"start_us\":1,\"dur_us\":3,\"attrs\":{\"t_s\":0,\"qps\":1.5,"
+            "\"tag\":\"a\\\"b\"}}\n"
+            "{\"type\":\"run_summary\",\"span_count\":2,\"phases\":{"
+            "\"decide\":{\"count\":1,\"total_us\":1},"
+            "\"epoch\":{\"count\":1,\"total_us\":3}}}\n");
+}
+
+TEST(TraceExport, JsonEscaping) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("x\ny"), "x\\ny");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+}  // namespace
+}  // namespace sturgeon::telemetry

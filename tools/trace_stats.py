@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate a Sturgeon JSONL span trace and print per-phase statistics.
+
+Dependency-free (stdlib json only) so it can run inside ctest on any CI
+leg. Checks the contract between the trace and the end-of-run summary:
+
+  - every line is a JSON object of type "span" or "run_summary";
+  - span ids are unique and non-zero; parent ids reference a span in the
+    file (or 0 for roots);
+  - durations are non-negative and every child span lies within its
+    parent's [start, start+dur] window;
+  - the final line is a single "run_summary" whose span_count and
+    per-phase {count, total_us} reconcile with the span lines.
+
+Usage: trace_stats.py TRACE.jsonl
+Exits non-zero with a message on the first violated invariant.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"trace_stats: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def percentile(sorted_vals, q):
+    if not sorted_vals:
+        return 0.0
+    idx = q * (len(sorted_vals) - 1)
+    lo = int(idx)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    frac = idx - lo
+    return sorted_vals[lo] * (1.0 - frac) + sorted_vals[hi] * frac
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: trace_stats.py TRACE.jsonl")
+    path = sys.argv[1]
+
+    spans = {}
+    summary = None
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                fail(f"line {lineno}: blank line")
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"line {lineno}: invalid JSON: {e}")
+            if not isinstance(obj, dict):
+                fail(f"line {lineno}: not a JSON object")
+            kind = obj.get("type")
+            if kind == "span":
+                if summary is not None:
+                    fail(f"line {lineno}: span after run_summary")
+                for key in ("id", "parent", "name", "start_us", "dur_us"):
+                    if key not in obj:
+                        fail(f"line {lineno}: span missing '{key}'")
+                sid = obj["id"]
+                if not isinstance(sid, int) or sid <= 0:
+                    fail(f"line {lineno}: bad span id {sid!r}")
+                if sid in spans:
+                    fail(f"line {lineno}: duplicate span id {sid}")
+                if obj["dur_us"] < 0:
+                    fail(f"line {lineno}: span {sid} negative duration")
+                if "attrs" in obj and not isinstance(obj["attrs"], dict):
+                    fail(f"line {lineno}: span {sid} attrs not an object")
+                spans[sid] = obj
+            elif kind == "run_summary":
+                if summary is not None:
+                    fail(f"line {lineno}: second run_summary")
+                summary = obj
+            else:
+                fail(f"line {lineno}: unknown type {kind!r}")
+
+    if summary is None:
+        fail("no run_summary line")
+
+    # Parent links and temporal containment.
+    for sid, s in spans.items():
+        pid = s["parent"]
+        if pid == 0:
+            continue
+        if pid not in spans:
+            fail(f"span {sid}: parent {pid} not in trace")
+        p = spans[pid]
+        if s["start_us"] < p["start_us"]:
+            fail(f"span {sid} starts before its parent {pid}")
+        if s["start_us"] + s["dur_us"] > p["start_us"] + p["dur_us"]:
+            fail(f"span {sid} ends after its parent {pid}")
+
+    # Reconciliation with the summary.
+    if summary.get("span_count") != len(spans):
+        fail(f"run_summary span_count {summary.get('span_count')} != "
+             f"{len(spans)} span lines")
+    by_phase = {}
+    for s in spans.values():
+        by_phase.setdefault(s["name"], []).append(s["dur_us"])
+    phases = summary.get("phases")
+    if not isinstance(phases, dict):
+        fail("run_summary missing phases object")
+    if set(phases) != set(by_phase):
+        fail(f"run_summary phases {sorted(phases)} != trace phases "
+             f"{sorted(by_phase)}")
+    for name, info in phases.items():
+        durs = by_phase[name]
+        if info.get("count") != len(durs):
+            fail(f"phase {name}: summary count {info.get('count')} != "
+                 f"{len(durs)}")
+        if info.get("total_us") != sum(durs):
+            fail(f"phase {name}: summary total_us {info.get('total_us')} != "
+                 f"{sum(durs)}")
+
+    roots = sum(1 for s in spans.values() if s["parent"] == 0)
+    print(f"trace_stats: OK: {len(spans)} spans, {roots} roots, "
+          f"{len(by_phase)} phases")
+    print(f"{'phase':<28} {'count':>7} {'p50_us':>9} {'p95_us':>9} "
+          f"{'p99_us':>9} {'max_us':>9}")
+    for name in sorted(by_phase):
+        durs = sorted(by_phase[name])
+        print(f"{name:<28} {len(durs):>7} "
+              f"{percentile(durs, 0.50):>9.1f} "
+              f"{percentile(durs, 0.95):>9.1f} "
+              f"{percentile(durs, 0.99):>9.1f} "
+              f"{durs[-1]:>9}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
