@@ -39,6 +39,9 @@ class HeraclesController : public core::Policy {
   Partition decide(const sim::ServerTelemetry& sample,
                    const Partition& current) override;
 
+  /// Retarget the power subcontroller's budget (cluster re-caps).
+  void set_power_cap(double watts) override { options_.power_budget_w = watts; }
+
  private:
   MachineSpec machine_;
   double qos_target_ms_;

@@ -46,6 +46,11 @@ class PartiesController : public core::Policy {
   Partition decide(const sim::ServerTelemetry& sample,
                    const Partition& current) override;
 
+  /// Retarget the measured-power guard (cluster coordinator re-caps).
+  /// A positive cap makes an originally power-oblivious instance
+  /// power-aware, matching the paper's enhanced PARTIES.
+  void set_power_cap(double watts) override { options_.power_budget_w = watts; }
+
  private:
   enum class Resource { kCores, kFreq, kWays };
   static constexpr int kNumResources = 3;

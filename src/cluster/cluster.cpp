@@ -1,0 +1,201 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/model_registry.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sturgeon::cluster {
+
+namespace {
+
+/// Machine power capacity proxy for placement: the whole package busy at
+/// top frequency with unit activity. Machine-only (no workload term), so
+/// heterogeneous fleets rank by hardware size.
+double machine_capacity_w(const sim::ServerConfig& server) {
+  const MachineSpec& m = server.machine;
+  const sim::PowerModel model(m, server.power);
+  const AppSlice all{m.num_cores, m.max_freq_level(), m.llc_ways};
+  const AppSlice none{0, 0, 0};
+  return model.package_power_w(all, 1.0, 1.0, none, 0.0, 0.0, 0.0);
+}
+
+}  // namespace
+
+ClusterSim::ClusterSim(std::vector<NodeSpec> specs, ClusterConfig config)
+    : config_(std::move(config)), pool_(config_.threads) {
+  if (specs.empty()) {
+    throw std::invalid_argument("ClusterSim: empty fleet");
+  }
+  if (!(config_.oversubscription > 0.0 && config_.oversubscription <= 1.0)) {
+    throw std::invalid_argument("ClusterSim: oversubscription must be (0,1]");
+  }
+  const std::size_t n = specs.size();
+
+  telemetry_ = config_.telemetry
+                   ? config_.telemetry
+                   : telemetry::TelemetryContext::make(specs[0].server.machine);
+
+  // Placement: map workload w (pair + trace + policy) onto machine i.
+  std::vector<double> demand(n), capacity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    demand[i] = estimate_pair_power_w(specs[i].ls, specs[i].be,
+                                      specs[i].server);
+    capacity[i] = machine_capacity_w(specs[i].server);
+  }
+  const std::vector<std::size_t> assignment =
+      place(config_.placement, demand, capacity);
+
+  // Warm every distinct Sturgeon model before any node constructs its
+  // policy: parallel across distinct services, train-once per service.
+  std::vector<std::pair<const LsProfile*, const BeProfile*>> to_warm;
+  const core::TrainerConfig* trainer = nullptr;
+  for (const auto& spec : specs) {
+    if (spec.policy == PolicyKind::kSturgeon && !spec.make_policy) {
+      to_warm.emplace_back(&spec.ls, &spec.be);
+      trainer = &spec.trainer;
+    }
+  }
+  if (!to_warm.empty()) {
+    exp::warm_models(to_warm, &pool_, *trainer);
+  }
+
+  nodes_.reserve(n);
+  double budget_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeSpec spec = specs[assignment[i]];
+    spec.server = specs[i].server;  // workload moves, the machine stays
+    max_trace_s_ = std::max(max_trace_s_, spec.trace.duration_s());
+    auto ctx = telemetry::TelemetryContext::make(
+        spec.server.machine, telemetry::TelemetryConfig{
+                                 config_.node_tracing, false, "", "",
+                                 telemetry_->config().clock});
+    nodes_.push_back(std::make_unique<ClusterNode>(
+        static_cast<int>(i), std::move(spec),
+        derive_seed(config_.seed, static_cast<std::uint64_t>(i)),
+        std::move(ctx), config_.governor));
+    budget_sum += nodes_.back()->budget_w();
+  }
+
+  budget_w_ = config_.power_budget_w > 0.0
+                  ? config_.power_budget_w
+                  : config_.oversubscription * budget_sum;
+  double idle_sum = 0.0;
+  for (const auto& node : nodes_) idle_sum += node->idle_w();
+  STURGEON_CHECK(budget_w_ > idle_sum,
+                 "ClusterSim: cluster budget " << budget_w_
+                     << " W below fleet idle power " << idle_sum << " W");
+
+  coordinator_ =
+      make_coordinator(config_.coordinator, config_.coordinator_config);
+
+  auto& registry = telemetry_->metrics();
+  registry.gauge("cluster.nodes").set(static_cast<double>(n));
+  registry.gauge("cluster.power_budget_w").set(budget_w_);
+}
+
+ClusterResult ClusterSim::run(int epochs) {
+  if (ran_) {
+    throw std::logic_error("ClusterSim::run: one-shot; build a new sim");
+  }
+  ran_ = true;
+  if (epochs <= 0) epochs = max_trace_s_;
+  const std::size_t n = nodes_.size();
+
+  auto& registry = telemetry_->metrics();
+  auto& power_hist = registry.histogram(
+      "cluster.power_w", telemetry::Histogram::exponential_bounds(
+                             budget_w_ / 64.0, 1.25, 24));
+  auto& epoch_counter = registry.counter("cluster.epochs");
+  auto& overshoot_counter = registry.counter("cluster.overshoot_epochs");
+  auto& power_gauge = registry.gauge("cluster.power_w.last");
+
+  coordinator_->reset();
+  std::vector<NodeReport> reports(n);
+  double power_sum = 0.0;
+  double max_ratio = 0.0;
+  int overshoot_epochs = 0;
+
+  for (int t = 0; t < epochs; ++t) {
+    telemetry::Span span = telemetry_->tracer().start_span("cluster.epoch");
+    span.attr("t_s", t);
+    epoch_counter.inc();
+
+    // 1. Budget split (sequential, deterministic in node order).
+    for (std::size_t i = 0; i < n; ++i) reports[i] = nodes_[i]->report();
+    const std::vector<double> caps = coordinator_->assign(budget_w_, reports);
+    for (std::size_t i = 0; i < n; ++i) nodes_[i]->set_power_cap(caps[i]);
+
+    // 2. Lockstep: every node advances one epoch, in parallel. Nodes
+    // share no mutable state, so the schedule cannot change results.
+    pool_.parallel_for(n, [&](std::size_t i) { nodes_[i]->step(t); });
+
+    // 3. Fleet aggregation (sequential again).
+    double fleet_power = 0.0;
+    for (const auto& node : nodes_) fleet_power += node->report().power_w;
+    power_hist.observe(fleet_power);
+    power_gauge.set(fleet_power);
+    power_sum += fleet_power;
+    max_ratio = std::max(max_ratio, fleet_power / budget_w_);
+    if (fleet_power > budget_w_) {
+      ++overshoot_epochs;
+      overshoot_counter.inc();
+    }
+    span.attr("power_w", fleet_power);
+  }
+
+  ClusterResult result;
+  result.cluster_power_budget_w = budget_w_;
+  result.epochs = epochs;
+  result.nodes = static_cast<int>(n);
+  result.coordinator = coordinator_->name();
+  result.telemetry = telemetry_;
+
+  std::uint64_t completed = 0, violations = 0;
+  result.node_results.reserve(n);
+  for (const auto& node : nodes_) {
+    NodeResult nr = node->result();
+    completed += nr.total_completed;
+    violations += nr.total_violations;
+    result.aggregate_be_throughput += nr.mean_be_throughput_norm;
+    result.node_results.push_back(std::move(nr));
+  }
+  result.fleet_qos_guarantee_rate =
+      completed == 0 ? 1.0
+                     : static_cast<double>(completed - violations) /
+                           static_cast<double>(completed);
+  result.cluster_overshoot_fraction =
+      epochs == 0 ? 0.0
+                  : static_cast<double>(overshoot_epochs) /
+                        static_cast<double>(epochs);
+  result.max_cluster_power_ratio = max_ratio;
+  result.mean_cluster_power_w =
+      epochs == 0 ? 0.0 : power_sum / static_cast<double>(epochs);
+
+  // Roll the per-node counters up into the cluster registry ("fleet."
+  // prefix) so one snapshot answers fleet-wide questions; gauges and
+  // histograms stay node-local (summing them is not meaningful).
+  for (const auto& node : nodes_) {
+    const auto snap = node->result().telemetry->metrics().snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      registry.counter("fleet." + name).add(value);
+    }
+  }
+  registry.gauge("cluster.fleet_qos_guarantee_rate")
+      .set(result.fleet_qos_guarantee_rate);
+  registry.gauge("cluster.aggregate_be_throughput")
+      .set(result.aggregate_be_throughput);
+  registry.gauge("cluster.overshoot_fraction")
+      .set(result.cluster_overshoot_fraction);
+  registry.gauge("cluster.max_power_ratio").set(result.max_cluster_power_ratio);
+  registry.gauge("cluster.mean_power_w").set(result.mean_cluster_power_w);
+
+  for (const auto& node : nodes_) node->result().telemetry->flush();
+  telemetry_->flush();
+  return result;
+}
+
+}  // namespace sturgeon::cluster

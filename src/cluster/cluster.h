@@ -1,0 +1,116 @@
+// ClusterSim: N co-location nodes advanced in lockstep 1 s epochs under
+// one cluster-level power budget.
+//
+// Layering per epoch:
+//
+//   PowerCoordinator   splits the cluster budget into per-node caps from
+//                      the fleet's last-epoch reports (sequential, node
+//                      order -- see coordinator.h);
+//   ClusterNode.step   every node runs its own policy + governor under
+//                      its cap; steps are independent, so the fleet
+//                      advances in parallel on the shared ThreadPool;
+//   aggregation        cluster power / QoS / throughput roll-ups, again
+//                      sequential in node order.
+//
+// Determinism: node i's RNG streams derive from derive_seed(cluster
+// seed, i); nothing mutable is shared between nodes inside step(); the
+// coordinator and the aggregation are sequential. A cluster run is
+// therefore bit-identical across thread counts -- tested.
+//
+// Telemetry: each node gets a child TelemetryContext; the cluster
+// context carries "cluster.*" instruments (per-epoch fleet power
+// histogram, overshoot counters) and, at end of run, a "fleet.*" roll-up
+// summing every node counter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "cluster/node.h"
+#include "cluster/placement.h"
+#include "util/thread_pool.h"
+
+namespace sturgeon::cluster {
+
+struct ClusterConfig {
+  std::uint64_t seed = 1;
+  /// Cluster-level power budget (W). 0 = `oversubscription` times the
+  /// sum of the fleet's natural node budgets -- the power-constrained
+  /// regime the paper targets, where not every node can run at its own
+  /// budget simultaneously.
+  double power_budget_w = 0.0;
+  double oversubscription = 0.90;
+  /// Per-node tolerance on cap overshoot: one epoch's measured power may
+  /// exceed the cap by this fraction before the run counts it against
+  /// the coordinator (reactive governors lag by one interval).
+  double power_tolerance = 0.05;
+  CoordinatorKind coordinator = CoordinatorKind::kSlackHarvest;
+  CoordinatorConfig coordinator_config;
+  /// How workloads (LS/BE pair + trace + policy) map onto machines.
+  PlacementKind placement = PlacementKind::kRoundRobin;
+  GovernorConfig governor;
+  /// Lockstep worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Span tracing on the per-node child contexts (cluster-context tracing
+  /// follows `telemetry`'s own config).
+  bool node_tracing = false;
+  /// Cluster-level sink. Null = a fresh private context (metrics only).
+  std::shared_ptr<telemetry::TelemetryContext> telemetry;
+};
+
+/// Fleet-level outcome, the cluster analogue of exp::RunResult.
+struct ClusterResult {
+  /// Query-weighted QoS guarantee rate over every LS query the fleet
+  /// completed: sum(completed - violations) / sum(completed).
+  double fleet_qos_guarantee_rate = 0.0;
+  /// Sum over nodes of mean normalized BE throughput ("machines' worth"
+  /// of batch work the fleet sustained).
+  double aggregate_be_throughput = 0.0;
+  double cluster_power_budget_w = 0.0;
+  /// Fraction of epochs where summed fleet power exceeded the budget.
+  double cluster_overshoot_fraction = 0.0;
+  /// Largest (fleet power / cluster budget) over the run.
+  double max_cluster_power_ratio = 0.0;
+  double mean_cluster_power_w = 0.0;
+  int epochs = 0;
+  int nodes = 0;
+  std::string coordinator;
+  std::vector<NodeResult> node_results;
+  /// Cluster-level telemetry (cluster.* + fleet.* roll-up), always set.
+  std::shared_ptr<telemetry::TelemetryContext> telemetry;
+};
+
+class ClusterSim {
+ public:
+  /// One spec per node. The placement strategy decides which spec's
+  /// *workload* (LS/BE pair, trace, policy) lands on which spec's
+  /// *machine*; node i always keeps spec i's ServerConfig. Sturgeon
+  /// nodes resolve their predictors through exp::predictor_for, warmed
+  /// in parallel here so the first epoch pays no training.
+  explicit ClusterSim(std::vector<NodeSpec> specs, ClusterConfig config = {});
+
+  /// Advance `epochs` lockstep epochs (0 = longest node trace) and
+  /// aggregate. One-shot: a ClusterSim instance runs once; build a new
+  /// one (same seed) to replay.
+  ClusterResult run(int epochs = 0);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  double cluster_budget_w() const { return budget_w_; }
+  ClusterNode& node(std::size_t i) { return *nodes_.at(i); }
+  PowerCoordinator& coordinator() { return *coordinator_; }
+
+ private:
+  ClusterConfig config_;
+  std::shared_ptr<telemetry::TelemetryContext> telemetry_;
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  std::unique_ptr<PowerCoordinator> coordinator_;
+  ThreadPool pool_;
+  double budget_w_ = 0.0;
+  int max_trace_s_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace sturgeon::cluster

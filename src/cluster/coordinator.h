@@ -1,0 +1,78 @@
+// Cluster power coordination: split one cluster-level power budget into
+// per-node caps, re-assigned every 1 s epoch from the fleet's latest
+// telemetry (Hydra-style hierarchical budgeting: cluster -> node; each
+// node's own policy then keeps the node under its cap).
+//
+// Three strategies, in ascending awareness:
+//   static-equal         every node gets budget / N, forever;
+//   demand-proportional  caps follow last-epoch measured power, so idle
+//                        nodes stop hoarding provisioned watts;
+//   slack-harvesting     nodes with QoS headroom (slack > beta) donate a
+//                        fraction of their unused cap into a pool that is
+//                        granted to nodes near violation (slack < alpha)
+//                        or pressed against their cap -- the cluster-level
+//                        analogue of Sturgeon's own harvest loop.
+// Every strategy preserves the invariant sum(caps) <= cluster budget and
+// floors each cap at the node's idle power (a cap below idle is not
+// actionable: the package draws uncore power regardless).
+//
+// assign() is pure arithmetic over the report vector in node order --
+// no RNG, no time -- which is what keeps cluster runs bit-reproducible
+// across thread counts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sturgeon::cluster {
+
+/// What one node tells the coordinator about its last epoch.
+struct NodeReport {
+  double budget_w = 0.0;  ///< node's natural budget (LS-at-peak power)
+  double idle_w = 0.0;    ///< package idle power; floor for any cap
+  double cap_w = 0.0;     ///< cap that was in force last epoch
+  double power_w = 0.0;   ///< measured package power last epoch
+  double slack = 0.0;     ///< measured latency slack last epoch
+  bool qos_met = true;    ///< last epoch met the QoS target
+  bool valid = false;     ///< false before the node's first epoch
+};
+
+enum class CoordinatorKind { kStaticEqual, kDemandProportional, kSlackHarvest };
+
+const char* to_string(CoordinatorKind kind);
+
+struct CoordinatorConfig {
+  double alpha = 0.10;  ///< receiver threshold: slack below => needs watts
+  double beta = 0.20;   ///< donor threshold: slack above => has headroom
+  /// Fraction of a donor's measured cap headroom moved into the pool per
+  /// epoch (0.5 mirrors the balancer's binary-harvest granularity).
+  double donate_fraction = 0.5;
+  /// Headroom kept above measured power when donating, and targeted when
+  /// granting, as a fraction of the node's own budget (absorbs sensor
+  /// noise and one epoch of load drift).
+  double headroom_margin = 0.04;
+  /// No donation may push a cap below this fraction of the node budget.
+  double min_cap_fraction = 0.30;
+};
+
+class PowerCoordinator {
+ public:
+  virtual ~PowerCoordinator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Per-node caps for the next epoch. `reports` is indexed by node, in
+  /// the fleet's fixed order; the result has the same size and sums to
+  /// at most `cluster_budget_w` (up to rounding). Deterministic.
+  virtual std::vector<double> assign(
+      double cluster_budget_w, const std::vector<NodeReport>& reports) = 0;
+
+  /// Forget inter-epoch state (new run). Default: stateless.
+  virtual void reset() {}
+};
+
+std::unique_ptr<PowerCoordinator> make_coordinator(
+    CoordinatorKind kind, CoordinatorConfig config = {});
+
+}  // namespace sturgeon::cluster

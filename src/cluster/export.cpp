@@ -1,0 +1,67 @@
+#include "cluster/export.h"
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "telemetry/export.h"
+#include "util/check.h"
+
+namespace sturgeon::cluster {
+
+namespace {
+
+std::string num(double v) {
+  return telemetry::attr_to_json(telemetry::AttrValue(v));
+}
+
+std::string str(const std::string& s) {
+  return "\"" + telemetry::json_escape(s) + "\"";
+}
+
+}  // namespace
+
+void write_cluster_jsonl(const ClusterResult& result, std::ostream& os) {
+  std::size_t span_total = 0;
+  std::map<std::string, telemetry::PhaseTotal> merged;
+
+  for (const auto& nr : result.node_results) {
+    STURGEON_CHECK(nr.telemetry != nullptr,
+                   "write_cluster_jsonl: node " << nr.node
+                                                << " has no telemetry");
+    const auto& spans = nr.telemetry->tracer().finished();
+    const auto phases = telemetry::phase_totals(spans);
+    span_total += spans.size();
+    for (const auto& [name, p] : phases) {
+      auto& m = merged[name];
+      m.count += p.count;
+      m.total_us += p.total_us;
+    }
+    os << "{\"type\":\"run_summary\",\"node\":" << nr.node
+       << ",\"policy\":" << str(nr.policy) << ",\"ls\":" << str(nr.ls)
+       << ",\"be\":" << str(nr.be) << ",\"span_count\":" << spans.size()
+       << ",\"phases\":" << telemetry::phases_to_json(phases)
+       << ",\"epochs\":" << nr.epochs
+       << ",\"qos_guarantee_rate\":" << num(nr.qos_guarantee_rate)
+       << ",\"be_throughput_norm\":" << num(nr.mean_be_throughput_norm)
+       << ",\"budget_w\":" << num(nr.budget_w)
+       << ",\"mean_cap_w\":" << num(nr.mean_cap_w)
+       << ",\"max_power_ratio\":" << num(nr.max_power_ratio)
+       << ",\"throttled_epochs\":" << nr.throttled_epochs << "}\n";
+  }
+
+  os << "{\"type\":\"run_summary\",\"cluster\":true,\"nodes\":"
+     << result.nodes << ",\"span_count\":" << span_total
+     << ",\"phases\":" << telemetry::phases_to_json(merged)
+     << ",\"epochs\":" << result.epochs
+     << ",\"coordinator\":" << str(result.coordinator)
+     << ",\"power_budget_w\":" << num(result.cluster_power_budget_w)
+     << ",\"fleet_qos_guarantee_rate\":"
+     << num(result.fleet_qos_guarantee_rate)
+     << ",\"aggregate_be_throughput\":" << num(result.aggregate_be_throughput)
+     << ",\"overshoot_fraction\":" << num(result.cluster_overshoot_fraction)
+     << ",\"max_power_ratio\":" << num(result.max_cluster_power_ratio)
+     << ",\"mean_power_w\":" << num(result.mean_cluster_power_w) << "}\n";
+}
+
+}  // namespace sturgeon::cluster

@@ -1,0 +1,20 @@
+// Cluster JSONL roll-up: one run_summary line per node plus a final
+// cluster line, written so tools/trace_stats.py --cluster can reconcile
+// the fleet against itself (node ids cover 0..N-1 exactly once; the
+// cluster line's span_count and per-phase {count,total_us} equal the
+// sums of the node lines).
+#pragma once
+
+#include <ostream>
+
+#include "cluster/cluster.h"
+
+namespace sturgeon::cluster {
+
+/// Per-node `{"type":"run_summary","node":i,...}` lines followed by one
+/// `{"type":"run_summary","cluster":true,...}` roll-up line. Schema
+/// stability rules follow telemetry/export.h: append fields, never
+/// rename or reorder.
+void write_cluster_jsonl(const ClusterResult& result, std::ostream& os);
+
+}  // namespace sturgeon::cluster

@@ -1,0 +1,235 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/parties.h"
+#include "baselines/static_policy.h"
+#include "core/controller.h"
+#include "exp/model_registry.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/check.h"
+
+namespace sturgeon::cluster {
+
+namespace {
+
+std::unique_ptr<core::Policy> default_policy(
+    const NodeSpec& spec, const sim::SimulatedServer& server) {
+  const MachineSpec& m = server.machine();
+  switch (spec.policy) {
+    case PolicyKind::kSturgeon: {
+      const auto predictor =
+          exp::predictor_for(spec.ls, spec.be, spec.trainer);
+      return std::make_unique<core::SturgeonController>(
+          predictor, spec.ls.qos_target_ms, server.power_budget_w());
+    }
+    case PolicyKind::kParties: {
+      baselines::PartiesOptions options;
+      options.power_budget_w = server.power_budget_w();
+      return std::make_unique<baselines::PartiesController>(
+          m, spec.ls.qos_target_ms, options);
+    }
+    case PolicyKind::kStatic: {
+      // Canonical 60/40 split, BE at a mid P-state: the "no management"
+      // configuration an operator might hand-pick.
+      Partition p;
+      p.ls = {std::max(1, m.num_cores * 3 / 5), m.max_freq_level(),
+              std::max(1, m.llc_ways * 3 / 5)};
+      p.be = complement_slice(m, p.ls, m.max_freq_level() / 2);
+      return std::make_unique<baselines::StaticPolicy>(p);
+    }
+  }
+  throw std::invalid_argument("ClusterNode: unknown policy kind");
+}
+
+}  // namespace
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kSturgeon: return "sturgeon";
+    case PolicyKind::kParties: return "parties";
+    case PolicyKind::kStatic: return "static";
+  }
+  return "unknown";
+}
+
+ClusterNode::ClusterNode(int id, NodeSpec spec, std::uint64_t seed,
+                         std::shared_ptr<telemetry::TelemetryContext> telemetry,
+                         GovernorConfig governor)
+    : id_(id),
+      spec_(std::move(spec)),
+      server_(spec_.ls, spec_.be, seed, spec_.server),
+      backend_(server_),
+      enforcer_(server_.machine(), backend_.cpuset(), backend_.cat(),
+                backend_.freq()),
+      telemetry_(std::move(telemetry)),
+      metrics_(server_.power_budget_w()),
+      governor_(governor) {
+  STURGEON_CHECK(telemetry_ != nullptr, "ClusterNode: null telemetry context");
+  budget_w_ = server_.power_budget_w();
+  idle_w_ = server_.power_model().idle_power_w();
+  cap_w_ = budget_w_;  // uncapped until the coordinator says otherwise
+
+  policy_ = spec_.make_policy ? spec_.make_policy(server_)
+                              : default_policy(spec_, server_);
+  STURGEON_CHECK(policy_ != nullptr, "ClusterNode: policy factory returned "
+                                     "null");
+  policy_->attach_telemetry(telemetry_);
+  policy_->reset();
+
+  auto& registry = telemetry_->metrics();
+  p95_hist_ = &registry.histogram(
+      "epoch.p95_ms", telemetry::Histogram::exponential_bounds(0.125, 2.0, 16));
+  power_hist_ = &registry.histogram(
+      "epoch.power_w", telemetry::Histogram::linear_bounds(0.0, 10.0, 40));
+  slack_hist_ = &registry.histogram(
+      "epoch.slack", telemetry::Histogram::linear_bounds(-1.0, 0.1, 21));
+  epochs_counter_ = &registry.counter("run.epochs");
+  violations_counter_ = &registry.counter("run.qos_violation_intervals");
+  changes_counter_ = &registry.counter("run.partition_changes");
+  throttle_counter_ = &registry.counter("node.governor.throttled_epochs");
+  registry.gauge("node.power_budget_w").set(budget_w_);
+
+  report_ = NodeReport{budget_w_, idle_w_, cap_w_, 0.0, 0.0, true, false};
+}
+
+void ClusterNode::set_power_cap(double watts) {
+  STURGEON_CHECK(watts > 0.0, "ClusterNode::set_power_cap: " << watts);
+  cap_w_ = watts;
+  policy_->set_power_cap(watts);
+  telemetry_->metrics().gauge("node.power_cap_w").set(watts);
+
+  // Feed-forward clamp before the first measurement: the reactive loop
+  // only sees 1 s samples, but a real node's RAPL would clamp frequency
+  // mid-interval. Size the startup throttle from the node's own power
+  // model (worst case: both slices fully busy) so the initial all-to-LS
+  // partition cannot blow through the very first cap.
+  if (governor_.enabled && epochs_run_ == 0) {
+    const auto& model = server_.power_model();
+    const int max_throttle = 2 * server_.machine().max_freq_level();
+    const double bw = spec_.ls.bw_gbps_at_peak + spec_.be.bw_gbps_max;
+    throttle_ = 0;
+    while (throttle_ < max_throttle) {
+      const Partition p = throttled(enforcer_.current());
+      const double estimate = model.package_power_w(
+          p.ls, 1.0, spec_.ls.power_activity, p.be, 1.0,
+          spec_.be.power_activity, bw);
+      if (estimate <= cap_w_) break;
+      ++throttle_;
+    }
+    const Partition target = throttled(enforcer_.current());
+    if (!(target == enforcer_.current())) enforcer_.apply(target);
+  }
+}
+
+Partition ClusterNode::throttled(Partition p) const {
+  int remaining = throttle_;
+  if (remaining <= 0) return p;
+  if (p.be.cores > 0) {
+    const int d = std::min(remaining, p.be.freq_level);
+    p.be.freq_level -= d;
+    remaining -= d;
+  }
+  p.ls.freq_level -= std::min(remaining, p.ls.freq_level);
+  return p;
+}
+
+void ClusterNode::step(int t) {
+  auto& tracer = telemetry_->tracer();
+  telemetry::Span epoch = tracer.start_span("epoch");
+  epoch.attr("t_s", t).attr("node", id_);
+  epochs_counter_->inc();
+
+  sim::ServerTelemetry sample;
+  {
+    telemetry::Span span = tracer.start_span("observe");
+    sample = server_.step(spec_.trace.at(t));
+    backend_.observe(sample);
+    metrics_.observe(sample);
+    if (telemetry_->csv_enabled()) {
+      telemetry_->recorder().record(t, sample, enforcer_.current());
+    }
+    span.attr("qps", sample.qps_real)
+        .attr("p95_ms", sample.ls.p95_ms)
+        .attr("power_w", sample.power_w);
+  }
+  const double slack =
+      telemetry::latency_slack(sample.ls.p95_ms, sample.qos_target_ms);
+  p95_hist_->observe(sample.ls.p95_ms);
+  power_hist_->observe(sample.power_w);
+  slack_hist_->observe(slack);
+
+  // Reactive cap enforcement (RAPL analogue): confiscate one frequency
+  // level while measured power sits above the cap, give one back once it
+  // falls comfortably below. Runs on the epoch's measurement, before the
+  // partition for the next epoch is enforced.
+  if (governor_.enabled) {
+    const int max_throttle = 2 * server_.machine().max_freq_level();
+    if (sample.power_w > cap_w_) {
+      throttle_ = std::min(throttle_ + 1, max_throttle);
+    } else if (throttle_ > 0 &&
+               sample.power_w <= governor_.relax_margin * cap_w_) {
+      --throttle_;
+    }
+  }
+
+  Partition next;
+  {
+    telemetry::Span span = tracer.start_span("decide");
+    next = policy_->decide(sample, enforcer_.current());
+    span.attr("action", policy_->last_decision().action);
+  }
+  const Partition target = throttled(next);
+  if (!(target == next)) {
+    ++throttled_epochs_;
+    throttle_counter_->inc();
+  }
+
+  const bool changed = !(target == enforcer_.current());
+  if (changed) {
+    telemetry::Span span = tracer.start_span("enforce");
+    enforcer_.apply(target);
+    changes_counter_->inc();
+    span.attr("partition", target.to_string(server_.machine()));
+  }
+  epoch.attr("p95_ms", sample.ls.p95_ms)
+      .attr("power_w", sample.power_w)
+      .attr("cap_w", cap_w_)
+      .attr("slack", slack)
+      .attr("action", policy_->last_decision().action)
+      .attr("throttle", throttle_);
+
+  if (!sample.qos_met()) violations_counter_->inc();
+  ++epochs_run_;
+  cap_w_sum_ += cap_w_;
+  max_power_ratio_ = std::max(max_power_ratio_, sample.power_w / budget_w_);
+  report_ = NodeReport{budget_w_, idle_w_,        cap_w_, sample.power_w,
+                       slack,     sample.qos_met(), true};
+}
+
+NodeResult ClusterNode::result() const {
+  NodeResult r;
+  r.node = id_;
+  r.policy = policy_->describe();
+  r.ls = spec_.ls.name;
+  r.be = spec_.be.name;
+  r.epochs = epochs_run_;
+  r.total_completed = metrics_.total_completed();
+  r.total_violations = metrics_.total_violations();
+  r.qos_guarantee_rate = metrics_.qos_guarantee_rate();
+  r.interval_qos_rate = metrics_.interval_qos_rate();
+  r.mean_be_throughput_norm = metrics_.mean_be_throughput_norm();
+  r.budget_w = budget_w_;
+  r.mean_cap_w = epochs_run_ > 0
+                     ? cap_w_sum_ / static_cast<double>(epochs_run_)
+                     : cap_w_;
+  r.max_power_ratio = max_power_ratio_;
+  r.throttled_epochs = throttled_epochs_;
+  r.telemetry = telemetry_;
+  return r;
+}
+
+}  // namespace sturgeon::cluster

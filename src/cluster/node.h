@@ -1,0 +1,152 @@
+// One node of the co-location fleet: the per-node runtime that
+// exp::run_colocation drives for a single machine, re-packaged as a
+// steppable object so a ClusterSim can advance N of them in lockstep.
+// Each node owns its SimulatedServer, isolation stack (SimBackend +
+// ResourceEnforcer), policy, telemetry context, and metrics accumulator;
+// nothing is shared between nodes except immutable trained models, which
+// is what makes the lockstep step() calls safe to run in parallel.
+//
+// Power capping: the ClusterSim hands the node a cap each epoch
+// (set_power_cap). The cap reaches the policy (Sturgeon retargets its
+// search budget) AND a node-local reactive governor -- the RAPL
+// analogue -- which steps frequencies down (BE slice first, LS last)
+// while measured power exceeds the cap and relaxes them when power falls
+// comfortably below. The governor is what turns a cap into a hard-ish
+// limit even under policies with no power notion; the QoS damage it does
+// when forced to throttle the LS slice is exactly the overload cost the
+// paper's Fig 2 measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cluster/coordinator.h"
+#include "core/policy.h"
+#include "core/trainer.h"
+#include "isolation/enforcer.h"
+#include "isolation/sim_backend.h"
+#include "telemetry/context.h"
+#include "telemetry/monitor.h"
+#include "workloads/load_trace.h"
+
+namespace sturgeon::cluster {
+
+enum class PolicyKind { kSturgeon, kParties, kStatic };
+
+const char* to_string(PolicyKind kind);
+
+/// Everything needed to instantiate one node of the fleet.
+struct NodeSpec {
+  LsProfile ls;
+  BeProfile be;
+  LoadTrace trace = LoadTrace::constant(0.5, 1);
+  sim::ServerConfig server;  ///< heterogeneous machines/coefficients OK
+  PolicyKind policy = PolicyKind::kSturgeon;
+  /// Profiling campaign for Sturgeon nodes (must match across the fleet:
+  /// one campaign per process, see exp/model_registry.h).
+  core::TrainerConfig trainer;
+  /// Overrides `policy` when set (tests inject fake-model controllers).
+  /// Receives the node's server so the factory can read the machine spec
+  /// and natural power budget.
+  std::function<std::unique_ptr<core::Policy>(const sim::SimulatedServer&)>
+      make_policy;
+};
+
+struct GovernorConfig {
+  bool enabled = true;
+  /// Relax one throttle step when measured power is at or below this
+  /// fraction of the cap. The default (1.0) behaves like an integrator
+  /// around the cap -- confiscated levels drain back as soon as the
+  /// policy is compliant, so a policy that deliberately sits just below
+  /// its cap is not left permanently throttled. Values < 1 trade that
+  /// responsiveness for hysteresis.
+  double relax_margin = 1.0;
+};
+
+/// Per-node outcome, the cluster analogue of exp::RunResult.
+struct NodeResult {
+  int node = 0;
+  std::string policy;  ///< policy describe() string
+  std::string ls;
+  std::string be;
+  int epochs = 0;
+  std::uint64_t total_completed = 0;   ///< LS queries completed
+  std::uint64_t total_violations = 0;  ///< of those, QoS-violating
+  double qos_guarantee_rate = 0.0;
+  double interval_qos_rate = 0.0;
+  double mean_be_throughput_norm = 0.0;
+  double budget_w = 0.0;    ///< node natural budget
+  double mean_cap_w = 0.0;  ///< average coordinator cap over the run
+  double max_power_ratio = 0.0;  ///< max measured power / natural budget
+  /// Epochs the governor spent throttling below the policy's choice.
+  int throttled_epochs = 0;
+  /// The node's telemetry (child context; rolled up by the ClusterSim).
+  std::shared_ptr<telemetry::TelemetryContext> telemetry;
+};
+
+class ClusterNode {
+ public:
+  /// `seed` is the node's derived seed (derive_seed(cluster_seed, id)).
+  /// `telemetry` must be non-null (the ClusterSim makes one child
+  /// context per node).
+  ClusterNode(int id, NodeSpec spec, std::uint64_t seed,
+              std::shared_ptr<telemetry::TelemetryContext> telemetry,
+              GovernorConfig governor = {});
+
+  /// Re-cap the node for the coming epoch (policy budget + governor).
+  void set_power_cap(double watts);
+
+  /// Advance one lockstep epoch at trace time `t`. Thread-safe with
+  /// respect to OTHER nodes (no shared mutable state); never call
+  /// concurrently on the same node.
+  void step(int t);
+
+  /// Telemetry for the coordinator, reflecting the last finished epoch.
+  const NodeReport& report() const { return report_; }
+
+  NodeResult result() const;
+
+  int id() const { return id_; }
+  double budget_w() const { return budget_w_; }
+  double idle_w() const { return idle_w_; }
+  double power_cap_w() const { return cap_w_; }
+  const sim::SimulatedServer& server() const { return server_; }
+  core::Policy& policy() { return *policy_; }
+
+ private:
+  /// Apply the governor's current throttle to `p` (BE frequency first,
+  /// then LS), returning the partition actually enforced.
+  Partition throttled(Partition p) const;
+
+  int id_;
+  NodeSpec spec_;
+  sim::SimulatedServer server_;
+  isolation::SimBackend backend_;
+  isolation::ResourceEnforcer enforcer_;
+  std::unique_ptr<core::Policy> policy_;
+  std::shared_ptr<telemetry::TelemetryContext> telemetry_;
+  telemetry::RunMetrics metrics_;
+  GovernorConfig governor_;
+
+  double budget_w_ = 0.0;
+  double idle_w_ = 0.0;
+  double cap_w_ = 0.0;
+  int throttle_ = 0;  ///< frequency levels currently confiscated
+  int throttled_epochs_ = 0;
+  int epochs_run_ = 0;
+  double cap_w_sum_ = 0.0;
+  double max_power_ratio_ = 0.0;
+  NodeReport report_;
+
+  telemetry::Histogram* p95_hist_ = nullptr;
+  telemetry::Histogram* power_hist_ = nullptr;
+  telemetry::Histogram* slack_hist_ = nullptr;
+  telemetry::Counter* epochs_counter_ = nullptr;
+  telemetry::Counter* violations_counter_ = nullptr;
+  telemetry::Counter* changes_counter_ = nullptr;
+  telemetry::Counter* throttle_counter_ = nullptr;
+};
+
+}  // namespace sturgeon::cluster

@@ -1,0 +1,91 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "sim/power_model.h"
+
+namespace sturgeon::cluster {
+
+const char* to_string(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kRoundRobin: return "round-robin";
+    case PlacementKind::kBinPack: return "bin-pack";
+    case PlacementKind::kWorstFit: return "worst-fit";
+  }
+  return "unknown";
+}
+
+double estimate_pair_power_w(const LsProfile& ls, const BeProfile& be,
+                             const sim::ServerConfig& server) {
+  const MachineSpec& m = server.machine;
+  const sim::PowerModel model(m, server.power);
+  AppSlice ls_slice{m.num_cores / 2, m.max_freq_level(), m.llc_ways / 2};
+  const AppSlice be_slice =
+      complement_slice(m, ls_slice, m.max_freq_level());
+  // Busy on both sides, each demanding its profile's peak traffic.
+  return model.package_power_w(ls_slice, 1.0, ls.power_activity, be_slice,
+                               1.0, be.power_activity,
+                               ls.bw_gbps_at_peak + be.bw_gbps_max);
+}
+
+std::vector<std::size_t> place(PlacementKind kind,
+                               const std::vector<double>& demand_w,
+                               const std::vector<double>& capacity_w) {
+  const std::size_t n = demand_w.size();
+  if (n == 0 || capacity_w.size() != n) {
+    throw std::invalid_argument(
+        "place: need one workload per node (non-empty, equal lengths)");
+  }
+  std::vector<std::size_t> assignment(n);
+
+  switch (kind) {
+    case PlacementKind::kRoundRobin: {
+      std::iota(assignment.begin(), assignment.end(), std::size_t{0});
+      break;
+    }
+    case PlacementKind::kBinPack: {
+      // Sorted matching: k-th hungriest workload onto the k-th biggest
+      // node. Stable sorts keep ties in index order (determinism).
+      std::vector<std::size_t> by_demand(n), by_capacity(n);
+      std::iota(by_demand.begin(), by_demand.end(), std::size_t{0});
+      std::iota(by_capacity.begin(), by_capacity.end(), std::size_t{0});
+      std::stable_sort(by_demand.begin(), by_demand.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return demand_w[a] > demand_w[b];
+                       });
+      std::stable_sort(by_capacity.begin(), by_capacity.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return capacity_w[a] > capacity_w[b];
+                       });
+      for (std::size_t k = 0; k < n; ++k) {
+        assignment[by_capacity[k]] = by_demand[k];
+      }
+      break;
+    }
+    case PlacementKind::kWorstFit: {
+      // Each workload in arrival order takes the free node with the most
+      // leftover capacity after hosting it.
+      std::vector<bool> used(n, false);
+      for (std::size_t w = 0; w < n; ++w) {
+        std::size_t best = n;
+        double best_leftover = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (used[i]) continue;
+          const double leftover = capacity_w[i] - demand_w[w];
+          if (best == n || leftover > best_leftover) {
+            best = i;
+            best_leftover = leftover;
+          }
+        }
+        used[best] = true;
+        assignment[best] = w;
+      }
+      break;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace sturgeon::cluster

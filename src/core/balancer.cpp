@@ -22,6 +22,13 @@ ResourceBalancer::ResourceBalancer(const Predictor& predictor,
   }
 }
 
+void ResourceBalancer::set_power_budget(double watts) {
+  if (!std::isfinite(watts) || watts <= 0.0) {
+    throw std::invalid_argument("ResourceBalancer: bad power budget");
+  }
+  budget_w_ = watts;
+}
+
 void ResourceBalancer::bind_telemetry(telemetry::MetricsRegistry* metrics,
                                       telemetry::Tracer* tracer) {
   tracer_ = tracer;

@@ -59,6 +59,10 @@ class ResourceBalancer {
 
   const BalancerConfig& config() const { return config_; }
 
+  /// Retarget the power budget the harvest options are checked against
+  /// (cluster re-caps); applies from the next step(). Must be > 0.
+  void set_power_budget(double watts);
+
   /// Which resource the last harvest took ("cores", "ways", "power",
   /// "revert" or ""); exposed for tracing and tests.
   const std::string& last_action() const { return last_action_; }

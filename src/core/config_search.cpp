@@ -50,6 +50,13 @@ ConfigSearch::ConfigSearch(const Predictor& predictor, double power_budget_w)
   }
 }
 
+void ConfigSearch::set_power_budget(double watts) {
+  if (!std::isfinite(watts) || watts <= 0.0) {
+    throw std::invalid_argument("ConfigSearch: bad power budget");
+  }
+  budget_w_ = watts;
+}
+
 std::optional<int> ConfigSearch::min_ls_cores(double qps_real) const {
   STURGEON_CHECK(std::isfinite(qps_real) && qps_real >= 0.0,
                  "min_ls_cores: qps = " << qps_real);

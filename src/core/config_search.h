@@ -63,6 +63,10 @@ class ConfigSearch {
 
   double power_budget_w() const { return budget_w_; }
 
+  /// Retarget the budget (e.g. a cluster coordinator re-capped the node);
+  /// applies from the next search. Must be > 0.
+  void set_power_budget(double watts);
+
   /// Emit a "candidate_eval" child span (candidate count, model calls,
   /// winner) through `tracer` on every search. Nullptr switches the
   /// instrumentation off; the tracer must outlive the search.

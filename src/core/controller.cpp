@@ -71,6 +71,12 @@ void SturgeonController::rebind_instruments() {
 
 void SturgeonController::on_telemetry_attached() { rebind_instruments(); }
 
+void SturgeonController::set_power_cap(double watts) {
+  search_.set_power_budget(watts);
+  balancer_.set_power_budget(watts);
+  telemetry().metrics().gauge("controller.power_cap_w").set(watts);
+}
+
 std::uint64_t SturgeonController::searches_run() const {
   return searches_counter_->value();
 }

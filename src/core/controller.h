@@ -63,6 +63,14 @@ class SturgeonController : public Policy {
   Partition decide(const sim::ServerTelemetry& sample,
                    const Partition& current) override;
 
+  /// Retarget the node budget the search and the balancer admit
+  /// configurations under (cluster coordinator re-caps). Unlike reset(),
+  /// controller state (reserves, balancer sequence) is kept: a cap change
+  /// is a budget move, not a new run.
+  void set_power_cap(double watts) override;
+
+  double power_budget_w() const { return search_.power_budget_w(); }
+
   /// Cumulative number of predictor searches run (overhead accounting);
   /// reads the "controller.searches" registry counter.
   std::uint64_t searches_run() const;

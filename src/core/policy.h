@@ -64,6 +64,13 @@ class Policy {
   /// first call and after reset().
   const PolicyDecision& last_decision() const { return last_decision_; }
 
+  /// Update the power budget (watts) this policy must keep the node
+  /// under. The cluster-level PowerCoordinator re-caps nodes between
+  /// epochs; power-aware policies (Sturgeon, PARTIES, Heracles) retarget
+  /// their budget checks, the default ignores the cap (policies with no
+  /// power notion, e.g. Static). Takes effect from the next decide().
+  virtual void set_power_cap(double /*watts*/) {}
+
   /// Route this policy's instruments/spans through `context` (the
   /// experiment runner calls this before reset()). Null restores the
   /// built-in no-op sink.

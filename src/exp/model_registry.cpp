@@ -2,17 +2,32 @@
 
 #include <map>
 #include <mutex>
+#include <set>
 #include <stdexcept>
+#include <string>
 
 namespace sturgeon::exp {
 
 namespace {
+
+// Per-key train-once slot. The registry mutex only guards the maps; the
+// expensive profiling campaign runs under the slot's own latch, so
+// concurrent callers for the SAME service serialize on the slot (one
+// trains, the rest wait and reuse) while DIFFERENT services train in
+// parallel.
+template <typename T>
+struct Slot {
+  std::mutex latch;
+  bool ready = false;
+  T value;
+};
+
 std::mutex g_mu;
-std::map<std::string, core::LsModels> g_ls_models;
-std::map<std::string, core::BeModels> g_be_models;
+std::map<std::string, std::shared_ptr<Slot<core::LsModels>>> g_ls_models;
+std::map<std::string, std::shared_ptr<Slot<core::BeModels>>> g_be_models;
 std::map<std::pair<std::string, std::string>,
-         std::shared_ptr<const core::Predictor>>
-    g_cache;
+         std::shared_ptr<Slot<std::shared_ptr<const core::Predictor>>>>
+    g_predictors;
 std::uint64_t g_seed_in_use = 0;
 bool g_seed_set = false;
 
@@ -25,58 +40,96 @@ void check_seed_locked(std::uint64_t seed) {
   g_seed_in_use = seed;
   g_seed_set = true;
 }
+
+template <typename Map, typename Key>
+auto slot_for(Map& map, const Key& key, std::uint64_t seed)
+    -> typename Map::mapped_type {
+  std::lock_guard<std::mutex> lock(g_mu);
+  check_seed_locked(seed);
+  auto& slot = map[key];
+  if (!slot) {
+    slot = std::make_shared<typename Map::mapped_type::element_type>();
+  }
+  return slot;
+}
+
 }  // namespace
 
 const core::LsModels& ls_models_for(const LsProfile& ls,
                                     const core::TrainerConfig& config) {
-  {
-    std::lock_guard<std::mutex> lock(g_mu);
-    check_seed_locked(config.seed);
-    const auto it = g_ls_models.find(ls.name);
-    if (it != g_ls_models.end()) return it->second;
+  const auto slot = slot_for(g_ls_models, ls.name, config.seed);
+  std::lock_guard<std::mutex> latch(slot->latch);
+  if (!slot->ready) {
+    slot->value =
+        core::train_ls_models(core::collect_ls_profiling(ls, config), config);
+    slot->ready = true;
   }
-  auto trained =
-      core::train_ls_models(core::collect_ls_profiling(ls, config), config);
-  std::lock_guard<std::mutex> lock(g_mu);
-  return g_ls_models.emplace(ls.name, std::move(trained)).first->second;
+  return slot->value;
 }
 
 const core::BeModels& be_models_for(const BeProfile& be,
                                     const core::TrainerConfig& config) {
-  {
-    std::lock_guard<std::mutex> lock(g_mu);
-    check_seed_locked(config.seed);
-    const auto it = g_be_models.find(be.name);
-    if (it != g_be_models.end()) return it->second;
+  const auto slot = slot_for(g_be_models, be.name, config.seed);
+  std::lock_guard<std::mutex> latch(slot->latch);
+  if (!slot->ready) {
+    slot->value =
+        core::train_be_models(core::collect_be_profiling(be, config), config);
+    slot->ready = true;
   }
-  auto trained =
-      core::train_be_models(core::collect_be_profiling(be, config), config);
-  std::lock_guard<std::mutex> lock(g_mu);
-  return g_be_models.emplace(be.name, std::move(trained)).first->second;
+  return slot->value;
 }
 
 std::shared_ptr<const core::Predictor> predictor_for(
     const LsProfile& ls, const BeProfile& be,
     const core::TrainerConfig& config) {
-  const auto key = std::make_pair(ls.name, be.name);
-  {
-    std::lock_guard<std::mutex> lock(g_mu);
-    check_seed_locked(config.seed);
-    const auto it = g_cache.find(key);
-    if (it != g_cache.end()) return it->second;
+  const auto slot = slot_for(
+      g_predictors, std::make_pair(ls.name, be.name), config.seed);
+  std::lock_guard<std::mutex> latch(slot->latch);
+  if (!slot->ready) {
+    const auto& ls_models = ls_models_for(ls, config);
+    const auto& be_models = be_models_for(be, config);
+    slot->value = std::make_shared<const core::Predictor>(
+        config.server.machine, core::assemble_models(ls_models, be_models));
+    slot->ready = true;
   }
-  const auto& ls_models = ls_models_for(ls, config);
-  const auto& be_models = be_models_for(be, config);
-  auto predictor = std::make_shared<const core::Predictor>(
-      config.server.machine, core::assemble_models(ls_models, be_models));
-  std::lock_guard<std::mutex> lock(g_mu);
-  g_cache[key] = predictor;
-  return g_cache[key];
+  return slot->value;
+}
+
+void warm_models(
+    const std::vector<std::pair<const LsProfile*, const BeProfile*>>& pairs,
+    ThreadPool* pool, const core::TrainerConfig& config) {
+  // Profile each *service* once, concurrently where a pool is given; the
+  // cheap per-pair predictor assembly then runs sequentially.
+  std::vector<const LsProfile*> ls_todo;
+  std::vector<const BeProfile*> be_todo;
+  std::set<std::string> seen_ls, seen_be;
+  for (const auto& [ls, be] : pairs) {
+    if (ls == nullptr || be == nullptr) {
+      throw std::invalid_argument("warm_models: null profile");
+    }
+    if (seen_ls.insert(ls->name).second) ls_todo.push_back(ls);
+    if (seen_be.insert(be->name).second) be_todo.push_back(be);
+  }
+
+  const std::size_t n = ls_todo.size() + be_todo.size();
+  const auto train_one = [&](std::size_t i) {
+    if (i < ls_todo.size()) {
+      ls_models_for(*ls_todo[i], config);
+    } else {
+      be_models_for(*be_todo[i - ls_todo.size()], config);
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && n > 1) {
+    pool->parallel_for(n, train_one);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) train_one(i);
+  }
+  for (const auto& [ls, be] : pairs) predictor_for(*ls, *be, config);
 }
 
 void clear_predictor_cache() {
   std::lock_guard<std::mutex> lock(g_mu);
-  g_cache.clear();
+  g_predictors.clear();
   g_ls_models.clear();
   g_be_models.clear();
   g_seed_set = false;

@@ -3,12 +3,24 @@
 // suitable one can be deployed" (Section V-C). LS models are independent
 // of the co-runner (and vice versa), so each LS service and BE
 // application is profiled once per process and shared by every pair.
+//
+// Sharing contract (the cluster layer leans on this): lookups are
+// thread-safe and train-once -- concurrent callers asking for the same
+// service block on a per-key latch while exactly one of them trains, so
+// N nodes resolving the same predictor never retrain N times (the old
+// registry raced: two simultaneous misses both ran the full profiling
+// campaign and one result was thrown away). Distinct services still
+// train concurrently. The returned Predictor is immutable and safe to
+// share across threads/nodes for the registry's lifetime.
 #pragma once
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/predictor.h"
 #include "core/trainer.h"
+#include "util/thread_pool.h"
 
 namespace sturgeon::exp {
 
@@ -26,6 +38,15 @@ const core::LsModels& ls_models_for(const LsProfile& ls,
                                     const core::TrainerConfig& config = {});
 const core::BeModels& be_models_for(const BeProfile& be,
                                     const core::TrainerConfig& config = {});
+
+/// Pre-train every model a set of co-location pairs needs, profiling
+/// distinct services concurrently on `pool` (nullptr = sequential).
+/// Afterwards predictor_for() for any listed pair is a pure cache hit --
+/// the cluster runner warms its fleet's models once here instead of
+/// paying a training campaign inside the first epoch of every node.
+void warm_models(
+    const std::vector<std::pair<const LsProfile*, const BeProfile*>>& pairs,
+    ThreadPool* pool = nullptr, const core::TrainerConfig& config = {});
 
 /// Drop all cached models (tests that need fresh training).
 void clear_predictor_cache();

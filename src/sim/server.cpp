@@ -7,6 +7,7 @@
 #include "sim/cache_model.h"
 #include "util/check.h"
 #include "util/invariants.h"
+#include "util/rng.h"
 
 namespace sturgeon::sim {
 
@@ -17,9 +18,9 @@ SimulatedServer::SimulatedServer(const LsProfile& ls, const BeProfile& be,
       config_(config),
       power_model_(config.machine, config.power),
       partition_(Partition::all_to_ls(config.machine)),
-      queue_(seed),
-      interference_(config.interference, seed ^ 0x1f2e3d4c5b6a7988ULL),
-      noise_rng_(seed ^ 0x0badc0ffee123457ULL) {}
+      queue_(derive_seed(seed, 0)),
+      interference_(config.interference, derive_seed(seed, 1)),
+      noise_rng_(derive_seed(seed, 2)) {}
 
 void SimulatedServer::set_partition(const Partition& p) {
   const bool be_empty = p.be.cores == 0;

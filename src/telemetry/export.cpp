@@ -53,14 +53,33 @@ std::string attr_to_json(const AttrValue& v) {
   return "\"" + json_escape(std::get<std::string>(v)) + "\"";
 }
 
+std::map<std::string, PhaseTotal> phase_totals(
+    const std::vector<SpanRecord>& spans) {
+  std::map<std::string, PhaseTotal> phases;
+  for (const auto& s : spans) {
+    auto& p = phases[s.name];
+    ++p.count;
+    p.total_us += s.dur_us;
+  }
+  return phases;
+}
+
+std::string phases_to_json(const std::map<std::string, PhaseTotal>& phases) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, p] : phases) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":{\"count\":" +
+           std::to_string(p.count) +
+           ",\"total_us\":" + std::to_string(p.total_us) + "}";
+  }
+  out += "}";
+  return out;
+}
+
 void write_trace_jsonl(const std::vector<SpanRecord>& spans,
                        std::ostream& os) {
-  struct PhaseTotal {
-    std::uint64_t count = 0;
-    std::int64_t total_us = 0;
-  };
-  std::map<std::string, PhaseTotal> phases;
-
   for (const auto& s : spans) {
     os << "{\"type\":\"span\",\"id\":" << s.id << ",\"parent\":" << s.parent
        << ",\"name\":\"" << json_escape(s.name)
@@ -72,21 +91,9 @@ void write_trace_jsonl(const std::vector<SpanRecord>& spans,
          << "\":" << attr_to_json(s.attrs[i].second);
     }
     os << "}}\n";
-    auto& p = phases[s.name];
-    ++p.count;
-    p.total_us += s.dur_us;
   }
-
   os << "{\"type\":\"run_summary\",\"span_count\":" << spans.size()
-     << ",\"phases\":{";
-  bool first = true;
-  for (const auto& [name, p] : phases) {
-    if (!first) os << ",";
-    first = false;
-    os << "\"" << json_escape(name) << "\":{\"count\":" << p.count
-       << ",\"total_us\":" << p.total_us << "}";
-  }
-  os << "}}\n";
+     << ",\"phases\":" << phases_to_json(phase_totals(spans)) << "}\n";
 }
 
 void write_metrics_summary(const MetricsRegistry& metrics, std::ostream& os) {

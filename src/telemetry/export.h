@@ -13,6 +13,7 @@
 // fields at the end, never rename or reorder existing ones.
 #pragma once
 
+#include <map>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -28,6 +29,20 @@ std::string json_escape(std::string_view s);
 
 /// Render one attribute value as a JSON literal.
 std::string attr_to_json(const AttrValue& v);
+
+/// Per-phase span aggregate: the {count,total_us} pairs a run_summary
+/// line carries. Exposed so the cluster roll-up can reuse exactly the
+/// totals the per-node JSONL exporter writes.
+struct PhaseTotal {
+  std::uint64_t count = 0;
+  std::int64_t total_us = 0;
+};
+std::map<std::string, PhaseTotal> phase_totals(
+    const std::vector<SpanRecord>& spans);
+
+/// Render a phases map as the JSON object run_summary lines embed:
+/// {"name":{"count":N,"total_us":T},...} in name order.
+std::string phases_to_json(const std::map<std::string, PhaseTotal>& phases);
 
 /// Span lines followed by one {"type":"run_summary",...} line carrying
 /// span_count and per-phase {count,total_us}. Children appear before

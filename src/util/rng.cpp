@@ -11,6 +11,20 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) {
+  // Feed the stream label through one SplitMix64 step, mix the root in,
+  // and take a second step: a low-entropy (root, stream) pair (e.g.
+  // root=1, stream=0..63) still lands on well-separated states.
+  std::uint64_t state = stream;
+  state = splitmix64(state) ^ root;
+  return splitmix64(state);
+}
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream,
+                          std::uint64_t substream) {
+  return derive_seed(derive_seed(root, stream), substream);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

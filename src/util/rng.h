@@ -14,6 +14,20 @@ namespace sturgeon {
 /// SplitMix64 step; used for seeding and as a cheap hash.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Derive a statistically independent child seed from a root seed and a
+/// stream label (node index, component id, ...). Two chained SplitMix64
+/// steps decorrelate even adjacent (root, stream) pairs, unlike the
+/// ad-hoc XOR-with-constant derivations this replaces. The same
+/// (root, stream) always yields the same child seed, which is what makes
+/// cluster runs bit-reproducible across thread counts: every node's
+/// generator depends only on the cluster seed and its own index.
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream);
+
+/// Convenience for a second derivation level, e.g.
+/// derive_seed(root, node, component).
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream,
+                          std::uint64_t substream);
+
 /// xoshiro256++ generator with convenience distributions.
 class Rng {
  public:

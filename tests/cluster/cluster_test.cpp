@@ -1,0 +1,252 @@
+// End-to-end ClusterSim tests on fake-model policies (no training), plus
+// the determinism contract the cluster layer promises: one cluster seed
+// fixes every node's streams, so results are bit-identical across
+// lockstep thread counts.
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "../core/fake_models.h"
+#include "cluster/export.h"
+#include "core/controller.h"
+#include "workloads/app_profile.h"
+
+namespace sturgeon::cluster {
+namespace {
+
+/// Sturgeon node on hand-crafted analytic models: full controller path,
+/// zero training cost.
+NodeSpec fake_spec(const LoadTrace& trace) {
+  NodeSpec spec;
+  spec.ls = find_ls("memcached");
+  spec.be = be_catalog()[0];
+  spec.trace = trace;
+  const double qos_ms = spec.ls.qos_target_ms;
+  spec.make_policy = [qos_ms](const sim::SimulatedServer& server) {
+    return std::make_unique<core::SturgeonController>(
+        core::testing::fake_predictor(server.machine()), qos_ms,
+        server.power_budget_w());
+  };
+  return spec;
+}
+
+std::vector<NodeSpec> fake_fleet(int n, int duration_s) {
+  std::vector<NodeSpec> specs;
+  for (int i = 0; i < n; ++i) {
+    const double load = 0.3 + 0.1 * i;
+    specs.push_back(fake_spec(LoadTrace::constant(load, duration_s)));
+  }
+  return specs;
+}
+
+TEST(ClusterSim, RejectsBadConstruction) {
+  EXPECT_THROW(ClusterSim(std::vector<NodeSpec>{}), std::invalid_argument);
+  ClusterConfig config;
+  config.oversubscription = 0.0;
+  EXPECT_THROW(ClusterSim(fake_fleet(1, 5), config), std::invalid_argument);
+  config.oversubscription = 1.5;
+  EXPECT_THROW(ClusterSim(fake_fleet(1, 5), config), std::invalid_argument);
+}
+
+TEST(ClusterSim, RunIsOneShot) {
+  ClusterConfig config;
+  config.seed = 3;
+  ClusterSim sim(fake_fleet(1, 5), config);
+  (void)sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+// The satellite contract: same cluster seed => bit-identical
+// ClusterResult regardless of how many lockstep workers advance the
+// fleet. Nodes share no mutable state and both the coordinator split and
+// the aggregation are sequential in node order, so the schedule cannot
+// leak into the numbers.
+TEST(ClusterSim, DeterministicAcrossThreadCounts) {
+  const int kNodes = 3, kEpochs = 20;
+  auto run_with = [&](std::size_t threads) {
+    ClusterConfig config;
+    config.seed = 5;
+    config.threads = threads;
+    ClusterSim sim(fake_fleet(kNodes, kEpochs), config);
+    return sim.run();
+  };
+  const ClusterResult a = run_with(1);
+  const ClusterResult b = run_with(4);
+
+  EXPECT_EQ(a.fleet_qos_guarantee_rate, b.fleet_qos_guarantee_rate);
+  EXPECT_EQ(a.aggregate_be_throughput, b.aggregate_be_throughput);
+  EXPECT_EQ(a.mean_cluster_power_w, b.mean_cluster_power_w);
+  EXPECT_EQ(a.max_cluster_power_ratio, b.max_cluster_power_ratio);
+  EXPECT_EQ(a.cluster_overshoot_fraction, b.cluster_overshoot_fraction);
+  ASSERT_EQ(a.node_results.size(), b.node_results.size());
+  for (std::size_t i = 0; i < a.node_results.size(); ++i) {
+    const NodeResult& x = a.node_results[i];
+    const NodeResult& y = b.node_results[i];
+    EXPECT_EQ(x.total_completed, y.total_completed) << "node " << i;
+    EXPECT_EQ(x.total_violations, y.total_violations) << "node " << i;
+    EXPECT_EQ(x.qos_guarantee_rate, y.qos_guarantee_rate) << "node " << i;
+    EXPECT_EQ(x.mean_be_throughput_norm, y.mean_be_throughput_norm)
+        << "node " << i;
+    EXPECT_EQ(x.mean_cap_w, y.mean_cap_w) << "node " << i;
+    EXPECT_EQ(x.max_power_ratio, y.max_power_ratio) << "node " << i;
+    EXPECT_EQ(x.throttled_epochs, y.throttled_epochs) << "node " << i;
+  }
+}
+
+TEST(ClusterSim, DifferentSeedsProduceDifferentRuns) {
+  auto run_with = [&](std::uint64_t seed) {
+    ClusterConfig config;
+    config.seed = seed;
+    ClusterSim sim(fake_fleet(2, 20), config);
+    return sim.run();
+  };
+  const ClusterResult a = run_with(1);
+  const ClusterResult b = run_with(2);
+  EXPECT_NE(a.mean_cluster_power_w, b.mean_cluster_power_w);
+}
+
+// Mismatched trace lengths across the fleet: run() extends to the
+// longest trace and shorter traces hold their final level (LoadTrace
+// clamps past the end), so every node still advances every epoch.
+TEST(ClusterSim, MismatchedTraceLengthsClampAndRunFullLockstep) {
+  std::vector<NodeSpec> specs;
+  specs.push_back(fake_spec(LoadTrace::constant(0.4, 10)));
+  specs.push_back(fake_spec(LoadTrace::constant(0.5, 30)));
+  ClusterConfig config;
+  config.seed = 7;
+  ClusterSim sim(std::move(specs), config);
+  const ClusterResult result = sim.run();
+  EXPECT_EQ(result.epochs, 30);
+  for (const auto& nr : result.node_results) {
+    EXPECT_EQ(nr.epochs, 30) << "node " << nr.node;
+    EXPECT_GT(nr.total_completed, 0u) << "node " << nr.node;
+  }
+}
+
+TEST(ClusterSim, ExplicitEpochCountOverridesTraces) {
+  ClusterConfig config;
+  config.seed = 7;
+  ClusterSim sim(fake_fleet(1, 50), config);
+  const ClusterResult result = sim.run(8);
+  EXPECT_EQ(result.epochs, 8);
+  EXPECT_EQ(result.node_results[0].epochs, 8);
+}
+
+// A cap-oblivious static policy under a tight cluster budget: only the
+// node governor can keep the node near its cap, and disabling it must
+// show up as cluster-level overshoot.
+TEST(ClusterSim, GovernorEnforcesTightCapOnStaticPolicy) {
+  auto static_specs = [] {
+    std::vector<NodeSpec> specs;
+    NodeSpec spec;
+    spec.ls = find_ls("memcached");
+    spec.be = be_catalog()[0];
+    spec.trace = LoadTrace::constant(0.6, 40);
+    spec.policy = PolicyKind::kStatic;
+    specs.push_back(std::move(spec));
+    return specs;
+  };
+
+  // Probe the node's natural budget and idle floor, then pin the
+  // cluster budget at 40% of the dynamic range above idle.
+  ClusterConfig probe_config;
+  probe_config.seed = 11;
+  ClusterSim probe(static_specs(), probe_config);
+  const double natural = probe.node(0).budget_w();
+  const double idle = probe.node(0).idle_w();
+  ASSERT_GT(natural, idle);
+  const double tight = idle + 0.4 * (natural - idle);
+
+  ClusterConfig governed;
+  governed.seed = 11;
+  governed.power_budget_w = tight;
+  ClusterSim governed_sim(static_specs(), governed);
+  const ClusterResult with_governor = governed_sim.run();
+
+  ClusterConfig ungoverned = governed;
+  ungoverned.governor.enabled = false;
+  ClusterSim ungoverned_sim(static_specs(), ungoverned);
+  const ClusterResult without_governor = ungoverned_sim.run();
+
+  // The static partition wants far more than the cap: the governor must
+  // have throttled, and the ungoverned run must overshoot more.
+  EXPECT_GT(with_governor.node_results[0].throttled_epochs, 0);
+  EXPECT_GT(without_governor.cluster_overshoot_fraction,
+            with_governor.cluster_overshoot_fraction);
+  EXPECT_LT(with_governor.max_cluster_power_ratio,
+            without_governor.max_cluster_power_ratio);
+}
+
+TEST(ClusterSim, FleetCountersRollUpIntoClusterRegistry) {
+  const int kNodes = 2, kEpochs = 12;
+  ClusterConfig config;
+  config.seed = 13;
+  ClusterSim sim(fake_fleet(kNodes, kEpochs), config);
+  const ClusterResult result = sim.run();
+  ASSERT_NE(result.telemetry, nullptr);
+
+  const auto snap = result.telemetry->metrics().snapshot();
+  std::uint64_t fleet_epochs = 0, cluster_epochs = 0;
+  bool found_fleet = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "fleet.run.epochs") {
+      fleet_epochs = value;
+      found_fleet = true;
+    }
+    if (name == "cluster.epochs") cluster_epochs = value;
+  }
+  EXPECT_TRUE(found_fleet);
+  EXPECT_EQ(fleet_epochs, static_cast<std::uint64_t>(kNodes * kEpochs));
+  EXPECT_EQ(cluster_epochs, static_cast<std::uint64_t>(kEpochs));
+}
+
+TEST(ClusterSim, JsonlRollupHasOneLinePerNodePlusCluster) {
+  const int kNodes = 2;
+  ClusterConfig config;
+  config.seed = 17;
+  ClusterSim sim(fake_fleet(kNodes, 10), config);
+  const ClusterResult result = sim.run();
+
+  std::ostringstream os;
+  write_cluster_jsonl(result, os);
+  std::istringstream is(os.str());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(is, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kNodes) + 1);
+  for (int i = 0; i < kNodes; ++i) {
+    EXPECT_NE(lines[static_cast<std::size_t>(i)].find("\"run_summary\""),
+              std::string::npos);
+    EXPECT_NE(lines[static_cast<std::size_t>(i)].find(
+                  "\"node\":" + std::to_string(i)),
+              std::string::npos);
+  }
+  EXPECT_NE(lines.back().find("\"cluster\":true"), std::string::npos);
+  EXPECT_NE(lines.back().find("\"fleet_qos_guarantee_rate\""),
+            std::string::npos);
+}
+
+TEST(ClusterSim, SumOfCapsNeverExceedsBudgetDuringRun) {
+  // Indirect check through the result: mean caps per node, summed, stay
+  // under the cluster budget (the coordinator invariant integrated over
+  // the run).
+  ClusterConfig config;
+  config.seed = 19;
+  config.coordinator = CoordinatorKind::kSlackHarvest;
+  ClusterSim sim(fake_fleet(3, 25), config);
+  const double budget = sim.cluster_budget_w();
+  const ClusterResult result = sim.run();
+  double mean_cap_sum = 0.0;
+  for (const auto& nr : result.node_results) mean_cap_sum += nr.mean_cap_w;
+  EXPECT_LE(mean_cap_sum, budget + 1e-6);
+}
+
+}  // namespace
+}  // namespace sturgeon::cluster

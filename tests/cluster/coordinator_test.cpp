@@ -1,0 +1,186 @@
+#include "cluster/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sturgeon::cluster {
+namespace {
+
+NodeReport report(double budget, double idle, double cap, double power,
+                  double slack, bool qos_met, bool valid = true) {
+  return NodeReport{budget, idle, cap, power, slack, qos_met, valid};
+}
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+// Every strategy must preserve: result size == fleet size, each cap at
+// or above the node's idle floor, and sum(caps) <= cluster budget.
+void expect_invariants(const std::vector<double>& caps,
+                       const std::vector<NodeReport>& reports,
+                       double budget) {
+  ASSERT_EQ(caps.size(), reports.size());
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    EXPECT_GE(caps[i], reports[i].idle_w) << "node " << i;
+  }
+  EXPECT_LE(sum(caps), budget + 1e-9);
+}
+
+TEST(Coordinator, StaticEqualSplitsEvenly) {
+  auto coord = make_coordinator(CoordinatorKind::kStaticEqual);
+  EXPECT_EQ(coord->name(), "static-equal");
+  const std::vector<NodeReport> reports = {
+      report(120.0, 30.0, 100.0, 90.0, 0.05, true),
+      report(120.0, 30.0, 100.0, 40.0, 0.40, true),
+      report(120.0, 30.0, 100.0, 70.0, 0.20, true),
+  };
+  const auto caps = coord->assign(300.0, reports);
+  expect_invariants(caps, reports, 300.0);
+  for (const double c : caps) EXPECT_DOUBLE_EQ(c, 100.0);
+}
+
+TEST(Coordinator, RejectsBadInputs) {
+  auto coord = make_coordinator(CoordinatorKind::kStaticEqual);
+  EXPECT_THROW(coord->assign(300.0, {}), std::invalid_argument);
+  EXPECT_THROW(coord->assign(0.0, {report(120, 30, 100, 50, 0.2, true)}),
+               std::invalid_argument);
+  EXPECT_THROW(coord->assign(-5.0, {report(120, 30, 100, 50, 0.2, true)}),
+               std::invalid_argument);
+}
+
+TEST(Coordinator, MakeCoordinatorValidatesConfig) {
+  CoordinatorConfig bad;
+  bad.alpha = -0.1;
+  EXPECT_THROW(make_coordinator(CoordinatorKind::kSlackHarvest, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.beta = bad.alpha;  // donor threshold must exceed receiver threshold
+  EXPECT_THROW(make_coordinator(CoordinatorKind::kSlackHarvest, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.donate_fraction = 0.0;
+  EXPECT_THROW(make_coordinator(CoordinatorKind::kSlackHarvest, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.min_cap_fraction = 1.0;
+  EXPECT_THROW(make_coordinator(CoordinatorKind::kSlackHarvest, bad),
+               std::invalid_argument);
+}
+
+TEST(Coordinator, DemandProportionalFollowsMeasuredPower) {
+  auto coord = make_coordinator(CoordinatorKind::kDemandProportional);
+  EXPECT_EQ(coord->name(), "demand-proportional");
+  // Same hardware, very different demand: the hot node must out-cap the
+  // idle one, and both stay inside [idle, budget].
+  const std::vector<NodeReport> reports = {
+      report(120.0, 30.0, 100.0, 110.0, 0.02, true),
+      report(120.0, 30.0, 100.0, 35.0, 0.50, true),
+  };
+  const auto caps = coord->assign(180.0, reports);
+  expect_invariants(caps, reports, 180.0);
+  EXPECT_GT(caps[0], caps[1]);
+  EXPECT_LE(caps[0], 120.0 + 1e-9);
+}
+
+TEST(Coordinator, DemandProportionalTreatsUnmeasuredAsFullBudget) {
+  auto coord = make_coordinator(CoordinatorKind::kDemandProportional);
+  // No telemetry yet (valid=false): both nodes claim their budget, so
+  // equal hardware splits evenly regardless of the garbage power field.
+  const std::vector<NodeReport> reports = {
+      report(120.0, 30.0, 0.0, 0.0, 0.0, true, false),
+      report(120.0, 30.0, 0.0, 999.0, 0.0, true, false),
+  };
+  const auto caps = coord->assign(180.0, reports);
+  expect_invariants(caps, reports, 180.0);
+  EXPECT_NEAR(caps[0], caps[1], 1e-9);
+}
+
+TEST(Coordinator, SlackHarvestFirstEpochProportionalToBudgets) {
+  auto coord = make_coordinator(CoordinatorKind::kSlackHarvest);
+  EXPECT_EQ(coord->name(), "slack-harvest");
+  // Heterogeneous fleet before any measurement: the bigger machine
+  // starts with proportionally more of the cluster budget.
+  const std::vector<NodeReport> reports = {
+      report(200.0, 40.0, 0.0, 0.0, 0.0, true, false),
+      report(100.0, 25.0, 0.0, 0.0, 0.0, true, false),
+  };
+  const auto caps = coord->assign(240.0, reports);
+  expect_invariants(caps, reports, 240.0);
+  EXPECT_NEAR(caps[0] / caps[1], 2.0, 1e-9);
+}
+
+TEST(Coordinator, SlackHarvestMovesWattsFromDonorToStressedNode) {
+  CoordinatorConfig config;  // defaults: alpha 0.10, beta 0.20
+  auto coord = make_coordinator(CoordinatorKind::kSlackHarvest, config);
+  // Node 0: comfortable (big slack, power far under cap) -> donor.
+  // Node 1: stressed and pressed against its cap -> receiver.
+  const std::vector<NodeReport> reports = {
+      report(120.0, 30.0, 100.0, 60.0, 0.45, true),
+      report(120.0, 30.0, 80.0, 79.5, 0.02, false),
+  };
+  const auto caps = coord->assign(180.0, reports);
+  expect_invariants(caps, reports, 180.0);
+  EXPECT_LT(caps[0], 100.0);  // donated
+  EXPECT_GT(caps[1], 80.0);   // granted
+  // Donation floor: never below min_cap_fraction * budget.
+  EXPECT_GE(caps[0], config.min_cap_fraction * 120.0 - 1e-9);
+}
+
+TEST(Coordinator, SlackHarvestSqueezesViolationUnderCap) {
+  auto coord = make_coordinator(CoordinatorKind::kSlackHarvest);
+  // Node 0 violates QoS while drawing well under its cap: interference,
+  // not watts, is its problem, so its cap is tightened toward measured
+  // power instead of being granted more.
+  const std::vector<NodeReport> reports = {
+      report(120.0, 30.0, 110.0, 70.0, -0.10, false),
+      report(120.0, 30.0, 70.0, 69.9, 0.15, true),
+  };
+  const auto caps = coord->assign(180.0, reports);
+  expect_invariants(caps, reports, 180.0);
+  EXPECT_LT(caps[0], 110.0);
+}
+
+TEST(Coordinator, SlackHarvestHealthyPressedNodeExpandsGradually) {
+  CoordinatorConfig config;
+  auto coord = make_coordinator(CoordinatorKind::kSlackHarvest, config);
+  // Node 1 is pressed but healthy: it may grow by at most one headroom
+  // margin step per epoch, not leap to its full budget.
+  const std::vector<NodeReport> reports = {
+      report(120.0, 30.0, 110.0, 50.0, 0.50, true),
+      report(120.0, 30.0, 60.0, 59.0, 0.30, true),
+  };
+  const auto caps = coord->assign(230.0, reports);
+  expect_invariants(caps, reports, 230.0);
+  EXPECT_GT(caps[1], 60.0);
+  EXPECT_LE(caps[1], 60.0 + config.headroom_margin * 120.0 + 1e-9);
+}
+
+TEST(Coordinator, SlackHarvestCalmFleetDoesNotRatchetDown) {
+  auto coord = make_coordinator(CoordinatorKind::kSlackHarvest);
+  // Everyone comfortable, nobody pressed: donations flow straight back,
+  // so a calm fleet's caps do not drift toward the floor epoch over
+  // epoch.
+  const std::vector<NodeReport> reports = {
+      report(120.0, 30.0, 90.0, 50.0, 0.40, true),
+      report(120.0, 30.0, 90.0, 55.0, 0.35, true),
+  };
+  const auto caps = coord->assign(180.0, reports);
+  expect_invariants(caps, reports, 180.0);
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    EXPECT_GE(caps[i], reports[i].cap_w - 1e-9) << "node " << i;
+  }
+}
+
+TEST(Coordinator, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(CoordinatorKind::kStaticEqual), "static-equal");
+  EXPECT_STREQ(to_string(CoordinatorKind::kDemandProportional),
+               "demand-proportional");
+  EXPECT_STREQ(to_string(CoordinatorKind::kSlackHarvest), "slack-harvest");
+}
+
+}  // namespace
+}  // namespace sturgeon::cluster

@@ -1,0 +1,99 @@
+#include "cluster/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "workloads/app_profile.h"
+
+namespace sturgeon::cluster {
+namespace {
+
+TEST(Placement, RoundRobinIsIdentity) {
+  const std::vector<double> demand = {50.0, 10.0, 30.0};
+  const std::vector<double> capacity = {60.0, 120.0, 90.0};
+  const auto a = place(PlacementKind::kRoundRobin, demand, capacity);
+  ASSERT_EQ(a.size(), 3u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], i);
+}
+
+TEST(Placement, BinPackPairsByRank) {
+  // Hungriest workload (1: 30 W) onto the biggest node (0: 100 W), and
+  // so on down the ranks.
+  const std::vector<double> demand = {10.0, 30.0, 20.0};
+  const std::vector<double> capacity = {100.0, 50.0, 80.0};
+  const auto a = place(PlacementKind::kBinPack, demand, capacity);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0], 1u);  // biggest node <- hungriest workload
+  EXPECT_EQ(a[2], 2u);  // middle node <- middle workload
+  EXPECT_EQ(a[1], 0u);  // smallest node <- lightest workload
+}
+
+TEST(Placement, BinPackBreaksTiesTowardLowerIndex) {
+  const std::vector<double> demand = {20.0, 20.0, 20.0};
+  const std::vector<double> capacity = {50.0, 50.0, 50.0};
+  const auto a = place(PlacementKind::kBinPack, demand, capacity);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], i);
+}
+
+TEST(Placement, WorstFitSpreadsOntoRoomiestNodes) {
+  // Equal demands arrive in order; each takes the roomiest free node.
+  const std::vector<double> demand = {10.0, 10.0, 10.0};
+  const std::vector<double> capacity = {100.0, 50.0, 80.0};
+  const auto a = place(PlacementKind::kWorstFit, demand, capacity);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0], 0u);  // workload 0 -> node 0 (roomiest)
+  EXPECT_EQ(a[2], 1u);  // workload 1 -> node 2 (next roomiest)
+  EXPECT_EQ(a[1], 2u);  // workload 2 -> node 1 (last free)
+}
+
+TEST(Placement, EveryStrategyIsAPermutation) {
+  const std::vector<double> demand = {40.0, 10.0, 25.0, 33.0};
+  const std::vector<double> capacity = {70.0, 110.0, 90.0, 60.0};
+  for (const auto kind : {PlacementKind::kRoundRobin, PlacementKind::kBinPack,
+                          PlacementKind::kWorstFit}) {
+    const auto a = place(kind, demand, capacity);
+    std::vector<bool> seen(a.size(), false);
+    for (const std::size_t w : a) {
+      ASSERT_LT(w, a.size()) << to_string(kind);
+      EXPECT_FALSE(seen[w]) << to_string(kind) << ": duplicate workload";
+      seen[w] = true;
+    }
+  }
+}
+
+TEST(Placement, RejectsEmptyAndMismatchedInputs) {
+  EXPECT_THROW(place(PlacementKind::kRoundRobin, {}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(place(PlacementKind::kBinPack, {10.0}, {50.0, 60.0}),
+               std::invalid_argument);
+}
+
+TEST(Placement, PairPowerEstimateIsSaneAndMonotone) {
+  const LsProfile ls = find_ls("memcached");
+  const auto& bes = be_catalog();
+  ASSERT_FALSE(bes.empty());
+  const sim::ServerConfig server;
+
+  const double base = estimate_pair_power_w(ls, bes[0], server);
+  EXPECT_TRUE(std::isfinite(base));
+  EXPECT_GT(base, 0.0);
+
+  // A hungrier BE (higher power activity) must raise the estimate.
+  BeProfile hungry = bes[0];
+  hungry.power_activity = std::min(1.0, hungry.power_activity * 1.5);
+  if (hungry.power_activity > bes[0].power_activity) {
+    EXPECT_GT(estimate_pair_power_w(ls, hungry, server), base);
+  }
+}
+
+TEST(Placement, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(PlacementKind::kRoundRobin), "round-robin");
+  EXPECT_STREQ(to_string(PlacementKind::kBinPack), "bin-pack");
+  EXPECT_STREQ(to_string(PlacementKind::kWorstFit), "worst-fit");
+}
+
+}  // namespace
+}  // namespace sturgeon::cluster

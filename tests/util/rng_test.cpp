@@ -106,6 +106,41 @@ TEST(Rng, LognormalMeanCv) {
   EXPECT_DOUBLE_EQ(rng.lognormal_mean_cv(3.0, 0.0), 3.0);
 }
 
+TEST(DeriveSeed, StableAndDecorrelated) {
+  // Same (root, stream) -> same child seed, always.
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+  // Adjacent roots and adjacent streams must land far apart: the cluster
+  // layer hands node i the seed derive_seed(cluster_seed, i), so node
+  // streams may not collide or correlate for small indices.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t root : {0ULL, 1ULL, 2ULL, 42ULL}) {
+    for (std::uint64_t stream = 0; stream < 16; ++stream) {
+      seen.push_back(derive_seed(root, stream));
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    for (std::size_t j = i + 1; j < seen.size(); ++j) {
+      EXPECT_NE(seen[i], seen[j]) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(DeriveSeed, ChildGeneratorsAreIndependent) {
+  Rng a(derive_seed(9, 0)), b(derive_seed(9, 1));
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(DeriveSeed, SubstreamOverloadAddsSecondLevel) {
+  EXPECT_EQ(derive_seed(5, 2, 3), derive_seed(5, 2, 3));
+  EXPECT_NE(derive_seed(5, 2, 3), derive_seed(5, 2, 4));
+  EXPECT_NE(derive_seed(5, 2, 3), derive_seed(5, 3, 2));
+  EXPECT_NE(derive_seed(5, 2, 3), derive_seed(5, 2));
+}
+
 TEST(Rng, ForkIsIndependentAndStable) {
   Rng parent(99);
   Rng c1 = parent.fork(1);

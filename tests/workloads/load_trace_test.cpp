@@ -67,6 +67,39 @@ TEST(LoadTrace, NoiseBoundedAndDeterministic) {
   EXPECT_TRUE(differs_base);
 }
 
+TEST(LoadTrace, SingleIntervalClampsEverywhere) {
+  // A one-second trace is legal and answers every query time with its
+  // only level (the cluster layer steps shorter traces past their end
+  // when fleets mix trace lengths).
+  const auto t = LoadTrace::constant(0.35, 1);
+  EXPECT_EQ(t.duration_s(), 1);
+  EXPECT_DOUBLE_EQ(t.at(-1), 0.35);
+  EXPECT_DOUBLE_EQ(t.at(0), 0.35);
+  EXPECT_DOUBLE_EQ(t.at(1), 0.35);
+  EXPECT_DOUBLE_EQ(t.at(1000000), 0.35);
+
+  const auto s = LoadTrace::steps({0.8}, 1);
+  EXPECT_EQ(s.duration_s(), 1);
+  EXPECT_DOUBLE_EQ(s.at(5), 0.8);
+}
+
+TEST(LoadTrace, NoiseOnSingleIntervalStaysBounded) {
+  const auto t = LoadTrace::constant(0.5, 1).with_noise(0.5, 21);
+  EXPECT_EQ(t.duration_s(), 1);
+  EXPECT_GE(t.at(0), 0.01);
+  EXPECT_LE(t.at(0), 1.0);
+}
+
+TEST(LoadTrace, RejectsEmptyTraces) {
+  // Every factory refuses to build a zero-length trace: at() would have
+  // no level to clamp to.
+  EXPECT_THROW(LoadTrace::constant(0.5, 0), std::invalid_argument);
+  EXPECT_THROW(LoadTrace::ramp(0.2, 0.8, 0), std::invalid_argument);
+  EXPECT_THROW(LoadTrace::ramp_up_down(0.2, 0.8, 0), std::invalid_argument);
+  EXPECT_THROW(LoadTrace::diurnal(0.2, 0.8, 0), std::invalid_argument);
+  EXPECT_THROW(LoadTrace::steps({}, 3), std::invalid_argument);
+}
+
 TEST(LoadTrace, RejectsBadParameters) {
   EXPECT_THROW(LoadTrace::ramp_up_down(0.2, 0.8, 1), std::invalid_argument);
   EXPECT_THROW(LoadTrace::constant(1.5, 10), std::invalid_argument);

@@ -12,7 +12,19 @@ leg. Checks the contract between the trace and the end-of-run summary:
   - the final line is a single "run_summary" whose span_count and
     per-phase {count, total_us} reconcile with the span lines.
 
-Usage: trace_stats.py TRACE.jsonl
+With --cluster the file is instead a cluster roll-up written by
+cluster::write_cluster_jsonl: one "run_summary" line per node followed by
+one cluster line. Checks:
+
+  - node ids are unique and cover 0..N-1 exactly, with the cluster line
+    last and its "nodes" field equal to N;
+  - the cluster line's span_count and per-phase {count, total_us} equal
+    the sums over the node lines;
+  - every node ran the same number of epochs as the cluster;
+  - metric ranges are sane (rates in [0, 1], watts and throughput
+    non-negative).
+
+Usage: trace_stats.py [--cluster] TRACE.jsonl
 Exits non-zero with a message on the first violated invariant.
 """
 import json
@@ -34,10 +46,142 @@ def percentile(sorted_vals, q):
     return sorted_vals[lo] * (1.0 - frac) + sorted_vals[hi] * frac
 
 
+def read_jsonl(path):
+    objs = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                fail(f"line {lineno}: blank line")
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"line {lineno}: invalid JSON: {e}")
+            if not isinstance(obj, dict):
+                fail(f"line {lineno}: not a JSON object")
+            objs.append((lineno, obj))
+    return objs
+
+
+def check_rate(obj, key, where):
+    v = obj.get(key)
+    if not isinstance(v, (int, float)) or not 0.0 <= v <= 1.0:
+        fail(f"{where}: {key} {v!r} not a rate in [0, 1]")
+
+
+def check_nonneg(obj, key, where):
+    v = obj.get(key)
+    if not isinstance(v, (int, float)) or v < 0:
+        fail(f"{where}: {key} {v!r} not a non-negative number")
+
+
+def validate_cluster(path):
+    """Validate a cluster::write_cluster_jsonl roll-up file."""
+    node_lines = []
+    cluster = None
+    for lineno, obj in read_jsonl(path):
+        if obj.get("type") != "run_summary":
+            fail(f"line {lineno}: cluster file holds only run_summary "
+                 f"lines, got {obj.get('type')!r}")
+        if obj.get("cluster") is True:
+            if cluster is not None:
+                fail(f"line {lineno}: second cluster line")
+            cluster = (lineno, obj)
+        else:
+            if cluster is not None:
+                fail(f"line {lineno}: node line after the cluster line")
+            node_lines.append((lineno, obj))
+
+    if cluster is None:
+        fail("no cluster roll-up line")
+    if not node_lines:
+        fail("no node lines")
+    _, c = cluster
+
+    ids = [obj.get("node") for _, obj in node_lines]
+    if sorted(ids) != list(range(len(node_lines))):
+        fail(f"node ids {ids} do not cover 0..{len(node_lines) - 1} "
+             f"exactly once")
+    if c.get("nodes") != len(node_lines):
+        fail(f"cluster nodes {c.get('nodes')} != {len(node_lines)} "
+             f"node lines")
+
+    # span_count and per-phase totals reconcile against the node sums.
+    span_sum = 0
+    phase_sums = {}
+    for lineno, obj in node_lines:
+        where = f"node {obj['node']}"
+        if not isinstance(obj.get("span_count"), int):
+            fail(f"{where}: missing span_count")
+        span_sum += obj["span_count"]
+        phases = obj.get("phases")
+        if not isinstance(phases, dict):
+            fail(f"{where}: missing phases object")
+        for name, info in phases.items():
+            agg = phase_sums.setdefault(name, {"count": 0, "total_us": 0})
+            agg["count"] += info.get("count", 0)
+            agg["total_us"] += info.get("total_us", 0)
+        if obj.get("epochs") != c.get("epochs"):
+            fail(f"{where}: epochs {obj.get('epochs')} != cluster "
+                 f"epochs {c.get('epochs')} (lockstep broken)")
+        check_rate(obj, "qos_guarantee_rate", where)
+        check_nonneg(obj, "be_throughput_norm", where)
+        check_nonneg(obj, "budget_w", where)
+        check_nonneg(obj, "mean_cap_w", where)
+        check_nonneg(obj, "max_power_ratio", where)
+        check_nonneg(obj, "throttled_epochs", where)
+
+    if c.get("span_count") != span_sum:
+        fail(f"cluster span_count {c.get('span_count')} != node sum "
+             f"{span_sum}")
+    cphases = c.get("phases")
+    if not isinstance(cphases, dict):
+        fail("cluster line missing phases object")
+    if set(cphases) != set(phase_sums):
+        fail(f"cluster phases {sorted(cphases)} != merged node phases "
+             f"{sorted(phase_sums)}")
+    for name, info in cphases.items():
+        agg = phase_sums[name]
+        if info.get("count") != agg["count"]:
+            fail(f"cluster phase {name}: count {info.get('count')} != "
+                 f"node sum {agg['count']}")
+        if info.get("total_us") != agg["total_us"]:
+            fail(f"cluster phase {name}: total_us {info.get('total_us')} "
+                 f"!= node sum {agg['total_us']}")
+
+    if not isinstance(c.get("epochs"), int) or c["epochs"] <= 0:
+        fail(f"cluster epochs {c.get('epochs')!r} not a positive integer")
+    if not c.get("coordinator"):
+        fail("cluster line missing coordinator")
+    check_rate(c, "fleet_qos_guarantee_rate", "cluster")
+    check_rate(c, "overshoot_fraction", "cluster")
+    check_nonneg(c, "aggregate_be_throughput", "cluster")
+    check_nonneg(c, "power_budget_w", "cluster")
+    check_nonneg(c, "max_power_ratio", "cluster")
+    check_nonneg(c, "mean_power_w", "cluster")
+
+    print(f"trace_stats: OK: cluster of {len(node_lines)} nodes, "
+          f"{c['epochs']} epochs, {span_sum} spans, "
+          f"coordinator {c['coordinator']}")
+    print(f"{'node':>4} {'policy':<34} {'epochs':>7} {'qos_rate':>9} "
+          f"{'be_thr':>7} {'mean_cap_w':>11} {'throttled':>9}")
+    for _, obj in sorted(node_lines, key=lambda x: x[1]["node"]):
+        print(f"{obj['node']:>4} {obj.get('policy', '?')[:34]:<34} "
+              f"{obj['epochs']:>7} {obj['qos_guarantee_rate']:>9.4f} "
+              f"{obj['be_throughput_norm']:>7.3f} "
+              f"{obj['mean_cap_w']:>11.1f} {obj['throttled_epochs']:>9}")
+    return 0
+
+
 def main():
-    if len(sys.argv) != 2:
-        fail("usage: trace_stats.py TRACE.jsonl")
-    path = sys.argv[1]
+    args = sys.argv[1:]
+    cluster_mode = "--cluster" in args
+    args = [a for a in args if a != "--cluster"]
+    if len(args) != 1:
+        fail("usage: trace_stats.py [--cluster] TRACE.jsonl")
+    if cluster_mode:
+        return validate_cluster(args[0])
+    path = args[0]
 
     spans = {}
     summary = None
