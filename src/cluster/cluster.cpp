@@ -16,17 +16,25 @@ namespace {
 /// top frequency with unit activity. Machine-only (no workload term), so
 /// heterogeneous fleets rank by hardware size.
 double machine_capacity_w(const sim::ServerConfig& server) {
-  const MachineSpec& m = server.machine;
-  const sim::PowerModel model(m, server.power);
-  const AppSlice all{m.num_cores, m.max_freq_level(), m.llc_ways};
-  const AppSlice none{0, 0, 0};
-  return model.package_power_w(all, 1.0, 1.0, none, 0.0, 0.0, 0.0);
+  return sim::PowerModel(server.machine, server.power).max_package_power_w();
+}
+
+/// p95 of a sample of episode lengths (0 for an empty sample).
+double p95_epochs(std::vector<int> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx =
+      (samples.size() * 95 + 99) / 100;  // ceil(0.95 n), 1-based
+  return static_cast<double>(samples[std::min(idx, samples.size()) - 1]);
 }
 
 }  // namespace
 
 ClusterSim::ClusterSim(std::vector<NodeSpec> specs, ClusterConfig config)
-    : config_(std::move(config)), pool_(config_.threads) {
+    : config_(std::move(config)),
+      heartbeat_(std::max<std::size_t>(specs.size(), 1),
+                 config_.resilience.heartbeat),
+      pool_(config_.threads) {
   if (specs.empty()) {
     throw std::invalid_argument("ClusterSim: empty fleet");
   }
@@ -76,7 +84,8 @@ ClusterSim::ClusterSim(std::vector<NodeSpec> specs, ClusterConfig config)
     nodes_.push_back(std::make_unique<ClusterNode>(
         static_cast<int>(i), std::move(spec),
         derive_seed(config_.seed, static_cast<std::uint64_t>(i)),
-        std::move(ctx), config_.governor));
+        std::move(ctx), config_.governor, config_.resilience,
+        config_.faults.for_node(static_cast<int>(i))));
     budget_sum += nodes_.back()->budget_w();
   }
 
@@ -112,30 +121,57 @@ ClusterResult ClusterSim::run(int epochs) {
   auto& epoch_counter = registry.counter("cluster.epochs");
   auto& overshoot_counter = registry.counter("cluster.overshoot_epochs");
   auto& power_gauge = registry.gauge("cluster.power_w.last");
+  auto& dead_gauge = registry.gauge("cluster.dead_nodes");
+  auto& dead_epochs_counter = registry.counter("fault.node.dead_epochs");
 
   coordinator_->reset();
+  heartbeat_.reset();
   std::vector<NodeReport> reports(n);
+  std::vector<int> last_steps(n, -1);
   double power_sum = 0.0;
   double max_ratio = 0.0;
+  double max_cap_sum_ratio = 0.0;
   int overshoot_epochs = 0;
+  int dead_node_epochs = 0;
 
   for (int t = 0; t < epochs; ++t) {
     telemetry::Span span = telemetry_->tracer().start_span("cluster.epoch");
     span.attr("t_s", t);
     epoch_counter.inc();
 
-    // 1. Budget split (sequential, deterministic in node order).
-    for (std::size_t i = 0; i < n; ++i) reports[i] = nodes_[i]->report();
+    // 1. Budget split (sequential, deterministic in node order). The
+    // heartbeat tracker stamps liveness first: a node that stopped
+    // stepping is declared dead after dead_after_epochs of silence and
+    // its cap collapses to the idle floor inside the coordinator.
+    for (std::size_t i = 0; i < n; ++i) {
+      reports[i] = nodes_[i]->report();
+      last_steps[i] = nodes_[i]->last_step_epoch();
+    }
+    const int dead = heartbeat_.update(t, last_steps, reports);
+    dead_gauge.set(static_cast<double>(dead));
+    if (dead > 0) {
+      dead_node_epochs += dead;
+      dead_epochs_counter.add(static_cast<std::uint64_t>(dead));
+    }
     const std::vector<double> caps = coordinator_->assign(budget_w_, reports);
+    double cap_sum = 0.0;
+    for (const double c : caps) cap_sum += c;
+    STURGEON_CHECK(cap_sum <= budget_w_ * (1.0 + 1e-9) + 1e-6,
+                   "ClusterSim: coordinator oversubscribed the budget ("
+                       << cap_sum << " W > " << budget_w_ << " W at t=" << t
+                       << ")");
+    max_cap_sum_ratio = std::max(max_cap_sum_ratio, cap_sum / budget_w_);
     for (std::size_t i = 0; i < n; ++i) nodes_[i]->set_power_cap(caps[i]);
 
     // 2. Lockstep: every node advances one epoch, in parallel. Nodes
     // share no mutable state, so the schedule cannot change results.
     pool_.parallel_for(n, [&](std::size_t i) { nodes_[i]->step(t); });
 
-    // 3. Fleet aggregation (sequential again).
+    // 3. Fleet aggregation (sequential again), over ground-truth power:
+    // a sensor fault may lie to the coordinator, but the budget verdict
+    // is about watts actually drawn.
     double fleet_power = 0.0;
-    for (const auto& node : nodes_) fleet_power += node->report().power_w;
+    for (const auto& node : nodes_) fleet_power += node->true_power_w();
     power_hist.observe(fleet_power);
     power_gauge.set(fleet_power);
     power_sum += fleet_power;
@@ -144,7 +180,7 @@ ClusterResult ClusterSim::run(int epochs) {
       ++overshoot_epochs;
       overshoot_counter.inc();
     }
-    span.attr("power_w", fleet_power);
+    span.attr("power_w", fleet_power).attr("dead_nodes", dead);
   }
 
   ClusterResult result;
@@ -174,6 +210,27 @@ ClusterResult ClusterSim::run(int epochs) {
   result.max_cluster_power_ratio = max_ratio;
   result.mean_cluster_power_w =
       epochs == 0 ? 0.0 : power_sum / static_cast<double>(epochs);
+  result.max_cap_sum_ratio = max_cap_sum_ratio;
+  result.dead_node_epochs = dead_node_epochs;
+
+  // Recovery accounting: heartbeat outages (declared-dead to rejoin)
+  // plus each node's completed watchdog safe-mode episodes, merged into
+  // one MTTR sample. Sequential in node order, so deterministic.
+  result.recovery_mttr_epochs = heartbeat_.completed_outages();
+  for (const auto& node : nodes_) {
+    const std::vector<int> episodes = node->result().safe_mode_episodes;
+    result.recovery_mttr_epochs.insert(result.recovery_mttr_epochs.end(),
+                                       episodes.begin(), episodes.end());
+  }
+  result.mttr_p95_epochs = p95_epochs(result.recovery_mttr_epochs);
+  auto& mttr_hist = registry.histogram(
+      "recovery.mttr_epochs", telemetry::Histogram::exponential_bounds(
+                                  1.0, 2.0, 10));
+  for (const int e : result.recovery_mttr_epochs) {
+    mttr_hist.observe(static_cast<double>(e));
+  }
+  registry.gauge("recovery.mttr_p95_epochs").set(result.mttr_p95_epochs);
+  registry.gauge("cluster.max_cap_sum_ratio").set(max_cap_sum_ratio);
 
   // Roll the per-node counters up into the cluster registry ("fleet."
   // prefix) so one snapshot answers fleet-wide questions; gauges and

@@ -59,6 +59,12 @@ struct ClusterConfig {
   bool node_tracing = false;
   /// Cluster-level sink. Null = a fresh private context (metrics only).
   std::shared_ptr<telemetry::TelemetryContext> telemetry;
+  /// Per-node defenses (sanitization, watchdog, retry) plus the
+  /// coordinator-side heartbeat threshold. Defaults all-off.
+  ResilienceConfig resilience;
+  /// Fault schedule; each node receives faults.for_node(i). Defaults
+  /// disabled (no injector constructed anywhere).
+  fault::FaultConfig faults;
 };
 
 /// Fleet-level outcome, the cluster analogue of exp::RunResult.
@@ -75,6 +81,18 @@ struct ClusterResult {
   /// Largest (fleet power / cluster budget) over the run.
   double max_cluster_power_ratio = 0.0;
   double mean_cluster_power_w = 0.0;
+  /// Largest (sum of assigned caps / cluster budget) over the run. The
+  /// coordinator contract keeps this <= 1 (up to rounding); asserted
+  /// every epoch, surfaced here so chaos tests can check it stayed tight.
+  double max_cap_sum_ratio = 0.0;
+  /// Node-epochs the heartbeat tracker considered some node dead.
+  int dead_node_epochs = 0;
+  /// Recovery episode lengths: heartbeat outages (declared-dead to
+  /// rejoin) and completed watchdog safe-mode episodes, in epochs. Feeds
+  /// the recovery.mttr_epochs histogram.
+  std::vector<int> recovery_mttr_epochs;
+  /// p95 of recovery_mttr_epochs (0 when there were no episodes).
+  double mttr_p95_epochs = 0.0;
   int epochs = 0;
   int nodes = 0;
   std::string coordinator;
@@ -99,6 +117,8 @@ class ClusterSim {
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   double cluster_budget_w() const { return budget_w_; }
+  /// True once run() has been called (the instance is spent).
+  bool has_run() const { return ran_; }
   ClusterNode& node(std::size_t i) { return *nodes_.at(i); }
   PowerCoordinator& coordinator() { return *coordinator_; }
 
@@ -107,6 +127,7 @@ class ClusterSim {
   std::shared_ptr<telemetry::TelemetryContext> telemetry_;
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
   std::unique_ptr<PowerCoordinator> coordinator_;
+  HeartbeatTracker heartbeat_;
   ThreadPool pool_;
   double budget_w_ = 0.0;
   int max_trace_s_ = 0;

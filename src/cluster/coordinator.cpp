@@ -79,9 +79,12 @@ std::vector<double> bounded_proportional(double budget,
   return caps;
 }
 
-/// First-epoch base (no telemetry yet): caps proportional to each node's
-/// natural budget, floored at idle -- heterogeneous fleets start with
-/// big machines holding proportionally more of the cluster budget.
+/// First-epoch / re-base split (no trustworthy telemetry): caps
+/// proportional to each node's natural budget, floored at idle --
+/// heterogeneous fleets start with big machines holding proportionally
+/// more of the cluster budget. Dead nodes are pinned at their idle
+/// floor (lo == hi) so the budget they would have held flows to the
+/// live nodes instead.
 std::vector<double> budget_proportional_base(
     double cluster_budget_w, const std::vector<NodeReport>& reports) {
   std::vector<double> weights, lo, hi;
@@ -91,9 +94,16 @@ std::vector<double> budget_proportional_base(
   for (const auto& r : reports) {
     weights.push_back(r.budget_w);
     lo.push_back(r.idle_w);
-    hi.push_back(r.budget_w);
+    hi.push_back(r.dead() ? r.idle_w : r.budget_w);
   }
   return bounded_proportional(cluster_budget_w, weights, lo, hi);
+}
+
+bool any_dead(const std::vector<NodeReport>& reports) {
+  for (const auto& r : reports) {
+    if (r.dead()) return true;
+  }
+  return false;
 }
 
 class StaticEqualCoordinator final : public PowerCoordinator {
@@ -104,9 +114,33 @@ class StaticEqualCoordinator final : public PowerCoordinator {
       double cluster_budget_w,
       const std::vector<NodeReport>& reports) override {
     check_inputs(cluster_budget_w, reports);
-    const double share =
-        cluster_budget_w / static_cast<double>(reports.size());
-    return std::vector<double>(reports.size(), share);
+    const std::size_t n = reports.size();
+    if (!any_dead(reports)) {
+      const double share = cluster_budget_w / static_cast<double>(n);
+      return std::vector<double>(n, share);
+    }
+    // Dead nodes hold only their idle floor; the rest splits equally
+    // among the living ("static" refers to the policy, not to wasting
+    // watts on a machine that cannot use them).
+    std::vector<double> caps(n, 0.0);
+    double reserved = 0.0;
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reports[i].dead()) {
+        caps[i] = reports[i].idle_w;
+        reserved += caps[i];
+      } else {
+        ++live;
+      }
+    }
+    const double share = live == 0 ? 0.0
+                                   : std::max(0.0, cluster_budget_w -
+                                                       reserved) /
+                                         static_cast<double>(live);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reports[i].dead()) caps[i] = share;
+    }
+    return caps;
   }
 };
 
@@ -126,15 +160,19 @@ class DemandProportionalCoordinator final : public PowerCoordinator {
     lo.reserve(reports.size());
     hi.reserve(reports.size());
     for (const auto& r : reports) {
-      // Demand = last measured power plus a headroom margin; a node with
-      // no sample yet claims its full budget (conservative).
+      // Demand = last measured power plus a headroom margin; a node
+      // with no sample yet claims its full budget (conservative: it is
+      // about to start drawing power), while a dead node is pinned at
+      // its idle floor (lo == hi) -- its stale power_w predates the
+      // crash and must not hold watts hostage.
       const double demand =
-          r.valid ? std::clamp(r.power_w + config_.headroom_margin * r.budget_w,
-                               r.idle_w, r.budget_w)
-                  : r.budget_w;
+          r.alive() ? std::clamp(
+                          r.power_w + config_.headroom_margin * r.budget_w,
+                          r.idle_w, r.budget_w)
+                    : r.budget_w;
       weights.push_back(demand);
       lo.push_back(r.idle_w);
-      hi.push_back(r.budget_w);
+      hi.push_back(r.dead() ? r.idle_w : r.budget_w);
     }
     return bounded_proportional(cluster_budget_w, weights, lo, hi);
   }
@@ -155,9 +193,16 @@ class SlackHarvestCoordinator final : public PowerCoordinator {
       const std::vector<NodeReport>& reports) override {
     check_inputs(cluster_budget_w, reports);
     const std::size_t n = reports.size();
-    bool all_valid = true;
-    for (const auto& r : reports) all_valid = all_valid && r.valid;
-    if (!all_valid) {
+    // Stateful evolution needs trustworthy last-epoch caps fleet-wide.
+    // Before any node's first epoch, or on the epoch a node rejoins
+    // after an outage (its cap_w/power_w predate the crash), re-base on
+    // the budget-proportional split -- which also re-grants a rejoining
+    // node its share in one step -- with dead nodes pinned at idle.
+    bool rebase = false;
+    for (const auto& r : reports) {
+      rebase = rebase || r.liveness == Liveness::kNeverReported || r.rejoined;
+    }
+    if (rebase) {
       return budget_proportional_base(cluster_budget_w, reports);
     }
 
@@ -171,6 +216,15 @@ class SlackHarvestCoordinator final : public PowerCoordinator {
     for (const double c : caps) allocated += c;
     double pool = std::max(0.0, cluster_budget_w - allocated);
 
+    // Dead-node reclamation: a crashed node draws only uncore power, so
+    // everything above its idle floor is harvested into the pool for
+    // the living (and re-granted through the rebase when it rejoins).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reports[i].dead()) continue;
+      pool += std::max(0.0, caps[i] - reports[i].idle_w);
+      caps[i] = reports[i].idle_w;
+    }
+
     // Donors: healthy slack and measured power comfortably under cap.
     // A node violating QoS *under* its cap is also squeezed: its problem
     // is co-location interference, not watts -- extra watts would only
@@ -181,6 +235,7 @@ class SlackHarvestCoordinator final : public PowerCoordinator {
     double donated = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const auto& r = reports[i];
+      if (r.dead()) continue;  // already fully harvested above
       const double margin = config_.headroom_margin * r.budget_w;
       const bool comfortable = r.slack > config_.beta && r.qos_met;
       const bool violating_underneath =
@@ -214,6 +269,7 @@ class SlackHarvestCoordinator final : public PowerCoordinator {
     for (std::size_t i = 0; i < n; ++i) {
       const auto& r = reports[i];
       if (donation[i] > 0.0) continue;
+      if (r.dead()) continue;  // stale power_w cannot express demand
       const double margin = config_.headroom_margin * r.budget_w;
       const bool stressed = r.slack < config_.alpha || !r.qos_met;
       const bool pressed = r.power_w + margin > caps[i];
@@ -261,6 +317,15 @@ class SlackHarvestCoordinator final : public PowerCoordinator {
 
 }  // namespace
 
+const char* to_string(Liveness liveness) {
+  switch (liveness) {
+    case Liveness::kNeverReported: return "never-reported";
+    case Liveness::kAlive: return "alive";
+    case Liveness::kDead: return "dead";
+  }
+  return "unknown";
+}
+
 const char* to_string(CoordinatorKind kind) {
   switch (kind) {
     case CoordinatorKind::kStaticEqual: return "static-equal";
@@ -287,6 +352,62 @@ std::unique_ptr<PowerCoordinator> make_coordinator(CoordinatorKind kind,
       return std::make_unique<SlackHarvestCoordinator>(config);
   }
   throw std::invalid_argument("make_coordinator: unknown kind");
+}
+
+HeartbeatTracker::HeartbeatTracker(std::size_t nodes, HeartbeatConfig config)
+    : config_(config),
+      state_(nodes, Liveness::kNeverReported),
+      declared_dead_epoch_(nodes, -1) {
+  if (nodes == 0) {
+    throw std::invalid_argument("HeartbeatTracker: empty fleet");
+  }
+  if (config_.dead_after_epochs < 1) {
+    throw std::invalid_argument(
+        "HeartbeatTracker: dead_after_epochs must be >= 1");
+  }
+}
+
+int HeartbeatTracker::update(int t, const std::vector<int>& last_step_epoch,
+                             std::vector<NodeReport>& reports) {
+  STURGEON_CHECK(last_step_epoch.size() == state_.size() &&
+                     reports.size() == state_.size(),
+                 "HeartbeatTracker::update: fleet size mismatch");
+  currently_dead_ = 0;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    // Heartbeat = the node completed its lockstep step. `t` is the
+    // epoch about to run, so a healthy node's last heartbeat is t-1 and
+    // `missed` counts the silent epochs since.
+    const int missed = (t - 1) - last_step_epoch[i];
+    const bool silent_too_long = missed >= config_.dead_after_epochs;
+    const Liveness prev = state_[i];
+    Liveness now;
+    bool rejoined = false;
+    if (silent_too_long) {
+      now = Liveness::kDead;
+      if (prev != Liveness::kDead) declared_dead_epoch_[i] = t;
+    } else if (last_step_epoch[i] < 0) {
+      now = Liveness::kNeverReported;  // startup, not failure
+    } else {
+      now = Liveness::kAlive;
+      if (prev == Liveness::kDead) {
+        rejoined = true;
+        completed_outages_.push_back(t - declared_dead_epoch_[i]);
+        declared_dead_epoch_[i] = -1;
+      }
+    }
+    state_[i] = now;
+    reports[i].liveness = now;
+    reports[i].rejoined = rejoined;
+    if (now == Liveness::kDead) ++currently_dead_;
+  }
+  return currently_dead_;
+}
+
+void HeartbeatTracker::reset() {
+  for (auto& s : state_) s = Liveness::kNeverReported;
+  for (auto& e : declared_dead_epoch_) e = -1;
+  completed_outages_.clear();
+  currently_dead_ = 0;
 }
 
 }  // namespace sturgeon::cluster

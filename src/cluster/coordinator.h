@@ -21,11 +21,27 @@
 // across thread counts.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace sturgeon::cluster {
+
+/// A report's standing with the coordinator. The old single `valid`
+/// bool conflated two very different situations: a node that has not
+/// reported YET (first epoch: budget conservatively, it is about to
+/// draw power) and a node that STOPPED reporting (crashed: budgeting
+/// watts to it wastes them, and worse, hides headroom from the live
+/// nodes). Strategies treat them oppositely, so the distinction is an
+/// explicit enum stamped by the HeartbeatTracker.
+enum class Liveness {
+  kNeverReported,  ///< no epoch completed yet (startup, not failure)
+  kAlive,          ///< reporting normally
+  kDead,           ///< missed enough consecutive epochs to be declared dead
+};
+
+const char* to_string(Liveness liveness);
 
 /// What one node tells the coordinator about its last epoch.
 struct NodeReport {
@@ -35,7 +51,14 @@ struct NodeReport {
   double power_w = 0.0;   ///< measured package power last epoch
   double slack = 0.0;     ///< measured latency slack last epoch
   bool qos_met = true;    ///< last epoch met the QoS target
-  bool valid = false;     ///< false before the node's first epoch
+  Liveness liveness = Liveness::kNeverReported;
+  /// First report after a dead spell (stamped by the HeartbeatTracker):
+  /// the node's cap_w/power_w predate the outage, so stateful
+  /// strategies re-base instead of trusting them.
+  bool rejoined = false;
+
+  bool alive() const { return liveness == Liveness::kAlive; }
+  bool dead() const { return liveness == Liveness::kDead; }
 };
 
 enum class CoordinatorKind { kStaticEqual, kDemandProportional, kSlackHarvest };
@@ -74,5 +97,47 @@ class PowerCoordinator {
 
 std::unique_ptr<PowerCoordinator> make_coordinator(
     CoordinatorKind kind, CoordinatorConfig config = {});
+
+struct HeartbeatConfig {
+  /// Missed consecutive epochs before a silent node is declared dead.
+  /// Short enough that a crashed node's watts return to the pool within
+  /// a few control intervals, long enough that one slow epoch does not
+  /// trigger a spurious reclamation.
+  int dead_after_epochs = 3;
+};
+
+/// Coordinator-side liveness bookkeeping: watches which nodes actually
+/// completed their lockstep step and stamps Liveness/rejoined onto the
+/// report vector before each budget split. Dead nodes' caps collapse to
+/// their idle floor (the package draws uncore power even crashed), the
+/// freed watts rejoin the pool, and a rejoin re-grants them. Completed
+/// outage lengths (declared-dead to rejoin) feed recovery.mttr_epochs.
+class HeartbeatTracker {
+ public:
+  explicit HeartbeatTracker(std::size_t nodes, HeartbeatConfig config = {});
+
+  /// Classify the fleet before the epoch-`t` budget split.
+  /// `last_step_epoch[i]` is the last epoch node i completed (-1 =
+  /// never). Stamps liveness/rejoined on `reports`; returns the number
+  /// of currently dead nodes.
+  int update(int t, const std::vector<int>& last_step_epoch,
+             std::vector<NodeReport>& reports);
+
+  int currently_dead() const { return currently_dead_; }
+  /// Epochs from declared-dead to rejoin, one entry per completed
+  /// outage (fleet-wide, in detection order).
+  const std::vector<int>& completed_outages() const {
+    return completed_outages_;
+  }
+
+  void reset();
+
+ private:
+  HeartbeatConfig config_;
+  std::vector<Liveness> state_;
+  std::vector<int> declared_dead_epoch_;
+  std::vector<int> completed_outages_;
+  int currently_dead_ = 0;
+};
 
 }  // namespace sturgeon::cluster

@@ -1,6 +1,7 @@
 #include "cluster/export.h"
 
 #include <cstddef>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -47,7 +48,15 @@ void write_cluster_jsonl(const ClusterResult& result, std::ostream& os) {
        << ",\"budget_w\":" << num(nr.budget_w)
        << ",\"mean_cap_w\":" << num(nr.mean_cap_w)
        << ",\"max_power_ratio\":" << num(nr.max_power_ratio)
-       << ",\"throttled_epochs\":" << nr.throttled_epochs << "}\n";
+       << ",\"throttled_epochs\":" << nr.throttled_epochs
+       << ",\"epochs_down\":" << nr.epochs_down
+       << ",\"epochs_hung\":" << nr.epochs_hung
+       << ",\"safe_mode_epochs\":" << nr.safe_mode_epochs
+       << ",\"watchdog_trips\":" << nr.watchdog_trips
+       << ",\"faults_injected\":" << nr.faults_injected
+       << ",\"sensor_rejected\":" << nr.sensor_rejected
+       << ",\"actuator_retries\":" << nr.actuator_retries
+       << ",\"actuator_gave_up\":" << nr.actuator_gave_up << "}\n";
   }
 
   os << "{\"type\":\"run_summary\",\"cluster\":true,\"nodes\":"
@@ -61,7 +70,32 @@ void write_cluster_jsonl(const ClusterResult& result, std::ostream& os) {
      << ",\"aggregate_be_throughput\":" << num(result.aggregate_be_throughput)
      << ",\"overshoot_fraction\":" << num(result.cluster_overshoot_fraction)
      << ",\"max_power_ratio\":" << num(result.max_cluster_power_ratio)
-     << ",\"mean_power_w\":" << num(result.mean_cluster_power_w) << "}\n";
+     << ",\"mean_power_w\":" << num(result.mean_cluster_power_w)
+     << ",\"max_cap_sum_ratio\":" << num(result.max_cap_sum_ratio)
+     << ",\"dead_node_epochs\":" << result.dead_node_epochs
+     << ",\"recovery_episodes\":" << result.recovery_mttr_epochs.size()
+     << ",\"mttr_p95_epochs\":" << num(result.mttr_p95_epochs) << "}\n";
+}
+
+bool write_cluster_jsonl(const ClusterResult& result,
+                         const std::string& path) {
+  const auto count_error = [&result] {
+    if (result.telemetry != nullptr) {
+      result.telemetry->metrics().counter("telemetry.export.errors").inc();
+    }
+  };
+  std::ofstream os(path);
+  if (!os) {
+    count_error();
+    return false;
+  }
+  write_cluster_jsonl(result, os);
+  os.flush();
+  if (!os.good()) {  // short write: disk full or I/O error mid-stream
+    count_error();
+    return false;
+  }
+  return true;
 }
 
 }  // namespace sturgeon::cluster

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <ostream>
+#include <string>
 
 #include "cluster/cluster.h"
 
@@ -16,5 +17,10 @@ namespace sturgeon::cluster {
 /// stability rules follow telemetry/export.h: append fields, never
 /// rename or reorder.
 void write_cluster_jsonl(const ClusterResult& result, std::ostream& os);
+
+/// File variant. Returns false -- after bumping telemetry.export.errors
+/// on the result's cluster context -- when `path` cannot be opened or
+/// the write comes up short; never throws.
+bool write_cluster_jsonl(const ClusterResult& result, const std::string& path);
 
 }  // namespace sturgeon::cluster

@@ -1,6 +1,7 @@
 #include "cluster/node.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace sturgeon::cluster {
 
@@ -45,6 +47,13 @@ std::unique_ptr<core::Policy> default_policy(
   throw std::invalid_argument("ClusterNode: unknown policy kind");
 }
 
+std::unique_ptr<fault::FaultInjector> make_injector(
+    const fault::FaultConfig& faults, std::uint64_t node_seed) {
+  if (!faults.enabled) return nullptr;
+  return std::make_unique<fault::FaultInjector>(
+      faults, derive_seed(node_seed, fault::kFaultStream));
+}
+
 }  // namespace
 
 const char* to_string(PolicyKind kind) {
@@ -58,13 +67,21 @@ const char* to_string(PolicyKind kind) {
 
 ClusterNode::ClusterNode(int id, NodeSpec spec, std::uint64_t seed,
                          std::shared_ptr<telemetry::TelemetryContext> telemetry,
-                         GovernorConfig governor)
+                         GovernorConfig governor, ResilienceConfig resilience,
+                         fault::FaultConfig faults)
     : id_(id),
       spec_(std::move(spec)),
+      resilience_(resilience),
       server_(spec_.ls, spec_.be, seed, spec_.server),
       backend_(server_),
-      enforcer_(server_.machine(), backend_.cpuset(), backend_.cat(),
-                backend_.freq()),
+      injector_(make_injector(faults, seed)),
+      faulty_cpuset_(backend_.cpuset(), injector_.get()),
+      faulty_cat_(backend_.cat(), injector_.get()),
+      faulty_freq_(backend_.freq(), injector_.get()),
+      enforcer_(server_.machine(), faulty_cpuset_, faulty_cat_, faulty_freq_),
+      retry_(enforcer_, resilience_.retry),
+      watchdog_(resilience_.watchdog),
+      safe_partition_(Partition::all_to_ls(server_.machine())),
       telemetry_(std::move(telemetry)),
       metrics_(server_.power_budget_w()),
       governor_(governor) {
@@ -72,6 +89,19 @@ ClusterNode::ClusterNode(int id, NodeSpec spec, std::uint64_t seed,
   budget_w_ = server_.power_budget_w();
   idle_w_ = server_.power_model().idle_power_w();
   cap_w_ = budget_w_;  // uncapped until the coordinator says otherwise
+
+  // Physical sensor bounds: a package cannot draw negative watts or
+  // more than its fully-busy maximum (generous 1.25x margin so honest
+  // transients are never clamped); a p95 beyond 100x the QoS target
+  // carries no more information than "violating badly".
+  fault::SanitizerConfig power_bounds;
+  power_bounds.lo = 0.0;
+  power_bounds.hi = 1.25 * server_.power_model().max_package_power_w();
+  power_sanitizer_ = fault::SignalSanitizer(power_bounds);
+  fault::SanitizerConfig latency_bounds;
+  latency_bounds.lo = 0.0;
+  latency_bounds.hi = 100.0 * spec_.ls.qos_target_ms;
+  latency_sanitizer_ = fault::SignalSanitizer(latency_bounds);
 
   policy_ = spec_.make_policy ? spec_.make_policy(server_)
                               : default_policy(spec_, server_);
@@ -91,9 +121,18 @@ ClusterNode::ClusterNode(int id, NodeSpec spec, std::uint64_t seed,
   violations_counter_ = &registry.counter("run.qos_violation_intervals");
   changes_counter_ = &registry.counter("run.partition_changes");
   throttle_counter_ = &registry.counter("node.governor.throttled_epochs");
+  safe_mode_counter_ = &registry.counter("fault.watchdog.safe_mode_epochs");
+  degraded_gauge_ = &registry.gauge("node.degraded");
   registry.gauge("node.power_budget_w").set(budget_w_);
+  if (injector_ != nullptr) injector_->bind(registry);
+  if (resilience_.sanitize_sensors) {
+    power_sanitizer_.bind(registry, "fault.sensor.power");
+    latency_sanitizer_.bind(registry, "fault.sensor.latency");
+  }
+  retry_.attach_telemetry(telemetry_);
 
-  report_ = NodeReport{budget_w_, idle_w_, cap_w_, 0.0, 0.0, true, false};
+  report_ = NodeReport{budget_w_, idle_w_, cap_w_, 0.0, 0.0, true,
+                       Liveness::kNeverReported, false};
 }
 
 void ClusterNode::set_power_cap(double watts) {
@@ -113,15 +152,15 @@ void ClusterNode::set_power_cap(double watts) {
     const double bw = spec_.ls.bw_gbps_at_peak + spec_.be.bw_gbps_max;
     throttle_ = 0;
     while (throttle_ < max_throttle) {
-      const Partition p = throttled(enforcer_.current());
+      const Partition p = throttled(retry_.current());
       const double estimate = model.package_power_w(
           p.ls, 1.0, spec_.ls.power_activity, p.be, 1.0,
           spec_.be.power_activity, bw);
       if (estimate <= cap_w_) break;
       ++throttle_;
     }
-    const Partition target = throttled(enforcer_.current());
-    if (!(target == enforcer_.current())) enforcer_.apply(target);
+    const Partition target = throttled(retry_.current());
+    if (!(target == retry_.current())) retry_.apply(target);
   }
 }
 
@@ -137,30 +176,94 @@ Partition ClusterNode::throttled(Partition p) const {
   return p;
 }
 
+void ClusterNode::step_down() {
+  // Crashed: the machine is off. The lockstep epoch still elapses (the
+  // validator's epochs-equality contract holds), but nothing is served,
+  // no power is drawn, and the heartbeat stays silent so the
+  // coordinator's tracker can declare the node dead.
+  ++epochs_run_;
+  ++epochs_down_;
+  cap_w_sum_ += cap_w_;
+  true_power_w_ = 0.0;
+  degraded_gauge_->set(1.0);
+}
+
+void ClusterNode::step_hung(int t) {
+  // Hung: the serving path is alive under the last enforced partition,
+  // but the control loop is stalled -- no observation, no decision, no
+  // report, no heartbeat. Users still experience the served quality, so
+  // the ground-truth metrics accumulator keeps recording.
+  const sim::ServerTelemetry sample = server_.step(spec_.trace.at(t));
+  metrics_.observe(sample);
+  true_power_w_ = sample.power_w;
+  ++epochs_run_;
+  ++epochs_hung_;
+  cap_w_sum_ += cap_w_;
+  max_power_ratio_ = std::max(max_power_ratio_, sample.power_w / budget_w_);
+  degraded_gauge_->set(1.0);
+}
+
 void ClusterNode::step(int t) {
+  if (injector_ != nullptr) {
+    injector_->begin_epoch(t);
+    if (injector_->node_down()) {
+      step_down();
+      return;
+    }
+    if (injector_->rebooted_this_epoch()) {
+      // Reboot after a crash: the server restarts cold (queues and
+      // interference state cleared) and the control plane
+      // re-initializes; the isolation hardware keeps its last
+      // programmed state, like BIOS-persisted settings.
+      server_.reset();
+      policy_->reset();
+      policy_->set_power_cap(cap_w_);
+      throttle_ = 0;
+    }
+    if (injector_->node_hung()) {
+      step_hung(t);
+      return;
+    }
+  }
+
   auto& tracer = telemetry_->tracer();
   telemetry::Span epoch = tracer.start_span("epoch");
   epoch.attr("t_s", t).attr("node", id_);
   epochs_counter_->inc();
 
-  sim::ServerTelemetry sample;
+  sim::ServerTelemetry sample;   // ground truth
+  sim::ServerTelemetry observed; // what the monitor path sees
   {
     telemetry::Span span = tracer.start_span("observe");
     sample = server_.step(spec_.trace.at(t));
-    backend_.observe(sample);
+    true_power_w_ = sample.power_w;
+    observed = sample;
+    if (injector_ != nullptr) {
+      // Sensor faults fire at the server/monitor boundary: everything
+      // downstream (governor, policy, watchdog, coordinator report)
+      // sees the corrupted stream; only the evaluation metrics keep the
+      // ground truth.
+      observed.power_w = injector_->corrupt_power_w(observed.power_w);
+      observed.ls.p95_ms = injector_->corrupt_latency_ms(observed.ls.p95_ms);
+    }
+    if (resilience_.sanitize_sensors) {
+      observed.power_w = power_sanitizer_.sanitize(observed.power_w);
+      observed.ls.p95_ms = latency_sanitizer_.sanitize(observed.ls.p95_ms);
+    }
+    backend_.observe(observed);
     metrics_.observe(sample);
     if (telemetry_->csv_enabled()) {
-      telemetry_->recorder().record(t, sample, enforcer_.current());
+      telemetry_->recorder().record(t, observed, retry_.current());
     }
     span.attr("qps", sample.qps_real)
-        .attr("p95_ms", sample.ls.p95_ms)
-        .attr("power_w", sample.power_w);
+        .attr("p95_ms", observed.ls.p95_ms)
+        .attr("power_w", observed.power_w);
   }
   const double slack =
-      telemetry::latency_slack(sample.ls.p95_ms, sample.qos_target_ms);
-  p95_hist_->observe(sample.ls.p95_ms);
-  power_hist_->observe(sample.power_w);
-  slack_hist_->observe(slack);
+      telemetry::latency_slack(observed.ls.p95_ms, observed.qos_target_ms);
+  if (std::isfinite(observed.ls.p95_ms)) p95_hist_->observe(observed.ls.p95_ms);
+  if (std::isfinite(observed.power_w)) power_hist_->observe(observed.power_w);
+  if (std::isfinite(slack)) slack_hist_->observe(slack);
 
   // Reactive cap enforcement (RAPL analogue): confiscate one frequency
   // level while measured power sits above the cap, give one back once it
@@ -168,19 +271,53 @@ void ClusterNode::step(int t) {
   // partition for the next epoch is enforced.
   if (governor_.enabled) {
     const int max_throttle = 2 * server_.machine().max_freq_level();
-    if (sample.power_w > cap_w_) {
+    if (observed.power_w > cap_w_) {
       throttle_ = std::min(throttle_ + 1, max_throttle);
     } else if (throttle_ > 0 &&
-               sample.power_w <= governor_.relax_margin * cap_w_) {
+               observed.power_w <= governor_.relax_margin * cap_w_) {
       --throttle_;
     }
   }
 
+  // Watchdog: consecutive QoS violations or cap overshoots (as the
+  // monitor sees them) trip the node into the known-safe all-to-LS
+  // partition; hysteresis on the way out prevents flapping.
+  bool safe_mode = false;
+  if (resilience_.watchdog.enabled) {
+    const bool qos_violation = !observed.qos_met();
+    const bool cap_overshoot =
+        observed.power_w >
+        cap_w_ * (1.0 + resilience_.watchdog.cap_overshoot_tolerance);
+    safe_mode = watchdog_.observe(qos_violation, cap_overshoot);
+    if (safe_mode) {
+      ++safe_mode_epochs_;
+      safe_mode_counter_->inc();
+    }
+  }
+  degraded_gauge_->set(safe_mode ? 1.0 : 0.0);
+
   Partition next;
-  {
+  const char* action = nullptr;
+  if (safe_mode) {
+    next = safe_partition_;
+    action = "safe-mode";
+  } else {
     telemetry::Span span = tracer.start_span("decide");
-    next = policy_->decide(sample, enforcer_.current());
-    span.attr("action", policy_->last_decision().action);
+    sim::ServerTelemetry decide_sample = observed;
+    if (injector_ != nullptr) {
+      // Model fault: the policy's inputs drift from what the monitor
+      // recorded, inflating prediction error until the balancer
+      // compensates.
+      const double inflation = injector_->model_error_inflation();
+      if (inflation != 1.0) {
+        decide_sample.ls.p95_ms *= inflation;
+        decide_sample.be_throughput /= inflation;
+        decide_sample.be_throughput_norm /= inflation;
+      }
+    }
+    next = policy_->decide(decide_sample, retry_.current());
+    action = policy_->last_decision().action.c_str();
+    span.attr("action", action);
   }
   const Partition target = throttled(next);
   if (!(target == next)) {
@@ -188,26 +325,30 @@ void ClusterNode::step(int t) {
     throttle_counter_->inc();
   }
 
-  const bool changed = !(target == enforcer_.current());
+  const bool changed = !(target == retry_.current());
   if (changed) {
     telemetry::Span span = tracer.start_span("enforce");
-    enforcer_.apply(target);
+    const bool applied = retry_.apply(target);
     changes_counter_->inc();
-    span.attr("partition", target.to_string(server_.machine()));
+    span.attr("partition", target.to_string(server_.machine()))
+        .attr("applied", applied);
   }
-  epoch.attr("p95_ms", sample.ls.p95_ms)
-      .attr("power_w", sample.power_w)
+  epoch.attr("p95_ms", observed.ls.p95_ms)
+      .attr("power_w", observed.power_w)
       .attr("cap_w", cap_w_)
       .attr("slack", slack)
-      .attr("action", policy_->last_decision().action)
+      .attr("action", action)
       .attr("throttle", throttle_);
 
   if (!sample.qos_met()) violations_counter_->inc();
   ++epochs_run_;
+  last_step_epoch_ = t;
   cap_w_sum_ += cap_w_;
   max_power_ratio_ = std::max(max_power_ratio_, sample.power_w / budget_w_);
-  report_ = NodeReport{budget_w_, idle_w_,        cap_w_, sample.power_w,
-                       slack,     sample.qos_met(), true};
+  report_ = NodeReport{budget_w_, idle_w_,
+                       cap_w_,    observed.power_w,
+                       slack,     observed.qos_met(),
+                       Liveness::kAlive, false};
 }
 
 NodeResult ClusterNode::result() const {
@@ -228,6 +369,21 @@ NodeResult ClusterNode::result() const {
                      : cap_w_;
   r.max_power_ratio = max_power_ratio_;
   r.throttled_epochs = throttled_epochs_;
+  r.epochs_down = epochs_down_;
+  r.epochs_hung = epochs_hung_;
+  r.safe_mode_epochs = safe_mode_epochs_;
+  r.watchdog_trips = watchdog_.trips();
+  r.safe_mode_episodes = watchdog_.completed_episodes();
+  if (injector_ != nullptr) {
+    const auto& c = injector_->counts();
+    r.faults_injected = c.sensor_dropouts + c.sensor_stale + c.sensor_spikes +
+                        c.tool_call_failures + c.down_epochs + c.hung_epochs +
+                        c.model_epochs;
+  }
+  r.sensor_rejected = power_sanitizer_.counters().total_interventions() +
+                      latency_sanitizer_.counters().total_interventions();
+  r.actuator_retries = retry_.stats().retries;
+  r.actuator_gave_up = retry_.stats().gave_up;
   r.telemetry = telemetry_;
   return r;
 }

@@ -15,16 +15,31 @@
 // limit even under policies with no power notion; the QoS damage it does
 // when forced to throttle the LS slice is exactly the overload cost the
 // paper's Fig 2 measures.
+//
+// Faults and resilience (src/fault): a node may carry a FaultInjector
+// whose schedule corrupts its sensors, fails its actuators, crashes or
+// hangs the whole node, and inflates the sample its policy sees. The
+// matching defenses -- sensor sanitization in front of the governor/
+// policy/report, retry-with-verify around the enforcer, a watchdog that
+// falls back to the known-safe all-to-LS partition -- are configured
+// independently (ResilienceConfig) and default OFF, so fault-free runs
+// are bit-identical to the pre-fault code paths.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/coordinator.h"
 #include "core/policy.h"
 #include "core/trainer.h"
+#include "fault/faulty_tools.h"
+#include "fault/injector.h"
+#include "fault/retry.h"
+#include "fault/sanitizer.h"
+#include "fault/watchdog.h"
 #include "isolation/enforcer.h"
 #include "isolation/sim_backend.h"
 #include "telemetry/context.h"
@@ -65,6 +80,23 @@ struct GovernorConfig {
   double relax_margin = 1.0;
 };
 
+/// Which defenses are armed. Everything defaults OFF: with the struct
+/// default-constructed a node behaves bit-identically to the
+/// pre-resilience runtime (only the always-on heartbeat classification
+/// differs, and without faults it never changes a liveness verdict).
+struct ResilienceConfig {
+  /// Sensor sanitization (last-good-with-decay + median-of-3 + physical
+  /// bounds) in front of the governor, the policy and the NodeReport.
+  bool sanitize_sensors = false;
+  /// Watchdog / safe-mode fallback (enabled flag lives inside).
+  fault::WatchdogConfig watchdog;
+  /// Retry-with-verify around the enforcer (always constructed; with
+  /// max_attempts == 1 it degenerates to a single verified apply).
+  fault::RetryConfig retry;
+  /// Coordinator-side dead-node detection threshold.
+  HeartbeatConfig heartbeat;
+};
+
 /// Per-node outcome, the cluster analogue of exp::RunResult.
 struct NodeResult {
   int node = 0;
@@ -82,6 +114,17 @@ struct NodeResult {
   double max_power_ratio = 0.0;  ///< max measured power / natural budget
   /// Epochs the governor spent throttling below the policy's choice.
   int throttled_epochs = 0;
+  // -- fault/recovery accounting (all zero in fault-free runs) --------
+  int epochs_down = 0;      ///< lockstep epochs spent crashed
+  int epochs_hung = 0;      ///< lockstep epochs with a stalled control loop
+  int safe_mode_epochs = 0; ///< epochs spent in watchdog safe mode
+  int watchdog_trips = 0;
+  /// Completed safe-mode episode lengths (trip to clear), for MTTR.
+  std::vector<int> safe_mode_episodes;
+  std::uint64_t faults_injected = 0;   ///< injector events of any class
+  std::uint64_t sensor_rejected = 0;   ///< sanitizer interventions
+  std::uint64_t actuator_retries = 0;  ///< extra enforcer attempts
+  std::uint64_t actuator_gave_up = 0;  ///< applies abandoned after retries
   /// The node's telemetry (child context; rolled up by the ClusterSim).
   std::shared_ptr<telemetry::TelemetryContext> telemetry;
 };
@@ -90,10 +133,13 @@ class ClusterNode {
  public:
   /// `seed` is the node's derived seed (derive_seed(cluster_seed, id)).
   /// `telemetry` must be non-null (the ClusterSim makes one child
-  /// context per node).
+  /// context per node). `faults` should already be victim-filtered
+  /// (FaultConfig::for_node); with faults.enabled == false no injector
+  /// is constructed and the fault hooks cost one null check each.
   ClusterNode(int id, NodeSpec spec, std::uint64_t seed,
               std::shared_ptr<telemetry::TelemetryContext> telemetry,
-              GovernorConfig governor = {});
+              GovernorConfig governor = {}, ResilienceConfig resilience = {},
+              fault::FaultConfig faults = {});
 
   /// Re-cap the node for the coming epoch (policy budget + governor).
   void set_power_cap(double watts);
@@ -103,7 +149,9 @@ class ClusterNode {
   /// concurrently on the same node.
   void step(int t);
 
-  /// Telemetry for the coordinator, reflecting the last finished epoch.
+  /// Telemetry for the coordinator, reflecting the last finished epoch
+  /// (the *sanitized* monitor view when sanitization is armed; frozen
+  /// while the node is down or hung).
   const NodeReport& report() const { return report_; }
 
   NodeResult result() const;
@@ -112,6 +160,15 @@ class ClusterNode {
   double budget_w() const { return budget_w_; }
   double idle_w() const { return idle_w_; }
   double power_cap_w() const { return cap_w_; }
+  /// Ground-truth package power of the last epoch (0 while crashed) --
+  /// what the fleet aggregation sums, as opposed to the possibly
+  /// fault-corrupted report().power_w the coordinator sees.
+  double true_power_w() const { return true_power_w_; }
+  /// Last epoch whose control loop completed (-1 before the first):
+  /// the heartbeat the ClusterSim feeds the HeartbeatTracker. Crashed
+  /// and hung epochs do not beat.
+  int last_step_epoch() const { return last_step_epoch_; }
+  bool in_safe_mode() const { return watchdog_.in_safe_mode(); }
   const sim::SimulatedServer& server() const { return server_; }
   core::Policy& policy() { return *policy_; }
 
@@ -119,12 +176,31 @@ class ClusterNode {
   /// Apply the governor's current throttle to `p` (BE frequency first,
   /// then LS), returning the partition actually enforced.
   Partition throttled(Partition p) const;
+  /// One crashed epoch: the machine is off -- no serving, no power, no
+  /// heartbeat, no report.
+  void step_down();
+  /// One hung epoch: serving continues under the last partition but the
+  /// control loop (observe/decide/enforce/report) is stalled.
+  void step_hung(int t);
 
   int id_;
   NodeSpec spec_;
+  ResilienceConfig resilience_;
   sim::SimulatedServer server_;
   isolation::SimBackend backend_;
+  /// Null unless fault injection is enabled for this node.
+  std::unique_ptr<fault::FaultInjector> injector_;
+  // Tool decorators sit between the backend and the enforcer; with a
+  // null injector they are transparent pass-throughs.
+  fault::FaultyCpuset faulty_cpuset_;
+  fault::FaultyCat faulty_cat_;
+  fault::FaultyFreq faulty_freq_;
   isolation::ResourceEnforcer enforcer_;
+  fault::RetryingEnforcer retry_;
+  fault::SignalSanitizer power_sanitizer_;
+  fault::SignalSanitizer latency_sanitizer_;
+  fault::NodeWatchdog watchdog_;
+  Partition safe_partition_;  ///< known-safe fallback (all-to-LS)
   std::unique_ptr<core::Policy> policy_;
   std::shared_ptr<telemetry::TelemetryContext> telemetry_;
   telemetry::RunMetrics metrics_;
@@ -133,9 +209,14 @@ class ClusterNode {
   double budget_w_ = 0.0;
   double idle_w_ = 0.0;
   double cap_w_ = 0.0;
+  double true_power_w_ = 0.0;
   int throttle_ = 0;  ///< frequency levels currently confiscated
   int throttled_epochs_ = 0;
   int epochs_run_ = 0;
+  int epochs_down_ = 0;
+  int epochs_hung_ = 0;
+  int safe_mode_epochs_ = 0;
+  int last_step_epoch_ = -1;
   double cap_w_sum_ = 0.0;
   double max_power_ratio_ = 0.0;
   NodeReport report_;
@@ -147,6 +228,8 @@ class ClusterNode {
   telemetry::Counter* violations_counter_ = nullptr;
   telemetry::Counter* changes_counter_ = nullptr;
   telemetry::Counter* throttle_counter_ = nullptr;
+  telemetry::Counter* safe_mode_counter_ = nullptr;
+  telemetry::Gauge* degraded_gauge_ = nullptr;
 };
 
 }  // namespace sturgeon::cluster

@@ -1,0 +1,28 @@
+#include "fault/faulty_tools.h"
+
+namespace sturgeon::fault {
+
+void FaultyCpuset::set_cpuset(isolation::AppId app,
+                              const std::vector<int>& cores) {
+  if (injector_ != nullptr && injector_->tool_call_fails()) {
+    throw isolation::ActuatorError("cpuset write");
+  }
+  inner_.set_cpuset(app, cores);
+}
+
+void FaultyCat::set_way_mask(isolation::AppId app, std::uint32_t mask) {
+  if (injector_ != nullptr && injector_->tool_call_fails()) {
+    throw isolation::ActuatorError("way-mask write");
+  }
+  inner_.set_way_mask(app, mask);
+}
+
+void FaultyFreq::set_frequency_level(const std::vector<int>& cores,
+                                     int level) {
+  if (injector_ != nullptr && injector_->tool_call_fails()) {
+    throw isolation::ActuatorError("frequency write");
+  }
+  inner_.set_frequency_level(cores, level);
+}
+
+}  // namespace sturgeon::fault

@@ -1,0 +1,158 @@
+#include "fault/injector.h"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "util/check.h"
+
+namespace sturgeon::fault {
+
+namespace {
+
+bool in_window(int t, int start, int len) {
+  return start >= 0 && t >= start && t < start + len;
+}
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultInjector: ") + what +
+                                " not a probability");
+  }
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::for_node(int id) const {
+  FaultConfig view = *this;
+  if (node.victim != id) view.node = NodeFaultConfig{};
+  if (model.victim != -1 && model.victim != id) view.model = ModelFaultConfig{};
+  return view;
+}
+
+FaultInjector::FaultInjector(FaultConfig config, std::uint64_t seed)
+    : config_(config),
+      sensor_rng_(Rng(seed).fork(1)),
+      actuator_rng_(Rng(seed).fork(2)) {
+  check_probability(config_.sensor.dropout_p, "sensor.dropout_p");
+  check_probability(config_.sensor.stale_p, "sensor.stale_p");
+  check_probability(config_.sensor.spike_p, "sensor.spike_p");
+  check_probability(config_.actuator.fail_p, "actuator.fail_p");
+  check_probability(config_.actuator.burst_fail_p, "actuator.burst_fail_p");
+  if (!(config_.sensor.spike_factor > 0.0)) {
+    throw std::invalid_argument("FaultInjector: spike_factor must be > 0");
+  }
+  if (!(config_.model.error_inflation > 0.0)) {
+    throw std::invalid_argument("FaultInjector: error_inflation must be > 0");
+  }
+}
+
+FaultInjector::SensorFate FaultInjector::draw_sensor_fate(Rng& rng,
+                                                          int& spike_left) {
+  // Exactly one draw per signal per epoch, spiking or not, so the
+  // stream position depends only on the epoch count.
+  const double u = rng.next_double();
+  if (spike_left > 0) {
+    --spike_left;
+    return SensorFate::kSpike;
+  }
+  const auto& s = config_.sensor;
+  if (u < s.dropout_p) return SensorFate::kDropout;
+  if (u < s.dropout_p + s.stale_p) return SensorFate::kStale;
+  if (u < s.dropout_p + s.stale_p + s.spike_p) {
+    spike_left = s.spike_burst_epochs - 1;
+    return SensorFate::kSpike;
+  }
+  return SensorFate::kClean;
+}
+
+void FaultInjector::begin_epoch(int t) {
+  STURGEON_CHECK(t > epoch_, "FaultInjector::begin_epoch: epoch " << t
+                                 << " not after " << epoch_);
+  epoch_ = t;
+
+  const bool now_down = in_window(t, config_.node.crash_epoch,
+                                  config_.node.crash_epochs);
+  rebooted_ = was_down_ && !now_down;
+  was_down_ = now_down;
+  down_ = now_down;
+  hung_ = in_window(t, config_.node.hang_epoch, config_.node.hang_epochs);
+  if (down_) ++counts_.down_epochs;
+  if (hung_) ++counts_.hung_epochs;
+  if (down_ && down_counter_ != nullptr) down_counter_->inc();
+
+  power_fate_ = draw_sensor_fate(sensor_rng_, power_spike_left_);
+  latency_fate_ = draw_sensor_fate(sensor_rng_, latency_spike_left_);
+
+  if (model_error_inflation() != 1.0) {
+    ++counts_.model_epochs;
+    if (model_counter_ != nullptr) model_counter_->inc();
+  }
+}
+
+double FaultInjector::corrupt(double raw, SensorFate fate, double& last_raw,
+                              bool& has_last) {
+  double out = raw;
+  switch (fate) {
+    case SensorFate::kClean:
+      break;
+    case SensorFate::kDropout:
+      out = std::numeric_limits<double>::quiet_NaN();
+      ++counts_.sensor_dropouts;
+      break;
+    case SensorFate::kStale:
+      // A frozen sensor repeats its previous measurement; before any
+      // measurement exists it behaves like a dropout.
+      out = has_last ? last_raw : std::numeric_limits<double>::quiet_NaN();
+      ++counts_.sensor_stale;
+      break;
+    case SensorFate::kSpike:
+      out = raw * config_.sensor.spike_factor;
+      ++counts_.sensor_spikes;
+      break;
+  }
+  if (fate != SensorFate::kClean && sensor_counter_ != nullptr) {
+    sensor_counter_->inc();
+  }
+  last_raw = raw;
+  has_last = true;
+  return out;
+}
+
+double FaultInjector::corrupt_power_w(double raw) {
+  return corrupt(raw, power_fate_, last_power_raw_, has_last_power_);
+}
+
+double FaultInjector::corrupt_latency_ms(double raw) {
+  return corrupt(raw, latency_fate_, last_latency_raw_, has_last_latency_);
+}
+
+bool FaultInjector::tool_call_fails() {
+  const bool burst = in_window(epoch_, config_.actuator.burst_start_epoch,
+                               config_.actuator.burst_epochs);
+  const double p =
+      burst ? config_.actuator.burst_fail_p : config_.actuator.fail_p;
+  if (p <= 0.0) return false;  // no draw: keeps the stream schedule-free
+  const bool fails = actuator_rng_.bernoulli(p);
+  if (fails) {
+    ++counts_.tool_call_failures;
+    if (tool_counter_ != nullptr) tool_counter_->inc();
+  }
+  return fails;
+}
+
+double FaultInjector::model_error_inflation() const {
+  return in_window(epoch_, config_.model.start_epoch, config_.model.epochs)
+             ? config_.model.error_inflation
+             : 1.0;
+}
+
+void FaultInjector::bind(telemetry::MetricsRegistry& registry) {
+  sensor_counter_ = &registry.counter("fault.injected.sensor");
+  tool_counter_ = &registry.counter("fault.injected.tool_failures");
+  down_counter_ = &registry.counter("fault.injected.down_epochs");
+  model_counter_ = &registry.counter("fault.injected.model_epochs");
+}
+
+}  // namespace sturgeon::fault

@@ -1,0 +1,79 @@
+#include "fault/sanitizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "telemetry/metrics.h"
+
+namespace sturgeon::fault {
+
+SignalSanitizer::SignalSanitizer(SanitizerConfig config) : config_(config) {
+  if (!(std::isfinite(config_.lo) && std::isfinite(config_.hi) &&
+        config_.lo <= config_.hi)) {
+    throw std::invalid_argument("SignalSanitizer: bad bounds");
+  }
+  if (!(config_.decay >= 0.0 && config_.decay <= 1.0)) {
+    throw std::invalid_argument("SignalSanitizer: decay must be in [0, 1]");
+  }
+  if (!(config_.spike_rel_threshold > 0.0)) {
+    throw std::invalid_argument(
+        "SignalSanitizer: spike_rel_threshold must be > 0");
+  }
+  held_ = config_.lo;
+  mean_ = config_.lo;
+}
+
+double SignalSanitizer::sanitize(double raw) {
+  if (!std::isfinite(raw)) {
+    ++counters_.rejected_nonfinite;
+    if (rejected_counter_ != nullptr) rejected_counter_->inc();
+    // Last good value, decayed toward the running mean: a long dropout
+    // converges to "typical" rather than holding one extreme sample.
+    held_ = mean_ + config_.decay * (held_ - mean_);
+    return held_;
+  }
+
+  double value = std::clamp(raw, config_.lo, config_.hi);
+  if (value != raw) {
+    ++counters_.clamped;
+    if (clamped_counter_ != nullptr) clamped_counter_->inc();
+  }
+
+  window_[window_next_] = value;
+  window_next_ = (window_next_ + 1) % 3;
+  window_size_ = std::min(window_size_ + 1, 3);
+
+  double out = value;
+  if (window_size_ == 3) {
+    const double a = window_[0], b = window_[1], c = window_[2];
+    out = std::max(std::min(a, b), std::min(std::max(a, b), c));
+    if (std::abs(value - out) >
+        config_.spike_rel_threshold * std::max(std::abs(out), 1e-9)) {
+      ++counters_.spike_suppressed;
+      if (suppressed_counter_ != nullptr) suppressed_counter_->inc();
+    }
+  }
+
+  ++counters_.accepted;
+  mean_ += (out - mean_) / static_cast<double>(counters_.accepted);
+  held_ = out;
+  return out;
+}
+
+void SignalSanitizer::bind(telemetry::MetricsRegistry& registry,
+                           const std::string& prefix) {
+  rejected_counter_ = &registry.counter(prefix + ".rejected");
+  clamped_counter_ = &registry.counter(prefix + ".clamped");
+  suppressed_counter_ = &registry.counter(prefix + ".suppressed");
+}
+
+void SignalSanitizer::reset() {
+  window_size_ = 0;
+  window_next_ = 0;
+  mean_ = config_.lo;
+  held_ = config_.lo;
+  counters_ = SanitizerCounters{};
+}
+
+}  // namespace sturgeon::fault

@@ -1,0 +1,83 @@
+// Sensor sanitization: the defensive layer between raw power/latency
+// readings and every consumer that reacts to them (the node governor,
+// the balancer's observed sample, the coordinator's NodeReport).
+//
+// Pipeline per reading, in order:
+//
+//   1. reject non-finite values (NaN/inf dropouts) and substitute the
+//      last good value decayed toward the running mean of accepted
+//      readings -- a held sensor drifts back to "typical" instead of
+//      freezing at a possibly-extreme last sample;
+//   2. clamp finite values into the configured physical bounds (a
+//      package cannot draw negative watts or more than its max power);
+//   3. median-of-3 over the last three accepted readings, which deletes
+//      single-epoch outlier spikes at the cost of one epoch of lag.
+//
+// Every intervention is counted (fault.sensor.* when bound), so a chaos
+// run can assert the sanitizer actually absorbed the injected faults
+// and a production run can alarm on rejection rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sturgeon::telemetry {
+class MetricsRegistry;
+class Counter;
+}  // namespace sturgeon::telemetry
+
+namespace sturgeon::fault {
+
+struct SanitizerConfig {
+  double lo = 0.0;    ///< physical lower bound (inclusive)
+  double hi = 1e12;   ///< physical upper bound (inclusive)
+  /// Per-epoch decay of a substituted hold value toward the running
+  /// mean of accepted readings (1.0 = hold forever, 0 = jump to mean).
+  double decay = 0.85;
+  /// Count a median-of-3 override as a suppressed spike only when the
+  /// raw reading deviates from the filtered one by more than this
+  /// relative amount (the filter itself always applies; the threshold
+  /// only keeps ordinary noise out of the fault.sensor.* counters).
+  double spike_rel_threshold = 0.5;
+};
+
+struct SanitizerCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_nonfinite = 0;  ///< NaN/inf replaced by hold value
+  std::uint64_t clamped = 0;             ///< finite but outside [lo, hi]
+  std::uint64_t spike_suppressed = 0;    ///< median-of-3 overrode the raw
+  std::uint64_t total_interventions() const {
+    return rejected_nonfinite + clamped + spike_suppressed;
+  }
+};
+
+class SignalSanitizer {
+ public:
+  explicit SignalSanitizer(SanitizerConfig config = {});
+
+  /// Sanitize one reading; always returns a finite value in [lo, hi].
+  double sanitize(double raw);
+
+  const SanitizerCounters& counters() const { return counters_; }
+  const SanitizerConfig& config() const { return config_; }
+
+  /// Mirror interventions into `<prefix>.{rejected,clamped,suppressed}`
+  /// counters of `registry` (live, per event).
+  void bind(telemetry::MetricsRegistry& registry, const std::string& prefix);
+
+  void reset();
+
+ private:
+  SanitizerConfig config_;
+  double window_[3] = {0.0, 0.0, 0.0};  ///< last accepted readings (ring)
+  int window_size_ = 0;
+  int window_next_ = 0;
+  double mean_ = 0.0;  ///< running mean of accepted readings
+  double held_ = 0.0;  ///< substitute for rejected readings
+  SanitizerCounters counters_;
+  telemetry::Counter* rejected_counter_ = nullptr;
+  telemetry::Counter* clamped_counter_ = nullptr;
+  telemetry::Counter* suppressed_counter_ = nullptr;
+};
+
+}  // namespace sturgeon::fault

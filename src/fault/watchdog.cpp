@@ -1,0 +1,51 @@
+#include "fault/watchdog.h"
+
+#include <stdexcept>
+
+namespace sturgeon::fault {
+
+NodeWatchdog::NodeWatchdog(WatchdogConfig config) : config_(config) {
+  if (config_.trip_after < 1 || config_.clear_after < 1) {
+    throw std::invalid_argument("NodeWatchdog: thresholds must be >= 1");
+  }
+}
+
+bool NodeWatchdog::observe(bool qos_violation, bool cap_overshoot) {
+  if (!config_.enabled) return false;
+  const bool bad = qos_violation || cap_overshoot;
+  if (!safe_mode_) {
+    bad_streak_ = bad ? bad_streak_ + 1 : 0;
+    if (bad_streak_ >= config_.trip_after) {
+      safe_mode_ = true;
+      ++trips_;
+      bad_streak_ = 0;
+      good_streak_ = 0;
+      episode_epochs_ = 0;
+    }
+  } else {
+    good_streak_ = bad ? 0 : good_streak_ + 1;
+    if (good_streak_ >= config_.clear_after) {
+      safe_mode_ = false;
+      episodes_.push_back(episode_epochs_);
+      good_streak_ = 0;
+      episode_epochs_ = 0;
+    }
+  }
+  if (safe_mode_) {
+    ++episode_epochs_;
+    ++epochs_in_safe_mode_;
+  }
+  return safe_mode_;
+}
+
+void NodeWatchdog::reset() {
+  safe_mode_ = false;
+  bad_streak_ = 0;
+  good_streak_ = 0;
+  episode_epochs_ = 0;
+  trips_ = 0;
+  epochs_in_safe_mode_ = 0;
+  episodes_.clear();
+}
+
+}  // namespace sturgeon::fault

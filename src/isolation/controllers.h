@@ -12,12 +12,26 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace sturgeon::isolation {
 
 /// The two co-located cgroups Sturgeon manages.
 enum class AppId { kLs = 0, kBe = 1 };
+
+/// A transient actuation failure: the tool call did not take effect but
+/// may succeed if retried (EBUSY from a cgroup write, an MSR write that
+/// bounced, a driver mid-reload). Distinct from std::invalid_argument,
+/// which marks requests that can never succeed. Thrown by fault-injected
+/// tool decorators (fault/faulty_tools.h) and, on real hardware, by any
+/// backend whose driver hiccups; absorbed by fault::RetryingEnforcer.
+class ActuatorError : public std::runtime_error {
+ public:
+  explicit ActuatorError(const std::string& what)
+      : std::runtime_error("actuator failure: " + what) {}
+};
 
 /// Core placement (cpuset cgroups): each app is pinned to an explicit
 /// list of logical core ids.

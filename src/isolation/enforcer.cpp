@@ -1,5 +1,6 @@
 #include "isolation/enforcer.h"
 
+#include <bit>
 #include <stdexcept>
 
 #include "util/check.h"
@@ -93,6 +94,49 @@ void ResourceEnforcer::apply(const Partition& target) {
   }
 
   current_ = target;
+}
+
+bool ResourceEnforcer::verify(const Partition& target) const {
+  if (cpuset_.cpuset(AppId::kLs) != ls_core_list(target.ls.cores)) {
+    return false;
+  }
+  if (cpuset_.cpuset(AppId::kBe) != be_core_list(target.be.cores)) {
+    return false;
+  }
+  if (cat_.way_mask(AppId::kLs) != contiguous_mask(target.ls.llc_ways, 0)) {
+    return false;
+  }
+  const std::uint32_t be_mask = contiguous_mask(
+      target.be.llc_ways, machine_.llc_ways - target.be.llc_ways);
+  if (cat_.way_mask(AppId::kBe) != be_mask) return false;
+  for (const int core : cpuset_.cpuset(AppId::kLs)) {
+    if (freq_.frequency_level(core) != target.ls.freq_level) return false;
+  }
+  for (const int core : cpuset_.cpuset(AppId::kBe)) {
+    if (freq_.frequency_level(core) != target.be.freq_level) return false;
+  }
+  return true;
+}
+
+void ResourceEnforcer::resync() {
+  // Recover slice sizes from the tools. The reconstructed partition may
+  // be an inconsistent mixture (that is the point: a failed apply left
+  // one), but it is what the next apply's shrink-before-grow ordering
+  // and change detection must be computed against.
+  const auto ls_cores = cpuset_.cpuset(AppId::kLs);
+  const auto be_cores = cpuset_.cpuset(AppId::kBe);
+  Partition actual;
+  actual.ls.cores = static_cast<int>(ls_cores.size());
+  actual.be.cores = static_cast<int>(be_cores.size());
+  actual.ls.llc_ways = std::popcount(cat_.way_mask(AppId::kLs));
+  actual.be.llc_ways = std::popcount(cat_.way_mask(AppId::kBe));
+  actual.ls.freq_level =
+      ls_cores.empty() ? current_.ls.freq_level
+                       : freq_.frequency_level(ls_cores.front());
+  actual.be.freq_level =
+      be_cores.empty() ? current_.be.freq_level
+                       : freq_.frequency_level(be_cores.front());
+  current_ = actual;
 }
 
 }  // namespace sturgeon::isolation

@@ -25,8 +25,21 @@ class ResourceEnforcer {
   /// express (an empty BE slice is allowed).
   void apply(const Partition& target);
 
-  /// The partition most recently applied.
+  /// The partition most recently applied (or reconstructed by resync()
+  /// after a failed apply).
   const Partition& current() const { return current_; }
+
+  /// Verify-after-apply: read the tool state back through the actuator
+  /// interfaces and compare against what apply(target) programs. False
+  /// means some tool silently dropped or half-applied the request.
+  bool verify(const Partition& target) const;
+
+  /// Rebuild current() from the tools' actual state. Call after an
+  /// apply() threw partway (e.g. ActuatorError from a flaky driver):
+  /// the shrink-before-grow sequencing of the NEXT apply must be
+  /// ordered against reality, not against the stale pre-failure
+  /// snapshot, or a transition could momentarily overlap the apps.
+  void resync();
 
   /// Total tool invocations issued (actuation cost metric).
   std::uint64_t actuation_count() const { return actuations_; }

@@ -38,4 +38,11 @@ double PowerModel::package_power_w(const AppSlice& ls, double ls_util,
          coeffs_.k_bw_w_per_gbps * std::max(0.0, total_bw_gbps);
 }
 
+double PowerModel::max_package_power_w() const {
+  const AppSlice all{machine_.num_cores, machine_.max_freq_level(),
+                     machine_.llc_ways};
+  const AppSlice none{0, 0, 0};
+  return package_power_w(all, 1.0, 1.0, none, 0.0, 0.0, 0.0);
+}
+
 }  // namespace sturgeon::sim

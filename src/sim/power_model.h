@@ -48,6 +48,13 @@ class PowerModel {
   /// Idle package power (no active cores, no traffic).
   double idle_power_w() const { return coeffs_.uncore_w; }
 
+  /// Machine power capacity: the whole package busy at top frequency
+  /// with unit activity and no memory traffic. Machine-only (no
+  /// workload term), so heterogeneous fleets rank by hardware size --
+  /// used by placement and as the physical upper bound a sane power
+  /// sensor reading can never exceed (sensor sanitization).
+  double max_package_power_w() const;
+
   const PowerCoefficients& coefficients() const { return coeffs_; }
   const MachineSpec& machine() const { return machine_; }
 

@@ -1,7 +1,6 @@
 #include "telemetry/context.h"
 
 #include <fstream>
-#include <stdexcept>
 
 #include "telemetry/export.h"
 
@@ -28,23 +27,27 @@ std::shared_ptr<TelemetryContext> TelemetryContext::make(
   return std::make_shared<TelemetryContext>(machine, std::move(config));
 }
 
-void TelemetryContext::flush() {
-  if (!config_.trace_jsonl_path.empty()) {
-    std::ofstream os(config_.trace_jsonl_path);
+bool TelemetryContext::flush() {
+  bool ok = true;
+  const auto to_file = [&](const std::string& path, auto&& write) {
+    if (path.empty()) return;
+    std::ofstream os(path);
     if (!os) {
-      throw std::runtime_error("TelemetryContext: cannot open " +
-                               config_.trace_jsonl_path);
+      metrics_.counter("telemetry.export.errors").inc();
+      ok = false;
+      return;
     }
-    write_trace_jsonl(os);
-  }
-  if (!config_.csv_path.empty()) {
-    std::ofstream os(config_.csv_path);
-    if (!os) {
-      throw std::runtime_error("TelemetryContext: cannot open " +
-                               config_.csv_path);
+    write(os);
+    os.flush();
+    if (!os.good()) {  // short write: disk full or I/O error mid-stream
+      metrics_.counter("telemetry.export.errors").inc();
+      ok = false;
     }
-    write_csv(os);
-  }
+  };
+  to_file(config_.trace_jsonl_path,
+          [this](std::ostream& os) { write_trace_jsonl(os); });
+  to_file(config_.csv_path, [this](std::ostream& os) { write_csv(os); });
+  return ok;
 }
 
 void TelemetryContext::write_trace_jsonl(std::ostream& os) const {

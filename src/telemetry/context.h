@@ -17,7 +17,10 @@
 //
 // flush() writes the configured file sinks and is safe to call multiple
 // times and on early-exit paths: a partially-recorded run still produces
-// valid CSV/JSONL output.
+// valid CSV/JSONL output. Sink failures (unopenable path, disk full /
+// short write) do not throw: flush() returns false and increments the
+// telemetry.export.errors counter, so a long chaos run survives a broken
+// sink and the loss is still visible in the metrics snapshot.
 #pragma once
 
 #include <memory>
@@ -64,8 +67,10 @@ class TelemetryContext {
   const TelemetryConfig& config() const { return config_; }
   const MachineSpec& machine() const { return machine_; }
 
-  /// Write configured file sinks (idempotent; early-exit safe).
-  void flush();
+  /// Write configured file sinks (idempotent; early-exit safe). Returns
+  /// false -- after bumping telemetry.export.errors -- when any sink
+  /// could not be opened or was written short; never throws.
+  bool flush();
 
   void write_trace_jsonl(std::ostream& os) const;
   void write_csv(std::ostream& os) const { recorder_.write_csv(os); }

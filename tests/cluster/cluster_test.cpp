@@ -58,8 +58,43 @@ TEST(ClusterSim, RunIsOneShot) {
   ClusterConfig config;
   config.seed = 3;
   ClusterSim sim(fake_fleet(1, 5), config);
+  EXPECT_FALSE(sim.has_run());
   (void)sim.run();
+  EXPECT_TRUE(sim.has_run());
   EXPECT_THROW(sim.run(), std::logic_error);
+  // A failed re-run attempt leaves the guard set.
+  EXPECT_TRUE(sim.has_run());
+}
+
+// Resilience machinery compiled in but left at defaults must not perturb
+// the simulation: the fault-injection hooks are observe-only until armed.
+TEST(ClusterSim, DefaultResilienceIsBitCompatible) {
+  ClusterConfig plain;
+  plain.seed = 17;
+  ClusterSim a(fake_fleet(3, 10), plain);
+  const ClusterResult ra = a.run();
+
+  ClusterConfig spelled_out;
+  spelled_out.seed = 17;
+  spelled_out.resilience = ResilienceConfig{};
+  spelled_out.faults = fault::FaultConfig{};
+  ClusterSim b(fake_fleet(3, 10), spelled_out);
+  const ClusterResult rb = b.run();
+
+  EXPECT_EQ(ra.fleet_qos_guarantee_rate, rb.fleet_qos_guarantee_rate);
+  EXPECT_EQ(ra.aggregate_be_throughput, rb.aggregate_be_throughput);
+  EXPECT_EQ(ra.mean_cluster_power_w, rb.mean_cluster_power_w);
+  for (std::size_t i = 0; i < ra.node_results.size(); ++i) {
+    EXPECT_EQ(ra.node_results[i].total_completed,
+              rb.node_results[i].total_completed);
+    EXPECT_EQ(ra.node_results[i].mean_cap_w, rb.node_results[i].mean_cap_w);
+    EXPECT_EQ(ra.node_results[i].faults_injected, 0u);
+    EXPECT_EQ(ra.node_results[i].epochs_down, 0);
+    EXPECT_EQ(ra.node_results[i].safe_mode_epochs, 0);
+  }
+  EXPECT_EQ(ra.dead_node_epochs, 0);
+  EXPECT_TRUE(ra.recovery_mttr_epochs.empty());
+  EXPECT_LE(ra.max_cap_sum_ratio, 1.0 + 1e-9);
 }
 
 // The satellite contract: same cluster seed => bit-identical

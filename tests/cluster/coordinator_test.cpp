@@ -10,8 +10,10 @@ namespace sturgeon::cluster {
 namespace {
 
 NodeReport report(double budget, double idle, double cap, double power,
-                  double slack, bool qos_met, bool valid = true) {
-  return NodeReport{budget, idle, cap, power, slack, qos_met, valid};
+                  double slack, bool qos_met,
+                  Liveness liveness = Liveness::kAlive, bool rejoined = false) {
+  return NodeReport{budget, idle,    cap,      power,
+                    slack,  qos_met, liveness, rejoined};
 }
 
 double sum(const std::vector<double>& v) {
@@ -88,11 +90,11 @@ TEST(Coordinator, DemandProportionalFollowsMeasuredPower) {
 
 TEST(Coordinator, DemandProportionalTreatsUnmeasuredAsFullBudget) {
   auto coord = make_coordinator(CoordinatorKind::kDemandProportional);
-  // No telemetry yet (valid=false): both nodes claim their budget, so
+  // No telemetry yet (never reported): both nodes claim their budget, so
   // equal hardware splits evenly regardless of the garbage power field.
   const std::vector<NodeReport> reports = {
-      report(120.0, 30.0, 0.0, 0.0, 0.0, true, false),
-      report(120.0, 30.0, 0.0, 999.0, 0.0, true, false),
+      report(120.0, 30.0, 0.0, 0.0, 0.0, true, Liveness::kNeverReported),
+      report(120.0, 30.0, 0.0, 999.0, 0.0, true, Liveness::kNeverReported),
   };
   const auto caps = coord->assign(180.0, reports);
   expect_invariants(caps, reports, 180.0);
@@ -105,8 +107,8 @@ TEST(Coordinator, SlackHarvestFirstEpochProportionalToBudgets) {
   // Heterogeneous fleet before any measurement: the bigger machine
   // starts with proportionally more of the cluster budget.
   const std::vector<NodeReport> reports = {
-      report(200.0, 40.0, 0.0, 0.0, 0.0, true, false),
-      report(100.0, 25.0, 0.0, 0.0, 0.0, true, false),
+      report(200.0, 40.0, 0.0, 0.0, 0.0, true, Liveness::kNeverReported),
+      report(100.0, 25.0, 0.0, 0.0, 0.0, true, Liveness::kNeverReported),
   };
   const auto caps = coord->assign(240.0, reports);
   expect_invariants(caps, reports, 240.0);
@@ -180,6 +182,132 @@ TEST(Coordinator, ToStringCoversAllKinds) {
   EXPECT_STREQ(to_string(CoordinatorKind::kDemandProportional),
                "demand-proportional");
   EXPECT_STREQ(to_string(CoordinatorKind::kSlackHarvest), "slack-harvest");
+  EXPECT_STREQ(to_string(Liveness::kNeverReported), "never-reported");
+  EXPECT_STREQ(to_string(Liveness::kAlive), "alive");
+  EXPECT_STREQ(to_string(Liveness::kDead), "dead");
+}
+
+TEST(Coordinator, StaticEqualReclaimsDeadNodeWatts) {
+  auto coord = make_coordinator(CoordinatorKind::kStaticEqual);
+  const std::vector<NodeReport> reports = {
+      report(120.0, 30.0, 100.0, 90.0, 0.05, true),
+      report(120.0, 30.0, 100.0, 0.0, 0.0, false, Liveness::kDead),
+      report(120.0, 30.0, 100.0, 70.0, 0.20, true),
+  };
+  const auto caps = coord->assign(300.0, reports);
+  expect_invariants(caps, reports, 300.0);
+  EXPECT_DOUBLE_EQ(caps[1], 30.0);  // pinned at idle
+  // The reclaimed watts split among the living.
+  EXPECT_DOUBLE_EQ(caps[0], (300.0 - 30.0) / 2.0);
+  EXPECT_DOUBLE_EQ(caps[2], (300.0 - 30.0) / 2.0);
+}
+
+TEST(Coordinator, DemandProportionalPinsDeadNodeAtIdle) {
+  auto coord = make_coordinator(CoordinatorKind::kDemandProportional);
+  // The dead node's stale power_w (it was the hottest) must not hold
+  // watts hostage: its cap collapses to idle and the survivors share
+  // the rest by demand.
+  const std::vector<NodeReport> reports = {
+      report(120.0, 30.0, 100.0, 110.0, 0.02, true, Liveness::kDead),
+      report(120.0, 30.0, 100.0, 80.0, 0.10, true),
+      report(120.0, 30.0, 100.0, 40.0, 0.40, true),
+  };
+  const auto caps = coord->assign(240.0, reports);
+  expect_invariants(caps, reports, 240.0);
+  EXPECT_DOUBLE_EQ(caps[0], 30.0);
+  EXPECT_GT(caps[1], caps[2]);  // live demand still ranks
+}
+
+TEST(Coordinator, SlackHarvestReclaimsDeadCapIntoPool) {
+  auto coord = make_coordinator(CoordinatorKind::kSlackHarvest);
+  // Node 0 died holding a 100 W cap; node 1 is pressed and stressed.
+  // The harvested watts (above node 0's idle floor) must be grantable.
+  const std::vector<NodeReport> reports = {
+      report(120.0, 30.0, 100.0, 0.0, 0.0, false, Liveness::kDead),
+      report(120.0, 30.0, 80.0, 79.5, 0.02, false),
+  };
+  const auto caps = coord->assign(180.0, reports);
+  expect_invariants(caps, reports, 180.0);
+  EXPECT_DOUBLE_EQ(caps[0], 30.0);
+  EXPECT_GT(caps[1], 80.0);  // granted from the reclaimed pool
+}
+
+TEST(Coordinator, SlackHarvestRebasesOnRejoin) {
+  auto coord = make_coordinator(CoordinatorKind::kSlackHarvest);
+  // A rejoining node's cap_w/power_w predate the outage; the strategy
+  // must re-base on budget proportions (re-granting the node its share)
+  // instead of evolving from the stale caps.
+  std::vector<NodeReport> reports = {
+      report(120.0, 30.0, 30.0, 50.0, 0.10, true),
+      report(120.0, 30.0, 150.0, 60.0, 0.30, true),
+  };
+  reports[0].rejoined = true;
+  const auto caps = coord->assign(240.0, reports);
+  expect_invariants(caps, reports, 240.0);
+  // Equal budgets: the rebase splits evenly, not 30/150.
+  EXPECT_NEAR(caps[0], caps[1], 1e-9);
+}
+
+TEST(HeartbeatTracker, ValidatesConstruction) {
+  EXPECT_THROW(HeartbeatTracker(0), std::invalid_argument);
+  HeartbeatConfig bad;
+  bad.dead_after_epochs = 0;
+  EXPECT_THROW(HeartbeatTracker(2, bad), std::invalid_argument);
+}
+
+TEST(HeartbeatTracker, StartupIsNeverReportedNotDead) {
+  HeartbeatTracker tracker(2);
+  std::vector<NodeReport> reports(2, report(120, 30, 100, 50, 0.2, true));
+  EXPECT_EQ(tracker.update(0, {-1, -1}, reports), 0);
+  EXPECT_EQ(reports[0].liveness, Liveness::kNeverReported);
+  EXPECT_EQ(reports[1].liveness, Liveness::kNeverReported);
+}
+
+TEST(HeartbeatTracker, DeclaresDeadAfterMissedEpochsAndRecordsOutage) {
+  HeartbeatConfig config;
+  config.dead_after_epochs = 3;
+  HeartbeatTracker tracker(2, config);
+  std::vector<NodeReport> reports(2, report(120, 30, 100, 50, 0.2, true));
+
+  // Both beat through epoch 4; node 1 goes silent from epoch 5 on.
+  EXPECT_EQ(tracker.update(5, {4, 4}, reports), 0);
+  EXPECT_EQ(reports[1].liveness, Liveness::kAlive);
+
+  EXPECT_EQ(tracker.update(6, {5, 4}, reports), 0);   // missed 1
+  EXPECT_EQ(tracker.update(7, {6, 4}, reports), 0);   // missed 2
+  EXPECT_EQ(tracker.update(8, {7, 4}, reports), 1);   // missed 3 -> dead
+  EXPECT_EQ(reports[1].liveness, Liveness::kDead);
+  EXPECT_FALSE(reports[1].alive());
+  EXPECT_EQ(tracker.currently_dead(), 1);
+
+  // Still dead the next epoch; no double-counted outage.
+  EXPECT_EQ(tracker.update(9, {8, 4}, reports), 1);
+  EXPECT_TRUE(tracker.completed_outages().empty());
+
+  // Node 1 steps at epoch 9 -> rejoin at the epoch-10 split, outage
+  // length = declared-dead epoch 8 to rejoin epoch 10.
+  EXPECT_EQ(tracker.update(10, {9, 9}, reports), 0);
+  EXPECT_EQ(reports[1].liveness, Liveness::kAlive);
+  EXPECT_TRUE(reports[1].rejoined);
+  ASSERT_EQ(tracker.completed_outages().size(), 1u);
+  EXPECT_EQ(tracker.completed_outages()[0], 2);
+
+  // The rejoined flag is one-shot.
+  EXPECT_EQ(tracker.update(11, {10, 10}, reports), 0);
+  EXPECT_FALSE(reports[1].rejoined);
+}
+
+TEST(HeartbeatTracker, ResetForgetsStateAndOutages) {
+  HeartbeatTracker tracker(1);
+  std::vector<NodeReport> reports(1, report(120, 30, 100, 50, 0.2, true));
+  tracker.update(0, {-1}, reports);
+  tracker.update(4, {0}, reports);  // long silent -> dead
+  EXPECT_EQ(tracker.currently_dead(), 1);
+  tracker.reset();
+  EXPECT_EQ(tracker.currently_dead(), 0);
+  EXPECT_TRUE(tracker.completed_outages().empty());
+  tracker.update(0, {-1}, reports);
+  EXPECT_EQ(reports[0].liveness, Liveness::kNeverReported);
 }
 
 }  // namespace

@@ -1,0 +1,216 @@
+// Chaos suite (ctest label: chaos): fleet-level fault injection against
+// the full resilience stack. The standard schedule mirrors the
+// acceptance experiment -- 5% sensor dropout fleet-wide, one actuator
+// burst, one node crash/recover -- and the assertions are the paper-level
+// guarantees: fleet QoS within a few points of the fault-free twin, the
+// coordinator never oversubscribing the budget, and recovery time
+// (MTTR) bounded.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "../core/fake_models.h"
+#include "cluster/cluster.h"
+#include "core/controller.h"
+#include "fault/injector.h"
+#include "workloads/app_profile.h"
+
+namespace sturgeon::cluster {
+namespace {
+
+NodeSpec fake_spec(const LoadTrace& trace) {
+  NodeSpec spec;
+  spec.ls = find_ls("memcached");
+  spec.be = be_catalog()[0];
+  spec.trace = trace;
+  const double qos_ms = spec.ls.qos_target_ms;
+  spec.make_policy = [qos_ms](const sim::SimulatedServer& server) {
+    return std::make_unique<core::SturgeonController>(
+        core::testing::fake_predictor(server.machine()), qos_ms,
+        server.power_budget_w());
+  };
+  return spec;
+}
+
+std::vector<NodeSpec> fake_fleet(int n, int duration_s) {
+  std::vector<NodeSpec> specs;
+  for (int i = 0; i < n; ++i) {
+    const double load = 0.3 + 0.1 * (i % 5);
+    specs.push_back(fake_spec(LoadTrace::constant(load, duration_s)));
+  }
+  return specs;
+}
+
+/// All defenses armed, as a chaos run would deploy them.
+ResilienceConfig defenses() {
+  ResilienceConfig r;
+  r.sanitize_sensors = true;
+  r.watchdog.enabled = true;
+  r.retry.max_attempts = 4;
+  r.heartbeat.dead_after_epochs = 3;
+  return r;
+}
+
+/// The acceptance schedule: 5% sensor dropout everywhere, one actuator
+/// burst, one node crash that recovers mid-run.
+fault::FaultConfig standard_chaos() {
+  fault::FaultConfig f;
+  f.enabled = true;
+  f.sensor.dropout_p = 0.05;
+  f.actuator.burst_start_epoch = 10;
+  f.actuator.burst_epochs = 3;
+  f.actuator.burst_fail_p = 0.9;
+  f.node.victim = 1;
+  f.node.crash_epoch = 15;
+  f.node.crash_epochs = 6;
+  return f;
+}
+
+ClusterResult run_fleet(int nodes, int epochs, std::uint64_t seed,
+                        std::size_t threads, bool faults) {
+  ClusterConfig config;
+  config.seed = seed;
+  config.threads = threads;
+  config.resilience = defenses();
+  if (faults) config.faults = standard_chaos();
+  ClusterSim sim(fake_fleet(nodes, epochs), config);
+  return sim.run();
+}
+
+TEST(Chaos, StandardScheduleKeepsFleetGuarantees) {
+  const int kNodes = 4, kEpochs = 40;
+  const ClusterResult clean = run_fleet(kNodes, kEpochs, 11, 2, false);
+  const ClusterResult chaos = run_fleet(kNodes, kEpochs, 11, 2, true);
+
+  // The faults really fired.
+  const NodeResult& victim = chaos.node_results[1];
+  EXPECT_EQ(victim.epochs_down, 6);
+  EXPECT_GT(chaos.dead_node_epochs, 0);
+  std::uint64_t injected = 0, retries = 0;
+  for (const auto& nr : chaos.node_results) {
+    injected += nr.faults_injected;
+    retries += nr.actuator_retries;
+  }
+  EXPECT_GT(injected, 0u);
+  EXPECT_GT(retries, 0u);
+
+  // ...and the defenses held: fleet QoS within 5 points of the
+  // fault-free twin, budget never oversubscribed, recovery bounded.
+  EXPECT_GE(chaos.fleet_qos_guarantee_rate,
+            clean.fleet_qos_guarantee_rate - 0.05);
+  EXPECT_LE(chaos.max_cap_sum_ratio, 1.0 + 1e-9);
+  ASSERT_FALSE(chaos.recovery_mttr_epochs.empty());
+  EXPECT_LE(chaos.mttr_p95_epochs, 10.0);
+  // The victim's epochs still account for the full run (lockstep holds).
+  EXPECT_EQ(victim.epochs, kEpochs);
+}
+
+TEST(Chaos, DeterministicAcrossThreadCounts) {
+  const int kNodes = 4, kEpochs = 30;
+  const ClusterResult a = run_fleet(kNodes, kEpochs, 23, 1, true);
+  const ClusterResult b = run_fleet(kNodes, kEpochs, 23, 2, true);
+  const ClusterResult c = run_fleet(kNodes, kEpochs, 23, 8, true);
+
+  for (const ClusterResult* r : {&b, &c}) {
+    EXPECT_EQ(a.fleet_qos_guarantee_rate, r->fleet_qos_guarantee_rate);
+    EXPECT_EQ(a.aggregate_be_throughput, r->aggregate_be_throughput);
+    EXPECT_EQ(a.mean_cluster_power_w, r->mean_cluster_power_w);
+    EXPECT_EQ(a.max_cap_sum_ratio, r->max_cap_sum_ratio);
+    EXPECT_EQ(a.dead_node_epochs, r->dead_node_epochs);
+    EXPECT_EQ(a.recovery_mttr_epochs, r->recovery_mttr_epochs);
+    ASSERT_EQ(a.node_results.size(), r->node_results.size());
+    for (std::size_t i = 0; i < a.node_results.size(); ++i) {
+      const NodeResult& x = a.node_results[i];
+      const NodeResult& y = r->node_results[i];
+      EXPECT_EQ(x.total_completed, y.total_completed) << "node " << i;
+      EXPECT_EQ(x.total_violations, y.total_violations) << "node " << i;
+      EXPECT_EQ(x.mean_cap_w, y.mean_cap_w) << "node " << i;
+      EXPECT_EQ(x.epochs_down, y.epochs_down) << "node " << i;
+      EXPECT_EQ(x.epochs_hung, y.epochs_hung) << "node " << i;
+      EXPECT_EQ(x.safe_mode_epochs, y.safe_mode_epochs) << "node " << i;
+      EXPECT_EQ(x.faults_injected, y.faults_injected) << "node " << i;
+      EXPECT_EQ(x.sensor_rejected, y.sensor_rejected) << "node " << i;
+      EXPECT_EQ(x.actuator_retries, y.actuator_retries) << "node " << i;
+    }
+  }
+}
+
+// Exercised under TSan in CI: a node crashing and rejoining while the
+// rest of the fleet steps in parallel must not race (the dead node's
+// step is a no-op on its own state only; liveness bookkeeping is
+// sequential in the coordinator phase).
+TEST(Chaos, CrashAndRecoverUnderParallelStepping) {
+  ClusterConfig config;
+  config.seed = 31;
+  config.threads = 8;
+  config.resilience = defenses();
+  config.faults.enabled = true;
+  config.faults.node.victim = 2;
+  config.faults.node.crash_epoch = 5;
+  config.faults.node.crash_epochs = 5;
+  ClusterSim sim(fake_fleet(6, 25), config);
+  const ClusterResult result = sim.run();
+
+  EXPECT_EQ(result.node_results[2].epochs_down, 5);
+  EXPECT_GT(result.dead_node_epochs, 0);
+  ASSERT_FALSE(result.recovery_mttr_epochs.empty());
+  // Rejoin happened: after the crash window the node reported again and
+  // the tracker closed the outage.
+  EXPECT_LE(result.recovery_mttr_epochs[0], 10);
+}
+
+TEST(Chaos, HungNodeIsDeclaredDeadAndRejoins) {
+  ClusterConfig config;
+  config.seed = 37;
+  config.threads = 2;
+  config.resilience = defenses();
+  config.faults.enabled = true;
+  config.faults.node.victim = 0;
+  config.faults.node.hang_epoch = 8;
+  config.faults.node.hang_epochs = 6;
+  ClusterSim sim(fake_fleet(3, 30), config);
+  const ClusterResult result = sim.run();
+
+  const NodeResult& victim = result.node_results[0];
+  EXPECT_EQ(victim.epochs_hung, 6);
+  EXPECT_EQ(victim.epochs_down, 0);
+  // A hung control loop stops heartbeating, so the tracker treats it
+  // like a crash: watts reclaimed, outage recorded on rejoin.
+  EXPECT_GT(result.dead_node_epochs, 0);
+  ASSERT_FALSE(result.recovery_mttr_epochs.empty());
+  // But the serving path stayed up: the node completed queries over the
+  // whole run, not just the healthy epochs.
+  EXPECT_GT(victim.total_completed, 0u);
+}
+
+TEST(Chaos, SensorChaosAloneStaysClose) {
+  // Heavy sensor corruption, full defenses, no crash: the sanitizer
+  // must keep the control loop sane enough that QoS holds.
+  ClusterConfig config;
+  config.seed = 41;
+  config.threads = 2;
+  config.resilience = defenses();
+  config.faults.enabled = true;
+  config.faults.sensor.dropout_p = 0.10;
+  config.faults.sensor.spike_p = 0.05;
+  config.faults.sensor.spike_factor = 8.0;
+  ClusterSim noisy(fake_fleet(3, 40), config);
+  const ClusterResult faulted = noisy.run();
+
+  ClusterConfig clean_config = config;
+  clean_config.faults = {};
+  ClusterSim clean(fake_fleet(3, 40), clean_config);
+  const ClusterResult baseline = clean.run();
+
+  std::uint64_t rejected = 0;
+  for (const auto& nr : faulted.node_results) rejected += nr.sensor_rejected;
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GE(faulted.fleet_qos_guarantee_rate,
+            baseline.fleet_qos_guarantee_rate - 0.05);
+  EXPECT_LE(faulted.max_cap_sum_ratio, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace sturgeon::cluster

@@ -1,0 +1,221 @@
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sturgeon::fault {
+namespace {
+
+TEST(FaultInjector, ValidatesConfiguration) {
+  FaultConfig bad;
+  bad.sensor.dropout_p = 1.5;
+  EXPECT_THROW(FaultInjector(bad, 1), std::invalid_argument);
+  bad = {};
+  bad.sensor.stale_p = -0.1;
+  EXPECT_THROW(FaultInjector(bad, 1), std::invalid_argument);
+  bad = {};
+  bad.actuator.fail_p = 2.0;
+  EXPECT_THROW(FaultInjector(bad, 1), std::invalid_argument);
+  bad = {};
+  bad.sensor.spike_factor = 0.0;
+  EXPECT_THROW(FaultInjector(bad, 1), std::invalid_argument);
+  bad = {};
+  bad.model.error_inflation = -1.0;
+  EXPECT_THROW(FaultInjector(bad, 1), std::invalid_argument);
+}
+
+TEST(FaultInjector, ForNodeClearsOtherVictims) {
+  FaultConfig config;
+  config.enabled = true;
+  config.sensor.dropout_p = 0.1;
+  config.node.victim = 3;
+  config.node.crash_epoch = 5;
+  config.node.crash_epochs = 2;
+  config.model.victim = 3;
+  config.model.start_epoch = 1;
+  config.model.epochs = 4;
+
+  const FaultConfig victim = config.for_node(3);
+  EXPECT_EQ(victim.node.crash_epoch, 5);
+  EXPECT_EQ(victim.model.start_epoch, 1);
+
+  const FaultConfig bystander = config.for_node(0);
+  EXPECT_EQ(bystander.node.crash_epoch, -1);   // cleared
+  EXPECT_EQ(bystander.model.start_epoch, -1);  // cleared
+  EXPECT_DOUBLE_EQ(bystander.sensor.dropout_p, 0.1);  // untargeted: kept
+}
+
+TEST(FaultInjector, ForNodeModelWildcardHitsEveryNode) {
+  FaultConfig config;
+  config.model.victim = -1;
+  config.model.start_epoch = 2;
+  config.model.epochs = 3;
+  EXPECT_EQ(config.for_node(0).model.start_epoch, 2);
+  EXPECT_EQ(config.for_node(7).model.start_epoch, 2);
+}
+
+TEST(FaultInjector, CrashWindowAndRebootFlag) {
+  FaultConfig config;
+  config.enabled = true;
+  config.node.victim = 0;
+  config.node.crash_epoch = 3;
+  config.node.crash_epochs = 2;
+  FaultInjector inj(config.for_node(0), 42);
+
+  std::vector<bool> down, rebooted;
+  for (int t = 0; t < 8; ++t) {
+    inj.begin_epoch(t);
+    down.push_back(inj.node_down());
+    rebooted.push_back(inj.rebooted_this_epoch());
+  }
+  const std::vector<bool> want_down = {false, false, false, true,
+                                       true,  false, false, false};
+  const std::vector<bool> want_reboot = {false, false, false, false,
+                                         false, true,  false, false};
+  EXPECT_EQ(down, want_down);
+  EXPECT_EQ(rebooted, want_reboot);
+  EXPECT_EQ(inj.counts().down_epochs, 2u);
+}
+
+TEST(FaultInjector, HangWindow) {
+  FaultConfig config;
+  config.enabled = true;
+  config.node.victim = 0;
+  config.node.hang_epoch = 2;
+  config.node.hang_epochs = 3;
+  FaultInjector inj(config.for_node(0), 42);
+  for (int t = 0; t < 7; ++t) {
+    inj.begin_epoch(t);
+    EXPECT_EQ(inj.node_hung(), t >= 2 && t < 5) << "t=" << t;
+  }
+  EXPECT_EQ(inj.counts().hung_epochs, 3u);
+}
+
+TEST(FaultInjector, DropoutReturnsNaN) {
+  FaultConfig config;
+  config.enabled = true;
+  config.sensor.dropout_p = 1.0;
+  FaultInjector inj(config, 7);
+  inj.begin_epoch(0);
+  EXPECT_TRUE(std::isnan(inj.corrupt_power_w(55.0)));
+  EXPECT_TRUE(std::isnan(inj.corrupt_latency_ms(3.0)));
+  EXPECT_EQ(inj.counts().sensor_dropouts, 2u);
+}
+
+TEST(FaultInjector, StaleRepeatsPreviousReading) {
+  FaultConfig config;
+  config.enabled = true;
+  config.sensor.stale_p = 1.0;
+  FaultInjector inj(config, 7);
+  inj.begin_epoch(0);
+  // No previous measurement yet: behaves like a dropout.
+  EXPECT_TRUE(std::isnan(inj.corrupt_power_w(50.0)));
+  inj.begin_epoch(1);
+  EXPECT_DOUBLE_EQ(inj.corrupt_power_w(60.0), 50.0);
+  inj.begin_epoch(2);
+  EXPECT_DOUBLE_EQ(inj.corrupt_power_w(70.0), 60.0);
+}
+
+TEST(FaultInjector, SpikeMultipliesForBurstLength) {
+  FaultConfig config;
+  config.enabled = true;
+  config.sensor.spike_p = 1.0;
+  config.sensor.spike_factor = 4.0;
+  config.sensor.spike_burst_epochs = 3;
+  FaultInjector inj(config, 7);
+  for (int t = 0; t < 4; ++t) {
+    inj.begin_epoch(t);
+    EXPECT_DOUBLE_EQ(inj.corrupt_power_w(10.0), 40.0) << "t=" << t;
+  }
+  EXPECT_GE(inj.counts().sensor_spikes, 4u);
+}
+
+TEST(FaultInjector, CleanConfigIsTransparent) {
+  FaultConfig config;
+  config.enabled = true;  // enabled but all probabilities zero
+  FaultInjector inj(config, 9);
+  for (int t = 0; t < 50; ++t) {
+    inj.begin_epoch(t);
+    EXPECT_DOUBLE_EQ(inj.corrupt_power_w(42.0 + t), 42.0 + t);
+    EXPECT_DOUBLE_EQ(inj.corrupt_latency_ms(1.0 + t), 1.0 + t);
+    EXPECT_FALSE(inj.tool_call_fails());
+    EXPECT_DOUBLE_EQ(inj.model_error_inflation(), 1.0);
+  }
+  EXPECT_EQ(inj.counts().sensor_dropouts, 0u);
+  EXPECT_EQ(inj.counts().tool_call_failures, 0u);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultConfig config;
+  config.enabled = true;
+  config.sensor.dropout_p = 0.2;
+  config.sensor.stale_p = 0.1;
+  config.sensor.spike_p = 0.05;
+  config.actuator.fail_p = 0.3;
+  FaultInjector a(config, 1234), b(config, 1234);
+  for (int t = 0; t < 200; ++t) {
+    a.begin_epoch(t);
+    b.begin_epoch(t);
+    const double pa = a.corrupt_power_w(100.0);
+    const double pb = b.corrupt_power_w(100.0);
+    EXPECT_TRUE((std::isnan(pa) && std::isnan(pb)) || pa == pb) << "t=" << t;
+    EXPECT_EQ(a.tool_call_fails(), b.tool_call_fails()) << "t=" << t;
+  }
+}
+
+TEST(FaultInjector, ActuatorDrawsDoNotShiftSensorSchedule) {
+  // Retries consume a variable number of actuator draws; the sensor
+  // stream must be independent of how many.
+  FaultConfig config;
+  config.enabled = true;
+  config.sensor.dropout_p = 0.3;
+  config.actuator.fail_p = 0.5;
+  FaultInjector a(config, 99), b(config, 99);
+  for (int t = 0; t < 100; ++t) {
+    a.begin_epoch(t);
+    b.begin_epoch(t);
+    a.tool_call_fails();  // one draw
+    for (int k = 0; k < 7; ++k) b.tool_call_fails();  // many draws
+    const double pa = a.corrupt_power_w(100.0);
+    const double pb = b.corrupt_power_w(100.0);
+    EXPECT_TRUE((std::isnan(pa) && std::isnan(pb)) || pa == pb) << "t=" << t;
+  }
+}
+
+TEST(FaultInjector, ActuatorBurstWindowRaisesFailureRate) {
+  FaultConfig config;
+  config.enabled = true;
+  config.actuator.fail_p = 0.0;
+  config.actuator.burst_start_epoch = 10;
+  config.actuator.burst_epochs = 5;
+  config.actuator.burst_fail_p = 1.0;
+  FaultInjector inj(config, 5);
+  for (int t = 0; t < 20; ++t) {
+    inj.begin_epoch(t);
+    const bool in_burst = t >= 10 && t < 15;
+    EXPECT_EQ(inj.tool_call_fails(), in_burst) << "t=" << t;
+  }
+  EXPECT_EQ(inj.counts().tool_call_failures, 5u);
+}
+
+TEST(FaultInjector, ModelInflationWindow) {
+  FaultConfig config;
+  config.enabled = true;
+  config.model.victim = -1;
+  config.model.start_epoch = 4;
+  config.model.epochs = 2;
+  config.model.error_inflation = 1.5;
+  FaultInjector inj(config, 3);
+  for (int t = 0; t < 8; ++t) {
+    inj.begin_epoch(t);
+    const double want = (t >= 4 && t < 6) ? 1.5 : 1.0;
+    EXPECT_DOUBLE_EQ(inj.model_error_inflation(), want) << "t=" << t;
+  }
+  EXPECT_EQ(inj.counts().model_epochs, 2u);
+}
+
+}  // namespace
+}  // namespace sturgeon::fault

@@ -1,0 +1,125 @@
+#include "fault/sanitizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sturgeon::fault {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+SanitizerConfig bounds(double lo, double hi) {
+  SanitizerConfig c;
+  c.lo = lo;
+  c.hi = hi;
+  return c;
+}
+
+TEST(SignalSanitizer, ValidatesConfiguration) {
+  EXPECT_THROW(SignalSanitizer(bounds(10.0, 0.0)), std::invalid_argument);
+  EXPECT_THROW(SignalSanitizer(bounds(kNaN, 1.0)), std::invalid_argument);
+  SanitizerConfig c = bounds(0.0, 100.0);
+  c.decay = 1.5;
+  EXPECT_THROW(SignalSanitizer{c}, std::invalid_argument);
+  c = bounds(0.0, 100.0);
+  c.spike_rel_threshold = 0.0;
+  EXPECT_THROW(SignalSanitizer{c}, std::invalid_argument);
+}
+
+TEST(SignalSanitizer, CleanStreamPassesThroughWithOneStepLag) {
+  SignalSanitizer s(bounds(0.0, 200.0));
+  // Before the window fills, readings pass through unchanged; from the
+  // third reading on, the median-of-3 lags monotone input by one step.
+  EXPECT_DOUBLE_EQ(s.sanitize(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.sanitize(51.0), 51.0);
+  EXPECT_DOUBLE_EQ(s.sanitize(52.0), 51.0);  // median(50, 51, 52)
+  EXPECT_DOUBLE_EQ(s.sanitize(53.0), 52.0);  // median(53, 51, 52)
+  EXPECT_EQ(s.counters().rejected_nonfinite, 0u);
+  EXPECT_EQ(s.counters().clamped, 0u);
+  EXPECT_EQ(s.counters().spike_suppressed, 0u);
+  EXPECT_EQ(s.counters().total_interventions(), 0u);
+}
+
+TEST(SignalSanitizer, AlwaysReturnsFiniteInBounds) {
+  SignalSanitizer s(bounds(0.0, 100.0));
+  const double probes[] = {kNaN, kInf, -kInf, -50.0, 1e9, 42.0, kNaN};
+  for (const double p : probes) {
+    const double v = s.sanitize(p);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(SignalSanitizer, NonFiniteHeldThenDecaysTowardMean) {
+  SanitizerConfig c = bounds(0.0, 1000.0);
+  c.decay = 0.5;
+  SignalSanitizer s(c);
+  s.sanitize(100.0);
+  s.sanitize(100.0);
+  s.sanitize(100.0);  // mean ~= 100, held = 100
+  const double h1 = s.sanitize(kNaN);
+  EXPECT_DOUBLE_EQ(h1, 100.0);  // mean == held: stays put
+  EXPECT_EQ(s.counters().rejected_nonfinite, 1u);
+
+  // Push the held value away from the mean, then drop out: each
+  // substitution moves halfway back toward the mean of ACCEPTED
+  // readings (rejected ones never update the mean).
+  SignalSanitizer s2(c);
+  s2.sanitize(100.0);  // accepted: mean 100, held 100
+  const double d1 = s2.sanitize(kNaN);  // held stays 100
+  EXPECT_DOUBLE_EQ(d1, 100.0);
+  s2.sanitize(200.0);  // accepted: mean 150, held 200
+  const double d2 = s2.sanitize(kNaN);
+  EXPECT_DOUBLE_EQ(d2, 150.0 + 0.5 * (200.0 - 150.0));
+}
+
+TEST(SignalSanitizer, ClampsOutOfBoundsReadings) {
+  SignalSanitizer s(bounds(10.0, 90.0));
+  EXPECT_DOUBLE_EQ(s.sanitize(-5.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.sanitize(500.0), 90.0);
+  EXPECT_EQ(s.counters().clamped, 2u);
+}
+
+TEST(SignalSanitizer, MedianOfThreeSuppressesSingleSpike) {
+  SignalSanitizer s(bounds(0.0, 10000.0));
+  s.sanitize(50.0);
+  s.sanitize(51.0);
+  // A 40x outlier: the median deletes it and the counter fires (the
+  // deviation far exceeds the 50% relative threshold).
+  const double v = s.sanitize(2000.0);
+  EXPECT_LE(v, 51.0);
+  EXPECT_EQ(s.counters().spike_suppressed, 1u);
+  // The stream recovers on the next reading.
+  const double w = s.sanitize(52.0);
+  EXPECT_LE(w, 52.0 + 1e-9);
+}
+
+TEST(SignalSanitizer, OrdinaryNoiseDoesNotCountAsSpikes) {
+  SignalSanitizer s(bounds(0.0, 1000.0));
+  double x = 100.0;
+  for (int i = 0; i < 100; ++i) {
+    x += (i % 2 == 0) ? 3.0 : -2.0;  // +-3% jitter around 100
+    s.sanitize(x);
+  }
+  EXPECT_EQ(s.counters().spike_suppressed, 0u);
+}
+
+TEST(SignalSanitizer, ResetForgetsHistory) {
+  SignalSanitizer s(bounds(0.0, 100.0));
+  s.sanitize(kNaN);
+  s.sanitize(500.0);
+  EXPECT_GT(s.counters().total_interventions(), 0u);
+  s.reset();
+  EXPECT_EQ(s.counters().total_interventions(), 0u);
+  EXPECT_EQ(s.counters().accepted, 0u);
+  // Post-reset, a dropout substitutes the lower bound again.
+  EXPECT_DOUBLE_EQ(s.sanitize(kNaN), 0.0);
+}
+
+}  // namespace
+}  // namespace sturgeon::fault

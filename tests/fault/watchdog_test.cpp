@@ -1,0 +1,120 @@
+#include "fault/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sturgeon::fault {
+namespace {
+
+TEST(NodeWatchdog, ValidatesConfiguration) {
+  WatchdogConfig bad;
+  bad.trip_after = 0;
+  EXPECT_THROW(NodeWatchdog{bad}, std::invalid_argument);
+  bad = {};
+  bad.clear_after = 0;
+  EXPECT_THROW(NodeWatchdog{bad}, std::invalid_argument);
+}
+
+WatchdogConfig config(int trip_after, int clear_after) {
+  WatchdogConfig c;
+  c.enabled = true;
+  c.trip_after = trip_after;
+  c.clear_after = clear_after;
+  return c;
+}
+
+TEST(NodeWatchdog, StaysHealthyOnGoodEpochs) {
+  NodeWatchdog w(config(3, 2));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(w.observe(false, false));
+  }
+  EXPECT_EQ(w.trips(), 0);
+  EXPECT_EQ(w.epochs_in_safe_mode(), 0);
+}
+
+TEST(NodeWatchdog, TripsAfterConsecutiveBadEpochs) {
+  NodeWatchdog w(config(3, 2));
+  EXPECT_FALSE(w.observe(true, false));
+  EXPECT_FALSE(w.observe(true, false));
+  EXPECT_TRUE(w.observe(true, false));  // third consecutive: trip now
+  EXPECT_TRUE(w.in_safe_mode());
+  EXPECT_EQ(w.trips(), 1);
+}
+
+TEST(NodeWatchdog, InterruptedBadStreakDoesNotTrip) {
+  NodeWatchdog w(config(3, 2));
+  EXPECT_FALSE(w.observe(true, false));
+  EXPECT_FALSE(w.observe(true, false));
+  EXPECT_FALSE(w.observe(false, false));  // streak broken
+  EXPECT_FALSE(w.observe(true, false));
+  EXPECT_FALSE(w.observe(true, false));
+  EXPECT_EQ(w.trips(), 0);
+}
+
+TEST(NodeWatchdog, CapOvershootAloneCounts) {
+  NodeWatchdog w(config(2, 2));
+  EXPECT_FALSE(w.observe(false, true));
+  EXPECT_TRUE(w.observe(false, true));
+  EXPECT_TRUE(w.in_safe_mode());
+}
+
+TEST(NodeWatchdog, ClearsWithHysteresisAndRecordsEpisode) {
+  NodeWatchdog w(config(2, 3));
+  w.observe(true, false);
+  EXPECT_TRUE(w.observe(true, false));   // trip (1st epoch in safe mode)
+  EXPECT_TRUE(w.observe(false, false));  // good 1 (2nd)
+  EXPECT_TRUE(w.observe(false, false));  // good 2 (3rd)
+  // Third consecutive good epoch clears: the node runs its policy again
+  // this epoch, so the episode spans trip + two good epochs.
+  EXPECT_FALSE(w.observe(false, false));
+  EXPECT_FALSE(w.in_safe_mode());
+  ASSERT_EQ(w.completed_episodes().size(), 1u);
+  EXPECT_EQ(w.completed_episodes()[0], 3);
+  EXPECT_EQ(w.epochs_in_safe_mode(), 3);
+}
+
+TEST(NodeWatchdog, BadEpochInSafeModeRestartsClearStreak) {
+  NodeWatchdog w(config(2, 2));
+  w.observe(true, false);
+  EXPECT_TRUE(w.observe(true, false));   // trip
+  EXPECT_TRUE(w.observe(false, false));  // good 1
+  EXPECT_TRUE(w.observe(true, false));   // bad: clear streak restarts
+  EXPECT_TRUE(w.observe(false, false));  // good 1
+  EXPECT_FALSE(w.observe(false, false));  // good 2: clears
+  EXPECT_EQ(w.trips(), 1);
+  ASSERT_EQ(w.completed_episodes().size(), 1u);
+  EXPECT_EQ(w.completed_episodes()[0], 4);
+}
+
+TEST(NodeWatchdog, RepeatedEpisodesAllRecorded) {
+  NodeWatchdog w(config(1, 1));
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(w.observe(true, false));    // trip immediately
+    EXPECT_FALSE(w.observe(false, false));  // one good epoch clears
+  }
+  EXPECT_EQ(w.trips(), 3);
+  EXPECT_EQ(w.completed_episodes().size(), 3u);
+}
+
+TEST(NodeWatchdog, DisabledNeverTrips) {
+  NodeWatchdog w;  // default config: enabled = false
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(w.observe(true, true));
+  }
+  EXPECT_EQ(w.trips(), 0);
+}
+
+TEST(NodeWatchdog, ResetForgetsEverything) {
+  NodeWatchdog w(config(1, 5));
+  w.observe(true, false);
+  EXPECT_TRUE(w.in_safe_mode());
+  w.reset();
+  EXPECT_FALSE(w.in_safe_mode());
+  EXPECT_EQ(w.trips(), 0);
+  EXPECT_EQ(w.epochs_in_safe_mode(), 0);
+  EXPECT_TRUE(w.completed_episodes().empty());
+}
+
+}  // namespace
+}  // namespace sturgeon::fault

@@ -22,7 +22,12 @@ one cluster line. Checks:
     the sums over the node lines;
   - every node ran the same number of epochs as the cluster;
   - metric ranges are sane (rates in [0, 1], watts and throughput
-    non-negative).
+    non-negative);
+  - fault/recovery accounting is coherent: per-node down/hung/safe-mode
+    epoch counts fit inside the run, counters are non-negative and zero
+    whenever faults_injected is zero, the cluster's dead_node_epochs and
+    recovery fields are present, and caps never oversubscribed the
+    budget (max_cap_sum_ratio <= 1 + tolerance).
 
 Usage: trace_stats.py [--cluster] TRACE.jsonl
 Exits non-zero with a message on the first violated invariant.
@@ -130,6 +135,19 @@ def validate_cluster(path):
         check_nonneg(obj, "mean_cap_w", where)
         check_nonneg(obj, "max_power_ratio", where)
         check_nonneg(obj, "throttled_epochs", where)
+        for key in ("epochs_down", "epochs_hung", "safe_mode_epochs",
+                    "watchdog_trips", "faults_injected", "sensor_rejected",
+                    "actuator_retries", "actuator_gave_up"):
+            check_nonneg(obj, key, where)
+        epochs = obj.get("epochs", 0)
+        for key in ("epochs_down", "epochs_hung", "safe_mode_epochs"):
+            if obj[key] > epochs:
+                fail(f"{where}: {key} {obj[key]} exceeds epochs {epochs}")
+        if obj["faults_injected"] == 0:
+            for key in ("epochs_down", "epochs_hung"):
+                if obj[key] != 0:
+                    fail(f"{where}: {key} {obj[key]} nonzero with zero "
+                         f"faults_injected")
 
     if c.get("span_count") != span_sum:
         fail(f"cluster span_count {c.get('span_count')} != node sum "
@@ -159,17 +177,33 @@ def validate_cluster(path):
     check_nonneg(c, "power_budget_w", "cluster")
     check_nonneg(c, "max_power_ratio", "cluster")
     check_nonneg(c, "mean_power_w", "cluster")
+    check_nonneg(c, "max_cap_sum_ratio", "cluster")
+    check_nonneg(c, "dead_node_epochs", "cluster")
+    check_nonneg(c, "recovery_episodes", "cluster")
+    check_nonneg(c, "mttr_p95_epochs", "cluster")
+    if c["max_cap_sum_ratio"] > 1.0 + 1e-6:
+        fail(f"cluster max_cap_sum_ratio {c['max_cap_sum_ratio']} "
+             f"oversubscribes the budget")
+    if c["dead_node_epochs"] > len(node_lines) * c["epochs"]:
+        fail(f"cluster dead_node_epochs {c['dead_node_epochs']} exceeds "
+             f"{len(node_lines)} nodes x {c['epochs']} epochs")
 
     print(f"trace_stats: OK: cluster of {len(node_lines)} nodes, "
           f"{c['epochs']} epochs, {span_sum} spans, "
-          f"coordinator {c['coordinator']}")
+          f"coordinator {c['coordinator']}, "
+          f"dead_node_epochs {c['dead_node_epochs']}, "
+          f"recovery_episodes {c['recovery_episodes']} "
+          f"(mttr_p95 {c['mttr_p95_epochs']})")
     print(f"{'node':>4} {'policy':<34} {'epochs':>7} {'qos_rate':>9} "
-          f"{'be_thr':>7} {'mean_cap_w':>11} {'throttled':>9}")
+          f"{'be_thr':>7} {'mean_cap_w':>11} {'throttled':>9} "
+          f"{'faults':>7} {'down':>5} {'safe':>5}")
     for _, obj in sorted(node_lines, key=lambda x: x[1]["node"]):
         print(f"{obj['node']:>4} {obj.get('policy', '?')[:34]:<34} "
               f"{obj['epochs']:>7} {obj['qos_guarantee_rate']:>9.4f} "
               f"{obj['be_throughput_norm']:>7.3f} "
-              f"{obj['mean_cap_w']:>11.1f} {obj['throttled_epochs']:>9}")
+              f"{obj['mean_cap_w']:>11.1f} {obj['throttled_epochs']:>9} "
+              f"{obj['faults_injected']:>7} {obj['epochs_down']:>5} "
+              f"{obj['safe_mode_epochs']:>5}")
     return 0
 
 
