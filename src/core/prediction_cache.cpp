@@ -83,7 +83,7 @@ int PredictionCache::ls_qos(double qps_real, const AppSlice& slice,
   Shard& shard = shard_of(bucket);
   std::shared_ptr<const std::vector<int>> table;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     LsEntry& e = shard.buckets[bucket];
     if (e.qos && e.qos_qps == qps_real) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -108,7 +108,7 @@ double PredictionCache::ls_power(double qps_real, const AppSlice& slice,
   Shard& shard = shard_of(bucket);
   std::shared_ptr<const std::vector<double>> table;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     LsEntry& e = shard.buckets[bucket];
     if (e.power && e.power_qps == qps_real) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -130,7 +130,7 @@ double PredictionCache::be_ipc(const AppSlice& slice, const FillDouble& fill) {
   const std::size_t idx = slice_index(slice);
   std::shared_ptr<const std::vector<double>> table;
   {
-    std::lock_guard<std::mutex> lock(be_mu_);
+    MutexLock lock(be_mu_);
     if (be_ipc_table_) {
       hits_.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -150,7 +150,7 @@ double PredictionCache::be_power(const AppSlice& slice,
   const std::size_t idx = slice_index(slice);
   std::shared_ptr<const std::vector<double>> table;
   {
-    std::lock_guard<std::mutex> lock(be_mu_);
+    MutexLock lock(be_mu_);
     if (be_power_table_) {
       hits_.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -167,11 +167,11 @@ double PredictionCache::be_power(const AppSlice& slice,
 
 void PredictionCache::invalidate() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->buckets.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(be_mu_);
+    MutexLock lock(be_mu_);
     be_ipc_table_.reset();
     be_power_table_.reset();
   }

@@ -30,11 +30,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "telemetry/monitor.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace sturgeon::core {
@@ -108,8 +108,8 @@ class PredictionCache {
     std::shared_ptr<const std::vector<double>> power;
   };
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<std::int64_t, LsEntry> buckets;
+    Mutex mu;
+    std::unordered_map<std::int64_t, LsEntry> buckets STURGEON_GUARDED_BY(mu);
   };
 
   std::int64_t bucket_of(double qps_real) const;
@@ -120,9 +120,11 @@ class PredictionCache {
   std::size_t table_size_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::mutex be_mu_;
-  std::shared_ptr<const std::vector<double>> be_ipc_table_;
-  std::shared_ptr<const std::vector<double>> be_power_table_;
+  Mutex be_mu_;
+  std::shared_ptr<const std::vector<double>> be_ipc_table_
+      STURGEON_GUARDED_BY(be_mu_);
+  std::shared_ptr<const std::vector<double>> be_power_table_
+      STURGEON_GUARDED_BY(be_mu_);
 
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

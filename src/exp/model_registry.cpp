@@ -1,10 +1,11 @@
 #include "exp/model_registry.h"
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
+
+#include "util/thread_annotations.h"
 
 namespace sturgeon::exp {
 
@@ -14,24 +15,28 @@ namespace {
 // expensive profiling campaign runs under the slot's own latch, so
 // concurrent callers for the SAME service serialize on the slot (one
 // trains, the rest wait and reuse) while DIFFERENT services train in
-// parallel.
+// parallel. Lock order is always latch -> g_mu (slot_for releases g_mu
+// before any latch is taken, predictor assembly holds its latch while
+// slot_for re-takes g_mu), never the reverse.
 template <typename T>
 struct Slot {
-  std::mutex latch;
-  bool ready = false;
-  T value;
+  Mutex latch;
+  bool ready STURGEON_GUARDED_BY(latch) = false;
+  T value STURGEON_GUARDED_BY(latch);
 };
 
-std::mutex g_mu;
-std::map<std::string, std::shared_ptr<Slot<core::LsModels>>> g_ls_models;
-std::map<std::string, std::shared_ptr<Slot<core::BeModels>>> g_be_models;
+Mutex g_mu;
+std::map<std::string, std::shared_ptr<Slot<core::LsModels>>> g_ls_models
+    STURGEON_GUARDED_BY(g_mu);
+std::map<std::string, std::shared_ptr<Slot<core::BeModels>>> g_be_models
+    STURGEON_GUARDED_BY(g_mu);
 std::map<std::pair<std::string, std::string>,
          std::shared_ptr<Slot<std::shared_ptr<const core::Predictor>>>>
-    g_predictors;
-std::uint64_t g_seed_in_use = 0;
-bool g_seed_set = false;
+    g_predictors STURGEON_GUARDED_BY(g_mu);
+std::uint64_t g_seed_in_use STURGEON_GUARDED_BY(g_mu) = 0;
+bool g_seed_set STURGEON_GUARDED_BY(g_mu) = false;
 
-void check_seed_locked(std::uint64_t seed) {
+void check_seed_locked(std::uint64_t seed) STURGEON_REQUIRES(g_mu) {
   if (g_seed_set && g_seed_in_use != seed) {
     throw std::logic_error(
         "model registry: one profiling campaign (seed) per process; call "
@@ -44,7 +49,7 @@ void check_seed_locked(std::uint64_t seed) {
 template <typename Map, typename Key>
 auto slot_for(Map& map, const Key& key, std::uint64_t seed)
     -> typename Map::mapped_type {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   check_seed_locked(seed);
   auto& slot = map[key];
   if (!slot) {
@@ -58,7 +63,7 @@ auto slot_for(Map& map, const Key& key, std::uint64_t seed)
 const core::LsModels& ls_models_for(const LsProfile& ls,
                                     const core::TrainerConfig& config) {
   const auto slot = slot_for(g_ls_models, ls.name, config.seed);
-  std::lock_guard<std::mutex> latch(slot->latch);
+  MutexLock latch(slot->latch);
   if (!slot->ready) {
     slot->value =
         core::train_ls_models(core::collect_ls_profiling(ls, config), config);
@@ -70,7 +75,7 @@ const core::LsModels& ls_models_for(const LsProfile& ls,
 const core::BeModels& be_models_for(const BeProfile& be,
                                     const core::TrainerConfig& config) {
   const auto slot = slot_for(g_be_models, be.name, config.seed);
-  std::lock_guard<std::mutex> latch(slot->latch);
+  MutexLock latch(slot->latch);
   if (!slot->ready) {
     slot->value =
         core::train_be_models(core::collect_be_profiling(be, config), config);
@@ -84,7 +89,7 @@ std::shared_ptr<const core::Predictor> predictor_for(
     const core::TrainerConfig& config) {
   const auto slot = slot_for(
       g_predictors, std::make_pair(ls.name, be.name), config.seed);
-  std::lock_guard<std::mutex> latch(slot->latch);
+  MutexLock latch(slot->latch);
   if (!slot->ready) {
     const auto& ls_models = ls_models_for(ls, config);
     const auto& be_models = be_models_for(be, config);
@@ -128,7 +133,7 @@ void warm_models(
 }
 
 void clear_predictor_cache() {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   g_predictors.clear();
   g_ls_models.clear();
   g_be_models.clear();

@@ -162,7 +162,7 @@ void MetricsRegistry::check_kind(const std::string& name, Kind kind) {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string key(name);
   check_kind(key, Kind::kCounter);
   auto& slot = counters_[key];
@@ -171,7 +171,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string key(name);
   check_kind(key, Kind::kGauge);
   auto& slot = gauges_[key];
@@ -181,7 +181,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string key(name);
   check_kind(key, Kind::kHistogram);
   auto& slot = histograms_[key];
@@ -190,7 +190,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Snapshot s;
   for (const auto& [name, c] : counters_) s.counters.emplace_back(name,
                                                                   c->value());
@@ -203,7 +203,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -24,10 +24,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace sturgeon::telemetry {
 
@@ -126,12 +127,13 @@ class Histogram {
 /// kind (asking for "x" as a counter and later as a gauge throws).
 class MetricsRegistry {
  public:
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) STURGEON_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) STURGEON_EXCLUDES(mu_);
   /// `bounds` are used only on first creation; later calls return the
   /// existing histogram regardless of the bounds argument.
-  Histogram& histogram(std::string_view name, std::vector<double> bounds);
-  Histogram& duration_histogram(std::string_view name) {
+  Histogram& histogram(std::string_view name, std::vector<double> bounds)
+      STURGEON_EXCLUDES(mu_);
+  Histogram& duration_histogram(std::string_view name) STURGEON_EXCLUDES(mu_) {
     return histogram(name, Histogram::duration_us_bounds());
   }
 
@@ -141,20 +143,26 @@ class MetricsRegistry {
     std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
   };
   /// Name-sorted snapshot of every instrument (export schema order).
-  Snapshot snapshot() const;
+  Snapshot snapshot() const STURGEON_EXCLUDES(mu_);
 
   /// Zero every instrument (new run); instruments stay registered.
-  void reset();
+  void reset() STURGEON_EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
-  void check_kind(const std::string& name, Kind kind);
+  void check_kind(const std::string& name, Kind kind) STURGEON_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Kind, std::less<>> kinds_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // mu_ guards the name->instrument maps, not the instruments: returned
+  // Counter/Gauge/Histogram references are internally atomic and stay
+  // valid for the registry's lifetime, so hot paths hold no lock.
+  mutable Mutex mu_;
+  std::map<std::string, Kind, std::less<>> kinds_ STURGEON_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      STURGEON_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      STURGEON_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      STURGEON_GUARDED_BY(mu_);
 };
 
 }  // namespace sturgeon::telemetry

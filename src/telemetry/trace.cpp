@@ -57,7 +57,7 @@ Span Tracer::start_span(std::string_view name) {
   rec.name = std::string(name);
   rec.start_us = now_us();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rec.id = next_id_++;
     rec.parent = open_.empty() ? 0 : open_.back();
     open_.push_back(rec.id);
@@ -66,7 +66,7 @@ Span Tracer::start_span(std::string_view name) {
 }
 
 void Tracer::bind_registry(MetricsRegistry* registry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   registry_ = registry;
   phase_hist_.clear();
 }
@@ -75,7 +75,7 @@ void Tracer::finish(SpanRecord&& rec) {
   rec.dur_us = std::max<std::int64_t>(0, now_us() - rec.start_us);
   Histogram* hist = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Pop this span from the open stack; out-of-order ends (a moved span
     // outliving its parent) just remove the matching entry.
     const auto it = std::find(open_.rbegin(), open_.rend(), rec.id);
@@ -100,12 +100,12 @@ void Tracer::finish(SpanRecord&& rec) {
 }
 
 std::size_t Tracer::finished_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return finished_.size();
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   finished_.clear();
 }
 

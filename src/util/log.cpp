@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace sturgeon {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mu;
+// Serializes whole lines onto stderr; the capability protects the stream
+// itself, not any field. lint: unguarded(guards the stderr stream, no fields)
+Mutex g_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,7 +31,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   std::fprintf(stderr, "[sturgeon %s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -26,7 +26,7 @@ void ThreadPool::shutdown() {
   // join outside the lock so draining workers can still pop tasks.
   std::vector<std::thread> claimed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     claimed.swap(workers_);
   }
@@ -38,8 +38,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -52,10 +52,11 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   STURGEON_CHECK(fn != nullptr, "parallel_for: null body");
   if (n == 0) return;
-  if (size() == 0) {
+  const std::size_t nworkers = size();
+  if (nworkers == 0) {
     throw std::runtime_error("ThreadPool::parallel_for after shutdown");
   }
-  const std::size_t blocks = std::min(n, size());
+  const std::size_t blocks = std::min(n, nworkers);
   const std::size_t chunk = (n + blocks - 1) / blocks;
   std::vector<std::future<void>> futs;
   futs.reserve(blocks);

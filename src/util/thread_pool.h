@@ -6,17 +6,23 @@
 // intentionally simple: a single mutex-protected deque is more than
 // adequate for the coarse-grained tasks we submit (whole candidate
 // evaluations, whole model fits).
+//
+// Lock discipline (compile-time checked, see util/thread_annotations.h):
+// mu_ guards the queue, the stop flag and the worker vector; public
+// entry points declare STURGEON_EXCLUDES(mu_) so a task running on the
+// pool that re-enters submit()/shutdown() while somehow holding mu_ is a
+// build error under the analyze leg, not a deadlock in production.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace sturgeon {
 
@@ -31,20 +37,27 @@ class ThreadPool {
   ThreadPool(ThreadPool&&) = delete;
   ThreadPool& operator=(ThreadPool&&) = delete;
 
-  std::size_t size() const { return workers_.size(); }
+  /// Worker count; 0 once shutdown() has claimed the workers. Takes the
+  /// lock: shutdown() swaps the worker vector under mu_, so an unlocked
+  /// size() would race it (found by the thread-safety annotation pass).
+  std::size_t size() const STURGEON_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return workers_.size();
+  }
 
   /// Drain queued tasks and join the workers. Idempotent; the destructor
   /// calls it. After shutdown, submit() and parallel_for() throw.
-  void shutdown();
+  void shutdown() STURGEON_EXCLUDES(mu_);
 
   /// Enqueue a task; the returned future rethrows task exceptions.
   template <typename F>
-  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& fn)
+      -> std::future<std::invoke_result_t<F>> STURGEON_EXCLUDES(mu_) {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) {
         throw std::runtime_error("ThreadPool::submit after shutdown");
       }
@@ -58,16 +71,17 @@ class ThreadPool {
   /// block-partitioned; if blocks throw, the exception from the
   /// lowest-indexed failing block is rethrown after every block has
   /// finished (so no block can outlive `fn` or its captures).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      STURGEON_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() STURGEON_EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  std::vector<std::thread> workers_ STURGEON_GUARDED_BY(mu_);
+  std::deque<std::function<void()>> queue_ STURGEON_GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stopping_ STURGEON_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sturgeon

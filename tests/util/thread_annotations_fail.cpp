@@ -1,0 +1,64 @@
+// Negative compile-test for the thread-safety analysis layer.
+//
+// The STURGEON_ANALYZE configure step compiles this file twice via
+// try_compile (see the gate in the top-level CMakeLists.txt):
+//
+//   1. as-is: MUST FAIL to compile -- it reads/writes GUARDED_BY fields
+//      without their mutex and re-enters an EXCLUDES method with the
+//      lock held, exactly the bugs the analysis exists to reject;
+//   2. with -DSTURGEON_TA_FIXED: the same logic with correct locking
+//      MUST COMPILE, proving a rejection in (1) comes from the analysis
+//      and not from a broken include path or flag.
+//
+// Keep every violation below annotated with the diagnostic it triggers;
+// if clang ever stops rejecting one, the configure step fails loudly.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // EXCLUDES: deposit() acquires mu_ itself; calling it with mu_ held
+  // would self-deadlock on the non-recursive mutex.
+  void deposit(int amount) STURGEON_EXCLUDES(mu_) {
+    sturgeon::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance_unlocked() const {
+#ifdef STURGEON_TA_FIXED
+    sturgeon::MutexLock lock(mu_);
+    return balance_;
+#else
+    // warning: reading variable 'balance_' requires holding mutex 'mu_'
+    return balance_;
+#endif
+  }
+
+  void audit() STURGEON_EXCLUDES(mu_) {
+#ifdef STURGEON_TA_FIXED
+    deposit(0);
+#else
+    sturgeon::MutexLock lock(mu_);
+    // warning: cannot call function 'deposit' while mutex 'mu_' is held
+    deposit(0);
+#endif
+  }
+
+ private:
+  mutable sturgeon::Mutex mu_;
+  int balance_ STURGEON_GUARDED_BY(mu_) = 0;
+};
+
+int touch_without_lock(Account& account) {
+  return account.balance_unlocked();
+}
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  account.audit();
+  return touch_without_lock(account);
+}

@@ -95,6 +95,37 @@ TEST(ThreadPoolStress, ProducersRacingShutdown) {
   EXPECT_EQ(executed.load(), accepted.load());
 }
 
+TEST(ThreadPoolStress, SizeRacingShutdown) {
+  // Regression test: size() used to read the worker vector without taking
+  // the pool mutex, racing the swap() shutdown() performs under it. Under
+  // TSan the unlocked read was a reported data race; here readers poll
+  // size() continuously across the shutdown transition and must only ever
+  // observe the two legal values (full strength, then zero).
+  constexpr std::size_t kWorkers = 3;
+  constexpr int kReaders = 4;
+  ThreadPool pool(kWorkers);
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const std::size_t n = pool.size();
+        if (n != kWorkers && n != 0) bad.fetch_add(1);
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  pool.shutdown();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
 TEST(ThreadPoolStress, ExceptionsUnderConcurrency) {
   // Throwing tasks racing non-throwing ones must not corrupt delivery.
   ThreadPool pool(4);

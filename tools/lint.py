@@ -17,8 +17,22 @@ Rules:
          alphabetically sorted
   SL005  TODO/FIXME without an issue reference (write `TODO(#123): ...`)
   SL006  `using namespace` at file scope in a header
+  SL007  determinism: wall-clock/entropy sources banned in src/
+         (std::random_device, time(), clock(), std::chrono::system_clock);
+         use an injectable clock or util/rng.h derive_seed streams
+  SL008  determinism: std::unordered_map/unordered_set in exporter /
+         recorder / report / search files in src/ where iteration order
+         can reach output (bit-identity hazard); use std::map or sort a
+         snapshot, or waive with `// lint: unordered-ok(<reason>)`
+  SL009  every mutex member in src/ must state what it guards: raw
+         std::mutex/std::shared_mutex members are rejected (use the
+         annotated sturgeon::Mutex/SharedMutex from
+         util/thread_annotations.h), and each annotated mutex must have
+         at least one STURGEON_GUARDED_BY(<mutex>) field in the same
+         file or an explicit `// lint: unguarded(<reason>)` waiver on
+         (or directly above) its declaration
 
-Run locally:  python3 tools/lint.py [--root .] [--list-rules]
+Run locally:  python3 tools/lint.py [--root .] [--list-rules] [--self-test]
 Exit status:  0 clean, 1 violations found, 2 usage error.
 """
 
@@ -47,6 +61,43 @@ RAW_DELETE_RE = re.compile(r"(?<![\w_])delete(\s*\[\s*\])?\s+[A-Za-z_:*(]")
 TODO_RE = re.compile(r"\b(TODO|FIXME)\b(?!\(#\d+\))")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
+
+# SL007: entropy / wall-clock sources that break bit-identical replay.
+# `time(`/`clock(` must not be part of a longer identifier or a member
+# call (epoch_time(), ctx.clock() stay legal).
+NONDETERMINISM_RES = (
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device banned in src/: seeds must flow from util/rng.h "
+     "derive_seed so runs replay bit-identically"),
+    (re.compile(r"(?<![\w.:])(?:std::)?time\s*\("),
+     "time() banned in src/: wall-clock must come from an injectable "
+     "clock (telemetry::Tracer::Clock pattern)"),
+    (re.compile(r"(?<![\w.:])(?:std::)?clock\s*\("),
+     "clock() banned in src/: wall-clock must come from an injectable "
+     "clock (telemetry::Tracer::Clock pattern)"),
+    (re.compile(r"\bstd::chrono::system_clock\b"),
+     "std::chrono::system_clock banned in src/: use steady_clock behind "
+     "an injectable clock; wall-clock timestamps break bit-identity"),
+)
+
+# SL008 applies where iteration order plausibly reaches program output.
+ORDER_SENSITIVE_FILE_RE = re.compile(r"(export|recorder|report|search)")
+UNORDERED_RE = re.compile(r"\bstd::unordered_(map|set)\b")
+UNORDERED_WAIVER_RE = re.compile(r"lint:\s*unordered-ok\([^)]+\)")
+
+# SL009: one declaration regex catches raw std mutexes (rejected) and
+# annotated sturgeon wrappers (must guard something or carry a waiver).
+# `\s+\w+\s*;` keeps MutexLock/CondVar locals and parameters out.
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?P<type>std::mutex|std::shared_mutex|std::recursive_mutex|"
+    r"(?:sturgeon::)?(?:Shared)?Mutex)\s+(?P<name>[A-Za-z_]\w*)\s*;")
+GUARDED_BY_RE_TEMPLATE = \
+    r"STURGEON(?:_PT)?_GUARDED_BY\(\s*(?:&?\s*)?{name}\s*\)"
+UNGUARDED_WAIVER_RE = re.compile(r"lint:\s*unguarded\([^)]+\)")
+
+# Files exempt from SL009: the annotation layer itself wraps the raw std
+# types by definition.
+SL009_EXEMPT = {Path("src/util/thread_annotations.h")}
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -177,6 +228,73 @@ class Linter:
                     "`using namespace` in a header leaks into every "
                     "includer")
 
+    # -- determinism & concurrency rules (lint v2) ------------------------
+
+    @staticmethod
+    def _in_src(rel: Path) -> bool:
+        return rel.parts[:1] == ("src",)
+
+    @staticmethod
+    def _waived(pattern: re.Pattern, lines: list[str], lineno: int) -> bool:
+        """Waiver comment on the flagged line or the line directly above."""
+        here = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+        above = lines[lineno - 2] if lineno >= 2 else ""
+        return bool(pattern.search(here) or pattern.search(above))
+
+    def check_nondeterminism(self, path: Path, rel: Path,
+                             stripped: str) -> None:
+        if not self._in_src(rel):
+            return
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            for pattern, msg in NONDETERMINISM_RES:
+                if pattern.search(line):
+                    self.report(path, lineno, "SL007", msg)
+
+    def check_unordered_output(self, path: Path, rel: Path, stripped: str,
+                               original_lines: list[str]) -> None:
+        if not self._in_src(rel):
+            return
+        if not ORDER_SENSITIVE_FILE_RE.search(path.name):
+            return
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            if UNORDERED_RE.search(line) and not self._waived(
+                    UNORDERED_WAIVER_RE, original_lines, lineno):
+                self.report(
+                    path, lineno, "SL008",
+                    "unordered container in an order-sensitive file: "
+                    "iteration order may reach output (bit-identity "
+                    "hazard); use std::map / a sorted snapshot, or waive "
+                    "with `// lint: unordered-ok(<reason>)`")
+
+    def check_mutex_guards(self, path: Path, rel: Path, stripped: str,
+                           original_lines: list[str]) -> None:
+        if not self._in_src(rel) or rel in SL009_EXEMPT:
+            return
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            for m in MUTEX_MEMBER_RE.finditer(line):
+                name, mtype = m.group("name"), m.group("type")
+                waived = self._waived(UNGUARDED_WAIVER_RE, original_lines,
+                                      lineno)
+                if mtype.startswith("std::"):
+                    if not waived:
+                        self.report(
+                            path, lineno, "SL009",
+                            f"raw {mtype} member `{name}`: use the "
+                            "annotated sturgeon::Mutex/SharedMutex from "
+                            "util/thread_annotations.h so the analyze "
+                            "build can check the lock discipline")
+                    continue
+                if waived:
+                    continue
+                guard_re = re.compile(
+                    GUARDED_BY_RE_TEMPLATE.format(name=re.escape(name)))
+                if not guard_re.search(stripped):
+                    self.report(
+                        path, lineno, "SL009",
+                        f"mutex `{name}` guards no field: annotate what it "
+                        f"protects with STURGEON_GUARDED_BY({name}) or "
+                        "waive with `// lint: unguarded(<reason>)`")
+
     # -- driver -----------------------------------------------------------
 
     def lint_file(self, path: Path) -> None:
@@ -188,11 +306,16 @@ class Linter:
             self.report(path, 1, "SL000", f"unreadable: {e}")
             return
         if path.suffix in CXX_SUFFIXES:
+            rel = path.relative_to(self.root)
+            original_lines = text.splitlines()
             stripped = strip_comments_and_strings(text)
             self.check_pragma_once(path, text)
             self.check_banned_calls(path, stripped)
             self.check_include_order(path, text)
             self.check_using_namespace(path, stripped)
+            self.check_nondeterminism(path, rel, stripped)
+            self.check_unordered_output(path, rel, stripped, original_lines)
+            self.check_mutex_guards(path, rel, stripped, original_lines)
         self.check_todo_hygiene(path, text)
 
     def run(self) -> int:
@@ -216,16 +339,149 @@ class Linter:
         return 0
 
 
+# -- self-test fixtures ---------------------------------------------------
+#
+# Each fixture is (relative path, file content, expected rule ids). The
+# self-test materializes them in a temp tree, runs the Linter, and checks
+# that exactly the expected rules fire on exactly these files -- both the
+# positive (violation detected) and negative (clean code, waiver paths
+# honored) directions for every rule, with full coverage for the
+# determinism/concurrency rules SL007-SL009.
+SELF_TEST_FIXTURES: list[tuple[str, str, list[str]]] = [
+    # legacy rules: one positive + one negative anchor each
+    ("src/f/missing_pragma.h", "int bad_header();\n", ["SL001"]),
+    ("src/f/banned_calls.cpp",
+     '#pragma GCC diagnostic ignored "-w"\n'
+     "void f() { printf(\"x\"); }\n"
+     "int g() { return std::rand(); }\n",
+     ["SL002", "SL002"]),
+    ("src/f/raw_new.cpp", "int* f() { return new int(3); }\n", ["SL003"]),
+    ("src/f/include_order.cpp",
+     "#include <vector>\n#include <atomic>\n", ["SL004"]),
+    ("src/f/todo.cpp", "// T" "ODO: no issue ref\n", ["SL005"]),
+    ("src/f/using_ns.h",
+     "#pragma once\nusing namespace std;\n", ["SL006"]),
+    ("src/f/clean.cpp",
+     "#include <atomic>\n#include <vector>\n\n"
+     "#include \"util/rng.h\"\n"
+     "int f() { return 0; }\n", []),
+    # SL007: every banned source fires; lookalikes and tests/ stay legal
+    ("src/f/wallclock.cpp",
+     "#include <chrono>\n"
+     "unsigned f() { std::random_device rd; return rd(); }\n"
+     "long g() { return time(nullptr); }\n"
+     "long h() { return std::clock(); }\n"
+     "auto i() { return std::chrono::system_clock::now(); }\n",
+     ["SL007", "SL007", "SL007", "SL007"]),
+    ("src/f/wallclock_ok.cpp",
+     "#include <chrono>\n"
+     "#include <functional>\n"
+     "struct Ctx { std::function<long()> clock_; };\n"
+     "long epoch_time(int t) { return t; }\n"
+     "auto f() { return std::chrono::steady_clock::now(); }\n"
+     "long g(Ctx& c) { return c.clock_() + epoch_time(1); }\n",
+     []),
+    ("tests/f/wallclock_in_test.cpp",
+     "long f() { return time(nullptr); }\n", []),
+    # SL008: order-sensitive file names flag unordered containers; the
+    # waiver comment and order-insensitive files stay clean
+    ("src/f/rollup_export.cpp",
+     "#include <unordered_map>\n"
+     "std::unordered_map<int, int> g_rows;\n", ["SL008"]),
+    ("src/f/result_report.cpp",
+     "#include <unordered_set>\n"
+     "// lint: unordered-ok(drained into a std::set before printing)\n"
+     "std::unordered_set<int> g_seen;\n", []),
+    ("src/f/plain_model.cpp",
+     "#include <unordered_map>\n"
+     "std::unordered_map<int, int> g_weights;\n", []),
+    # SL009: raw std mutexes rejected; annotated mutexes must guard a
+    # field or carry the unguarded() waiver (same line or line above)
+    ("src/f/raw_mutex.cpp",
+     "#include <mutex>\n"
+     "struct S { std::mutex mu_; int x = 0; };\n", ["SL009"]),
+    ("src/f/unguarded_mutex.cpp",
+     "#include \"util/thread_annotations.h\"\n"
+     "struct S { sturgeon::Mutex mu_; int x = 0; };\n", ["SL009"]),
+    ("src/f/guarded_mutex.cpp",
+     "#include \"util/thread_annotations.h\"\n"
+     "struct S {\n"
+     "  sturgeon::Mutex mu_;\n"
+     "  int x STURGEON_GUARDED_BY(mu_) = 0;\n"
+     "};\n", []),
+    ("src/f/shared_guarded_mutex.cpp",
+     "#include \"util/thread_annotations.h\"\n"
+     "struct S {\n"
+     "  sturgeon::SharedMutex mu_;\n"
+     "  int x STURGEON_GUARDED_BY(mu_) = 0;\n"
+     "};\n", []),
+    ("src/f/waived_mutex.cpp",
+     "#include \"util/thread_annotations.h\"\n"
+     "struct S {\n"
+     "  sturgeon::Mutex mu_;  // lint: unguarded(guards stderr, no fields)\n"
+     "};\n"
+     "// lint: unguarded(protects an external resource)\n"
+     "struct T { sturgeon::Mutex mu_; };\n", []),
+    ("src/f/mutex_locals_ok.cpp",
+     "#include \"util/thread_annotations.h\"\n"
+     "struct S {\n"
+     "  sturgeon::Mutex mu_;\n"
+     "  int x STURGEON_GUARDED_BY(mu_) = 0;\n"
+     "  int get() { sturgeon::MutexLock lock(mu_); return x; }\n"
+     "};\n", []),
+]
+
+
+def run_self_test() -> int:
+    import shutil
+    import tempfile
+
+    tmp = Path(tempfile.mkdtemp(prefix="sturgeon_lint_selftest_"))
+    try:
+        for relpath, content, _ in SELF_TEST_FIXTURES:
+            dest = tmp / relpath
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text(content, encoding="utf-8")
+        linter = Linter(tmp)
+        for relpath, _, _ in SELF_TEST_FIXTURES:
+            linter.lint_file(tmp / relpath)
+        got: dict[str, list[str]] = {}
+        for path, _, rule, _ in linter.violations:
+            got.setdefault(str(path), []).append(rule)
+        failures = []
+        for relpath, _, expected in SELF_TEST_FIXTURES:
+            actual = sorted(got.pop(relpath, []))
+            if actual != sorted(expected):
+                failures.append(
+                    f"{relpath}: expected {sorted(expected)}, got {actual}")
+        for relpath, rules in got.items():
+            failures.append(f"{relpath}: unexpected findings {rules}")
+        if failures:
+            print("lint.py --self-test FAILED:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(f"lint.py --self-test: OK "
+              f"({len(SELF_TEST_FIXTURES)} fixtures)")
+        return 0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=".",
                         help="repository root (default: cwd)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print rule ids and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own fixture suite and exit")
     args = parser.parse_args()
     if args.list_rules:
         print(__doc__)
         return 0
+    if args.self_test:
+        return run_self_test()
     root = Path(args.root).resolve()
     if not root.is_dir():
         print(f"lint.py: no such directory: {root}", file=sys.stderr)

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""clang-tidy wrapper that diffs findings against a checked-in baseline.
+
+.clang-tidy promotes every enabled family to an error
+(`WarningsAsErrors: '*'`), so a bare clang-tidy run fails on the first
+legacy finding and blocks unrelated PRs. This wrapper makes the gate
+incremental instead:
+
+  * every finding is normalized to `<relpath> [check] message` (no
+    line/column, so unrelated edits that shift lines do not churn the
+    diff) and compared against tools/tidy_baseline.txt;
+  * a finding NOT in the baseline fails the run -- new violations are
+    rejected at the door;
+  * a baseline entry that no longer fires also fails the run -- burned-
+    down legacy findings must be deleted from the baseline in the same
+    change, keeping the debt list honest (regenerate with
+    --update-baseline).
+
+The baseline is currently empty: the tree is clean under the enabled
+check families, and this gate keeps it that way.
+
+Usage:
+  python3 tools/run_tidy.py -p build [--root .] [--update-baseline]
+      [--require] [--out FILE] [--reuse]
+
+Behavior without clang-tidy on PATH: exit 0 with a notice (local dev
+containers may not ship clang); pass --require to fail instead (CI
+does). --out writes the normalized findings for caching; --reuse reads
+a previously written --out file instead of re-running clang-tidy (the CI
+analyze leg caches it keyed on a hash of src/ + .clang-tidy).
+
+Exit status: 0 clean/skipped, 1 diff non-empty or tidy crashed, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+BASELINE_HEADER = """\
+# clang-tidy baseline for tools/run_tidy.py.
+#
+# One normalized finding per line: `<relpath> [check] message`. Entries
+# here are known legacy violations that do not fail CI; removing the
+# code that caused one REQUIRES removing its entry (the runner fails on
+# stale entries). Add entries only via --update-baseline, and only with
+# a burn-down plan -- an empty file is the goal state.
+"""
+
+
+def find_sources(root: Path) -> list[Path]:
+    return sorted((root / "src").rglob("*.cpp"))
+
+
+def normalize(raw_output: str, root: Path) -> list[str]:
+    """Collapse clang-tidy output to stable `<relpath> [check] message` keys."""
+    findings: list[str] = []
+    for line in raw_output.splitlines():
+        # e.g. /abs/path/src/core/x.cpp:12:5: warning: msg [check-name]
+        parts = line.split(": ", 2)
+        if len(parts) != 3 or parts[1] not in ("warning", "error"):
+            continue
+        loc, _, rest = parts
+        pieces = loc.rsplit(":", 2)
+        path = Path(pieces[0])
+        try:
+            rel = path.resolve().relative_to(root)
+        except ValueError:
+            rel = path
+        findings.append(f"{rel} {rest.strip()}")
+    return sorted(findings)
+
+
+def read_baseline(path: Path) -> list[str]:
+    if not path.is_file():
+        return []
+    lines = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            lines.append(line)
+    return sorted(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="build dir with compile_commands.json")
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default tools/tidy_baseline.txt)")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (not skip) when clang-tidy is missing")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--out", default=None,
+                        help="write normalized findings to this file")
+    parser.add_argument("--reuse", action="store_true",
+                        help="read findings from --out instead of running")
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve()
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else root / "tools" / "tidy_baseline.txt")
+
+    if args.reuse and args.out and Path(args.out).is_file():
+        findings = read_baseline(Path(args.out))
+        print(f"run_tidy.py: reusing {len(findings)} cached finding(s) "
+              f"from {args.out}")
+    else:
+        tidy = shutil.which(args.clang_tidy)
+        if tidy is None:
+            msg = f"run_tidy.py: {args.clang_tidy} not found"
+            if args.require:
+                print(f"{msg} (--require set)", file=sys.stderr)
+                return 1
+            print(f"{msg}; skipping (the CI analyze leg runs this for real)")
+            return 0
+        build_dir = Path(args.build_dir)
+        if not (build_dir / "compile_commands.json").is_file():
+            print(f"run_tidy.py: no compile_commands.json in {build_dir} "
+                  "(configure with CMake first)", file=sys.stderr)
+            return 2
+        sources = find_sources(root)
+        if not sources:
+            print("run_tidy.py: no sources under src/", file=sys.stderr)
+            return 2
+        cmd = [tidy, "-p", str(build_dir), "--quiet"]
+        cmd += [str(s) for s in sources]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              check=False)
+        # clang-tidy exits non-zero on WarningsAsErrors hits, which is
+        # exactly what the baseline exists to absorb; only crashes
+        # (signals / internal errors with no parsable findings) are fatal.
+        findings = normalize(proc.stdout + proc.stderr, root)
+        if proc.returncode != 0 and not findings:
+            print(proc.stdout, file=sys.stderr)
+            print(proc.stderr, file=sys.stderr)
+            print(f"run_tidy.py: clang-tidy failed (rc={proc.returncode}) "
+                  "with no parsable findings", file=sys.stderr)
+            return 1
+        if args.out:
+            out = Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text("".join(f"{f}\n" for f in findings),
+                           encoding="utf-8")
+
+    if args.update_baseline:
+        baseline_path.write_text(
+            BASELINE_HEADER + "".join(f"{f}\n" for f in findings),
+            encoding="utf-8")
+        print(f"run_tidy.py: baseline rewritten with {len(findings)} "
+              f"finding(s): {baseline_path}")
+        return 0
+
+    baseline = read_baseline(baseline_path)
+    new = [f for f in findings if f not in set(baseline)]
+    stale = [f for f in baseline if f not in set(findings)]
+    if new:
+        print(f"run_tidy.py: {len(new)} NEW finding(s) not in baseline:")
+        for f in new:
+            print(f"  + {f}")
+    if stale:
+        print(f"run_tidy.py: {len(stale)} STALE baseline entr(ies) no "
+              "longer firing -- delete them (or --update-baseline):")
+        for f in stale:
+            print(f"  - {f}")
+    if new or stale:
+        return 1
+    print(f"run_tidy.py: OK ({len(findings)} finding(s), all baselined; "
+          f"baseline {baseline_path.name} in sync)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
