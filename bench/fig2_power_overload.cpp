@@ -31,7 +31,7 @@ int main() {
     for (const auto& be : be_catalog()) {
       Partition p;
       p.ls = min_ls;
-      p.be = complement_slice(machine, min_ls, machine.max_freq_level());
+      p.be = Allocation::complement(machine, min_ls, machine.max_freq_level());
 
       sim::SimulatedServer probe(ls, be, 7);
       const double budget = probe.power_budget_w();

@@ -80,9 +80,9 @@ int main() {
       const double budget = probe.power_budget_w();
 
       Partition core_rich{min_ls,
-                          complement_slice(machine, min_ls, 0)};
+                          Allocation::complement(machine, min_ls, 0)};
       Partition freq_rich{wide_ls,
-                          complement_slice(machine, wide_ls, 0)};
+                          Allocation::complement(machine, wide_ls, 0)};
       const auto f2a =
           measured_max_be_freq(ls, be, core_rich, load, budget);
       const auto f2b =

@@ -61,7 +61,7 @@ int main() {
             << "\n  predictor searches run:    " << sturgeon.searches_run()
             << "\n  balancer interventions:    "
             << sturgeon.balancer_actions() << "\n  last decision:             "
-            << sturgeon.last_decision().action << "\n\n";
+            << sturgeon.last_decision().action_string() << "\n\n";
 
   // Every run carries a metrics registry; the end-of-run summary shows
   // counters, gauges, and per-phase duration histograms.

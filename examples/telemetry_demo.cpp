@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   const auto result = exp::run_colocation(ls, be, sturgeon, trace, run_cfg);
 
   std::cout << "policy: " << sturgeon.describe() << "\n"
-            << "last action: " << sturgeon.last_decision().action << " (epoch "
+            << "last action: " << sturgeon.last_decision().action_string() << " (epoch "
             << sturgeon.last_decision().epoch << ")\n"
             << "intervals run: " << result.intervals_run << "\n"
             << "QoS guarantee rate: " << 100.0 * result.qos_guarantee_rate

@@ -34,7 +34,8 @@ Partition HeraclesController::decide(const sim::ServerTelemetry& sample,
   const double slack =
       telemetry::latency_slack(sample.ls.p95_ms, qos_target_ms_);
   begin_decision().slack = slack;
-  std::string action = "hold";
+  core::Action action = core::Action::kHold;
+  std::string detail;
   Partition p = current;
   p.ls.freq_level = machine_.max_freq_level();  // LS always full speed
 
@@ -45,7 +46,8 @@ Partition HeraclesController::decide(const sim::ServerTelemetry& sample,
     if (grab > 0) {
       p.ls.cores += grab;
       p.be.cores -= grab;
-      action = "upsize:cores";
+      action = core::Action::kUpsize;
+      detail = "cores";
     } else if (p.be.cores == 0) {
       // nothing to take
     }
@@ -54,11 +56,14 @@ Partition HeraclesController::decide(const sim::ServerTelemetry& sample,
     if (ways > 0) {
       p.ls.llc_ways += ways;
       p.be.llc_ways -= ways;
-      if (action == "hold") action = "upsize:ways";
+      if (action == core::Action::kHold) {
+        action = core::Action::kUpsize;
+        detail = "ways";
+      }
     }
   } else if (slack > options_.beta) {
     if (p.be.cores == 0) {
-      action = "seed_be";
+      action = core::Action::kSeedBe;
       // Bootstrap a minimal BE slice at the lowest P-state.
       p.ls.cores = std::max(1, p.ls.cores - 1);
       p.ls.llc_ways = std::max(1, p.ls.llc_ways - 1);
@@ -68,13 +73,17 @@ Partition HeraclesController::decide(const sim::ServerTelemetry& sample,
       if (p.ls.cores > 1) {
         --p.ls.cores;
         ++p.be.cores;
-        action = "downsize:cores";
+        action = core::Action::kDownsize;
+        detail = "cores";
       }
       // Cache subcontroller: grow the BE share slowly while healthy.
       if (p.ls.llc_ways > 1) {
         --p.ls.llc_ways;
         ++p.be.llc_ways;
-        if (action == "hold") action = "downsize:ways";
+        if (action == core::Action::kHold) {
+          action = core::Action::kDownsize;
+          detail = "ways";
+        }
       }
     }
   }
@@ -83,16 +92,23 @@ Partition HeraclesController::decide(const sim::ServerTelemetry& sample,
   if (p.be.cores > 0) {
     if (sample.power_w > options_.power_guard * options_.power_budget_w) {
       p.be.freq_level = std::max(0, p.be.freq_level - 1);
-      if (action == "hold") action = "power_cap:freq";
+      if (action == core::Action::kHold) {
+        action = core::Action::kPowerCap;
+        detail = "freq";
+      }
     } else if (sample.power_w <
                options_.power_slack * options_.power_budget_w) {
       p.be.freq_level =
           std::min(machine_.max_freq_level(), p.be.freq_level + 1);
-      if (action == "hold") action = "be_boost:freq";
+      if (action == core::Action::kHold) {
+        action = core::Action::kBeBoost;
+        detail = "freq";
+      }
     }
   }
-  last_decision_.partition = p;
-  last_decision_.action = std::move(action);
+  last_decision_.allocation = Allocation::of(p);
+  last_decision_.action = action;
+  last_decision_.detail = std::move(detail);
   return p;
 }
 

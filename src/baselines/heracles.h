@@ -36,10 +36,12 @@ class HeraclesController : public core::Policy {
   std::string name() const override { return "Heracles"; }
   std::string describe() const override;
   void reset() override { clear_decision(); }
+  using core::Policy::decide;
   Partition decide(const sim::ServerTelemetry& sample,
                    const Partition& current) override;
 
   /// Retarget the power subcontroller's budget (cluster re-caps).
+  bool supports_power_cap() const override { return true; }
   void set_power_cap(double watts) override { options_.power_budget_w = watts; }
 
  private:

@@ -52,9 +52,12 @@ const char* PartiesController::resource_name(Resource r) {
   return "?";
 }
 
-Partition PartiesController::finish(const Partition& p, std::string action) {
-  last_decision_.partition = p;
-  last_decision_.action = std::move(action);
+Partition PartiesController::finish(const Partition& p,
+                                    core::Action action,
+                                    std::string detail) {
+  last_decision_.allocation = Allocation::of(p);
+  last_decision_.action = action;
+  last_decision_.detail = std::move(detail);
   return p;
 }
 
@@ -117,16 +120,16 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
     if (current.be.cores > 0 && current.be.freq_level > 0) {
       Partition p = current;
       --p.be.freq_level;
-      return finish(p, "power_cap:freq");
+      return finish(p, core::Action::kPowerCap, "freq");
     }
     // Already at the lowest P-state: shrink the BE span instead.
     if (current.be.cores > 1) {
       Partition p = current;
       --p.be.cores;
       ++p.ls.cores;
-      return finish(p, "power_cap:cores");
+      return finish(p, core::Action::kPowerCap, "cores");
     }
-    return finish(current, "hold");
+    return finish(current, core::Action::kHold);
   }
 
   // Evaluate the feedback of the adjustment made last interval.
@@ -143,7 +146,7 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
         resource_idx_ = (resource_idx_ + 1) % kNumResources;
         if (const auto p = adjust(
                 current, static_cast<Resource>(pending_resource_), false)) {
-          return finish(*p, "revert");
+          return finish(*p, core::Action::kRevert);
         }
       }
     } else {
@@ -151,7 +154,7 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
         // Downsizing collapsed the slack: give the unit back.
         if (const auto p = adjust(
                 current, static_cast<Resource>(pending_resource_), true)) {
-          return finish(*p, "revert");
+          return finish(*p, core::Action::kRevert);
         }
       }
     }
@@ -177,12 +180,11 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
         pending_upsize_ = true;
         pending_resource_ = r;
         p95_before_ms_ = sample.ls.p95_ms;
-        return finish(*stepped,
-                      std::string("upsize:") + resource_name(r));
+        return finish(*stepped, core::Action::kUpsize, resource_name(r));
       }
       resource_idx_ = (resource_idx_ + 1) % kNumResources;
     }
-    return finish(current, "hold");
+    return finish(current, core::Action::kHold);
   }
 
   // Track how long slack has been healthy; a long healthy streak lets
@@ -205,7 +207,7 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
       p.be = AppSlice{machine_.num_cores - p.ls.cores,
                       power_aware ? 0 : machine_.max_freq_level(),
                       machine_.llc_ways - p.ls.llc_ways};
-      return finish(p, "seed_be");
+      return finish(p, core::Action::kSeedBe);
     }
     for (int attempt = 0; attempt < kNumResources; ++attempt) {
       const auto r = static_cast<Resource>(resource_idx_);
@@ -215,12 +217,13 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
         pending_upsize_ = false;
         pending_resource_ = r;
         p95_before_ms_ = sample.ls.p95_ms;
-        return finish(*p, std::string(probe_downsize ? "probe:"
-                                                     : "downsize:") +
-                              resource_name(r));
+        return finish(*p,
+                      probe_downsize ? core::Action::kProbe
+                                     : core::Action::kDownsize,
+                      resource_name(r));
       }
     }
-    return finish(current, "hold");
+    return finish(current, core::Action::kHold);
   }
 
   // In-band: opportunistically raise the BE frequency one step when the
@@ -233,10 +236,10 @@ Partition PartiesController::decide(const sim::ServerTelemetry& sample,
     if (headroom) {
       Partition p = current;
       ++p.be.freq_level;
-      return finish(p, "be_boost:freq");
+      return finish(p, core::Action::kBeBoost, "freq");
     }
   }
-  return finish(current, "hold");
+  return finish(current, core::Action::kHold);
 }
 
 }  // namespace sturgeon::baselines

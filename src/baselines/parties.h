@@ -43,12 +43,14 @@ class PartiesController : public core::Policy {
   std::string name() const override;
   std::string describe() const override;
   void reset() override;
+  using core::Policy::decide;
   Partition decide(const sim::ServerTelemetry& sample,
                    const Partition& current) override;
 
   /// Retarget the measured-power guard (cluster coordinator re-caps).
   /// A positive cap makes an originally power-oblivious instance
   /// power-aware, matching the paper's enhanced PARTIES.
+  bool supports_power_cap() const override { return true; }
   void set_power_cap(double watts) override { options_.power_budget_w = watts; }
 
  private:
@@ -58,7 +60,8 @@ class PartiesController : public core::Policy {
   static const char* resource_name(Resource r);
 
   /// Record the epoch's outcome on last_decision() and return `p`.
-  Partition finish(const Partition& p, std::string action);
+  Partition finish(const Partition& p, core::Action action,
+                   std::string detail = {});
 
   /// Apply one unit of `r` toward the LS service (`toward_ls`) or back to
   /// the BE side; returns nullopt when not expressible.

@@ -24,11 +24,12 @@ class StaticPolicy : public core::Policy {
     return os.str();
   }
   void reset() override { clear_decision(); }
+  using core::Policy::decide;
   Partition decide(const sim::ServerTelemetry& /*sample*/,
                    const Partition& /*current*/) override {
     begin_decision();
-    last_decision_.partition = partition_;
-    last_decision_.action = "static";
+    last_decision_.allocation = Allocation::of(partition_);
+    last_decision_.action = core::Action::kStatic;
     return partition_;
   }
 

@@ -76,6 +76,7 @@ ClusterSim::ClusterSim(std::vector<NodeSpec> specs, ClusterConfig config)
   for (std::size_t i = 0; i < n; ++i) {
     NodeSpec spec = specs[assignment[i]];
     spec.server = specs[i].server;  // workload moves, the machine stays
+    if (config_.route_via_allocation) spec.route_via_allocation = true;
     max_trace_s_ = std::max(max_trace_s_, spec.trace.duration_s());
     auto ctx = telemetry::TelemetryContext::make(
         spec.server.machine, telemetry::TelemetryConfig{
@@ -122,6 +123,8 @@ ClusterResult ClusterSim::run(int epochs) {
   auto& overshoot_counter = registry.counter("cluster.overshoot_epochs");
   auto& power_gauge = registry.gauge("cluster.power_w.last");
   auto& dead_gauge = registry.gauge("cluster.dead_nodes");
+  auto& ls_qos_gauge = registry.gauge("cluster.slices.ls_qos_fraction");
+  auto& be_norm_gauge = registry.gauge("cluster.slices.be_throughput_norm");
   auto& dead_epochs_counter = registry.counter("fault.node.dead_epochs");
 
   coordinator_->reset();
@@ -180,6 +183,26 @@ ClusterResult ClusterSim::run(int epochs) {
       ++overshoot_epochs;
       overshoot_counter.inc();
     }
+    // Per-slice fleet roll-up, in node/slice order: what fraction of the
+    // fleet's LS slices met QoS this epoch, and how many machines' worth
+    // of BE work its BE slices sustained.
+    int ls_total = 0, ls_met = 0;
+    double be_norm_sum = 0.0;
+    for (const auto& node : nodes_) {
+      for (const SliceReport& s : node->report().slices) {
+        if (s.latency_sensitive) {
+          ++ls_total;
+          if (s.qos_met) ++ls_met;
+        } else {
+          be_norm_sum += s.throughput_norm;
+        }
+      }
+    }
+    ls_qos_gauge.set(ls_total == 0 ? 1.0
+                                   : static_cast<double>(ls_met) /
+                                         static_cast<double>(ls_total));
+    be_norm_gauge.set(be_norm_sum);
+
     span.attr("power_w", fleet_power).attr("dead_nodes", dead);
   }
 

@@ -59,6 +59,10 @@ struct ClusterConfig {
   bool node_tracing = false;
   /// Cluster-level sink. Null = a fresh private context (metrics only).
   std::shared_ptr<telemetry::TelemetryContext> telemetry;
+  /// Route every node's decisions through the K-way Allocation entry
+  /// points (NodeSpec::route_via_allocation on the whole fleet);
+  /// bit-identical at K = 2, pinned by the cluster twin test.
+  bool route_via_allocation = false;
   /// Per-node defenses (sanitization, watchdog, retry) plus the
   /// coordinator-side heartbeat threshold. Defaults all-off.
   ResilienceConfig resilience;

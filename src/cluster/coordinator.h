@@ -43,6 +43,16 @@ enum class Liveness {
 
 const char* to_string(Liveness liveness);
 
+/// Per-slice observation inside a NodeReport: how each co-scheduled
+/// workload fared last epoch. For today's pair nodes there are two
+/// entries (LS then BE); K-way nodes report one per workload.
+struct SliceReport {
+  bool latency_sensitive = false;
+  double slack = 0.0;            ///< LS only; 0 for BE slices
+  bool qos_met = true;           ///< LS only; always true for BE slices
+  double throughput_norm = 0.0;  ///< BE only; 0 for LS slices
+};
+
 /// What one node tells the coordinator about its last epoch.
 struct NodeReport {
   double budget_w = 0.0;  ///< node's natural budget (LS-at-peak power)
@@ -56,6 +66,9 @@ struct NodeReport {
   /// the node's cap_w/power_w predate the outage, so stateful
   /// strategies re-base instead of trusting them.
   bool rejoined = false;
+  /// Per-workload roll-up (LS then BE on pair nodes; one entry per
+  /// workload on K-way nodes). Empty until the node's first full epoch.
+  std::vector<SliceReport> slices;
 
   bool alive() const { return liveness == Liveness::kAlive; }
   bool dead() const { return liveness == Liveness::kDead; }

@@ -40,7 +40,7 @@ std::unique_ptr<core::Policy> default_policy(
       Partition p;
       p.ls = {std::max(1, m.num_cores * 3 / 5), m.max_freq_level(),
               std::max(1, m.llc_ways * 3 / 5)};
-      p.be = complement_slice(m, p.ls, m.max_freq_level() / 2);
+      p.be = Allocation::complement(m, p.ls, m.max_freq_level() / 2);
       return std::make_unique<baselines::StaticPolicy>(p);
     }
   }
@@ -122,6 +122,7 @@ ClusterNode::ClusterNode(int id, NodeSpec spec, std::uint64_t seed,
   changes_counter_ = &registry.counter("run.partition_changes");
   throttle_counter_ = &registry.counter("node.governor.throttled_epochs");
   safe_mode_counter_ = &registry.counter("fault.watchdog.safe_mode_epochs");
+  cap_unsupported_counter_ = &registry.counter("policy.cap.unsupported");
   degraded_gauge_ = &registry.gauge("node.degraded");
   registry.gauge("node.power_budget_w").set(budget_w_);
   if (injector_ != nullptr) injector_->bind(registry);
@@ -132,13 +133,24 @@ ClusterNode::ClusterNode(int id, NodeSpec spec, std::uint64_t seed,
   retry_.attach_telemetry(telemetry_);
 
   report_ = NodeReport{budget_w_, idle_w_, cap_w_, 0.0, 0.0, true,
-                       Liveness::kNeverReported, false};
+                       Liveness::kNeverReported, false, {}};
+}
+
+void ClusterNode::push_cap_to_policy(double watts) {
+  if (policy_->supports_power_cap()) {
+    policy_->set_power_cap(watts);
+  } else {
+    // The cap still binds through the reactive governor, but the policy
+    // itself will keep proposing configurations sized for its original
+    // budget -- make that visible instead of silently dropping the cap.
+    cap_unsupported_counter_->inc();
+  }
 }
 
 void ClusterNode::set_power_cap(double watts) {
   STURGEON_CHECK(watts > 0.0, "ClusterNode::set_power_cap: " << watts);
   cap_w_ = watts;
-  policy_->set_power_cap(watts);
+  push_cap_to_policy(watts);
   telemetry_->metrics().gauge("node.power_cap_w").set(watts);
 
   // Feed-forward clamp before the first measurement: the reactive loop
@@ -217,7 +229,7 @@ void ClusterNode::step(int t) {
       // programmed state, like BIOS-persisted settings.
       server_.reset();
       policy_->reset();
-      policy_->set_power_cap(cap_w_);
+      push_cap_to_policy(cap_w_);
       throttle_ = 0;
     }
     if (injector_->node_hung()) {
@@ -297,10 +309,10 @@ void ClusterNode::step(int t) {
   degraded_gauge_->set(safe_mode ? 1.0 : 0.0);
 
   Partition next;
-  const char* action = nullptr;
+  std::string action;
   if (safe_mode) {
     next = safe_partition_;
-    action = "safe-mode";
+    action = core::to_string(core::Action::kSafeMode);
   } else {
     telemetry::Span span = tracer.start_span("decide");
     sim::ServerTelemetry decide_sample = observed;
@@ -315,8 +327,14 @@ void ClusterNode::step(int t) {
         decide_sample.be_throughput_norm /= inflation;
       }
     }
-    next = policy_->decide(decide_sample, retry_.current());
-    action = policy_->last_decision().action.c_str();
+    if (spec_.route_via_allocation) {
+      next = policy_->decide(decide_sample,
+                             Allocation::of(retry_.current()))
+                 .to_partition();
+    } else {
+      next = policy_->decide(decide_sample, retry_.current());
+    }
+    action = policy_->last_decision().action_string();
     span.attr("action", action);
   }
   const Partition target = throttled(next);
@@ -348,7 +366,21 @@ void ClusterNode::step(int t) {
   report_ = NodeReport{budget_w_, idle_w_,
                        cap_w_,    observed.power_w,
                        slack,     observed.qos_met(),
-                       Liveness::kAlive, false};
+                       Liveness::kAlive, false, {}};
+  report_.slices.reserve(observed.slices.size());
+  for (const auto& sv : observed.slices) {
+    SliceReport sr;
+    sr.latency_sensitive = sv.kind == WorkloadKind::kLatencySensitive;
+    if (sr.latency_sensitive) {
+      // Monitor-path values, consistent with the scalar roll-up (sensor
+      // faults and sanitization touch the roll-up scalars).
+      sr.slack = slack;
+      sr.qos_met = observed.qos_met();
+    } else {
+      sr.throughput_norm = sv.throughput_norm;
+    }
+    report_.slices.push_back(sr);
+  }
 }
 
 NodeResult ClusterNode::result() const {

@@ -67,6 +67,10 @@ struct NodeSpec {
   /// and natural power budget.
   std::function<std::unique_ptr<core::Policy>(const sim::SimulatedServer&)>
       make_policy;
+  /// Route decisions through the K-way Allocation entry points instead of
+  /// the pair ones; bit-identical at K = 2 (pinned by the cluster twin
+  /// test in tests/kway).
+  bool route_via_allocation = false;
 };
 
 struct GovernorConfig {
@@ -176,6 +180,9 @@ class ClusterNode {
   /// Apply the governor's current throttle to `p` (BE frequency first,
   /// then LS), returning the partition actually enforced.
   Partition throttled(Partition p) const;
+  /// Retarget the policy's budget, or count the dropped cap when the
+  /// policy has no power notion (the governor still enforces it).
+  void push_cap_to_policy(double watts);
   /// One crashed epoch: the machine is off -- no serving, no power, no
   /// heartbeat, no report.
   void step_down();
@@ -229,6 +236,7 @@ class ClusterNode {
   telemetry::Counter* changes_counter_ = nullptr;
   telemetry::Counter* throttle_counter_ = nullptr;
   telemetry::Counter* safe_mode_counter_ = nullptr;
+  telemetry::Counter* cap_unsupported_counter_ = nullptr;
   telemetry::Gauge* degraded_gauge_ = nullptr;
 };
 

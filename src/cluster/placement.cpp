@@ -23,7 +23,7 @@ double estimate_pair_power_w(const LsProfile& ls, const BeProfile& be,
   const sim::PowerModel model(m, server.power);
   AppSlice ls_slice{m.num_cores / 2, m.max_freq_level(), m.llc_ways / 2};
   const AppSlice be_slice =
-      complement_slice(m, ls_slice, m.max_freq_level());
+      Allocation::complement(m, ls_slice, m.max_freq_level());
   // Busy on both sides, each demanding its profile's peak traffic.
   return model.package_power_w(ls_slice, 1.0, ls.power_activity, be_slice,
                                1.0, be.power_activity,

@@ -138,7 +138,7 @@ std::optional<Candidate> ConfigSearch::evaluate_candidate(double qps_real,
   if (ls.llc_ways >= m.llc_ways) return std::nullopt;  // nothing left for BE
   ls.freq_level = min_ls_freq(qps_real, ls);
 
-  AppSlice be = complement_slice(m, ls, 0);
+  AppSlice be = Allocation::complement(m, ls, 0);
   if (be.cores < 1 || be.llc_ways < 1) return std::nullopt;
   const auto f2 = max_be_freq(qps_real, ls, be);
   if (!f2) return std::nullopt;  // power infeasible even at the bottom P-state
@@ -262,7 +262,7 @@ SearchResult ConfigSearch::exhaustive(double qps_real) const {
         const AppSlice ls{c1, f1, l1};
         if (!predictor_.ls_qos_ok(qps_real, ls)) continue;
         for (int f2 = m.max_freq_level(); f2 >= 0; --f2) {
-          AppSlice be = complement_slice(m, ls, f2);
+          AppSlice be = Allocation::complement(m, ls, f2);
           Partition p{ls, be};
           const double power = predictor_.total_power_w(qps_real, p);
           if (power > budget_w_) continue;

@@ -117,11 +117,13 @@ Partition SturgeonController::apply_reserves(Partition p) const {
 }
 
 Partition SturgeonController::finish_decision(const Partition& p,
-                                              const char* action,
+                                              Action action,
+                                              std::string detail,
                                               double predicted_throughput,
                                               double predicted_power_w) {
-  last_decision_.partition = p;
+  last_decision_.allocation = Allocation::of(p);
   last_decision_.action = action;
+  last_decision_.detail = std::move(detail);
   last_decision_.predicted_throughput = predicted_throughput;
   last_decision_.predicted_power_w = predicted_power_w;
 
@@ -185,7 +187,7 @@ Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
       balancer_.step(slack, qps, current);  // disarms itself in-band
       span.attr("action", "settle");
     }
-    return finish_decision(current, "hold", 0.0, 0.0);
+    return finish_decision(current, Action::kHold, {}, 0.0, 0.0);
   }
 
   // A live balancer sequence continues before any new search: it is the
@@ -215,8 +217,8 @@ Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
 
   if (options_.enable_balancer && balancer_armed_ && balancer_.active()) {
     if (const auto p = run_balancer(current)) {
-      return finish_decision(
-          *p, ("balance:" + balancer_.last_action()).c_str(), 0.0, 0.0);
+      return finish_decision(*p, Action::kBalance,
+                             balancer_.last_action(), 0.0, 0.0);
     }
   }
 
@@ -242,7 +244,8 @@ Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
       balancer_.arm(result.best);
       balancer_armed_ = true;
     }
-    return finish_decision(result.best, "search", result.predicted_throughput,
+    return finish_decision(result.best, Action::kSearch, {},
+                           result.predicted_throughput,
                            result.predicted_power_w);
   }
 
@@ -256,11 +259,12 @@ Partition SturgeonController::decide(const sim::ServerTelemetry& sample,
       balancer_armed_ = true;
     }
     if (const auto p = run_balancer(current)) {
-      return finish_decision(
-          *p, ("balance:" + balancer_.last_action()).c_str(), 0.0, 0.0);
+      return finish_decision(*p, Action::kBalance,
+                             balancer_.last_action(), 0.0, 0.0);
     }
   }
-  return finish_decision(current, "hold", result.predicted_throughput,
+  return finish_decision(current, Action::kHold, {},
+                         result.predicted_throughput,
                          result.predicted_power_w);
 }
 

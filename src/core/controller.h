@@ -60,8 +60,11 @@ class SturgeonController : public Policy {
   std::string name() const override;
   std::string describe() const override;
   void reset() override;
+  using Policy::decide;
   Partition decide(const sim::ServerTelemetry& sample,
                    const Partition& current) override;
+
+  bool supports_power_cap() const override { return true; }
 
   /// Retarget the node budget the search and the balancer admit
   /// configurations under (cluster coordinator re-caps). Unlike reset(),
@@ -102,8 +105,8 @@ class SturgeonController : public Policy {
 
   /// Record `p` as the epoch's outcome on last_decision() and the
   /// registry gauges, then hand it back to the caller.
-  Partition finish_decision(const Partition& p, const char* action,
-                            double predicted_throughput,
+  Partition finish_decision(const Partition& p, Action action,
+                            std::string detail, double predicted_throughput,
                             double predicted_power_w);
 
   /// Cache instrument references from the current context.

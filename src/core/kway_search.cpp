@@ -1,0 +1,398 @@
+#include "core/kway_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.h"
+#include "util/invariants.h"
+
+namespace sturgeon::core {
+
+namespace {
+
+constexpr int kMaxHillClimbRounds = 256;
+
+std::vector<const Predictor*> shared_predictors(const WorkloadSet& workloads,
+                                                const Predictor& predictor) {
+  return std::vector<const Predictor*>(
+      static_cast<std::size_t>(workloads.size()), &predictor);
+}
+
+}  // namespace
+
+KwaySearch::KwaySearch(WorkloadSet workloads,
+                       std::vector<const Predictor*> predictors,
+                       double power_budget_w)
+    : workloads_(std::move(workloads)),
+      predictors_(std::move(predictors)),
+      budget_w_(power_budget_w) {
+  workloads_.validate();
+  if (static_cast<int>(predictors_.size()) != workloads_.size()) {
+    throw std::invalid_argument(
+        "KwaySearch: predictor count does not match workload count");
+  }
+  for (const Predictor* p : predictors_) {
+    if (p == nullptr) throw std::invalid_argument("KwaySearch: null predictor");
+  }
+  if (!std::isfinite(power_budget_w) || power_budget_w <= 0.0) {
+    throw std::invalid_argument("KwaySearch: bad power budget");
+  }
+  // The canonical pair sharing one predictor recovers the paper's
+  // O(N log N) pair search exactly -- no hill-climb, bit-identical
+  // results (the K = 2 compatibility contract).
+  if (workloads_.is_pair() && predictors_[0] == predictors_[1]) {
+    pair_search_ = std::make_unique<ConfigSearch>(*predictors_[0], budget_w_);
+  }
+}
+
+KwaySearch::KwaySearch(WorkloadSet workloads, const Predictor& predictor,
+                       double power_budget_w)
+    : KwaySearch(workloads, shared_predictors(workloads, predictor),
+                 power_budget_w) {}
+
+void KwaySearch::set_power_budget(double watts) {
+  if (!std::isfinite(watts) || watts <= 0.0) {
+    throw std::invalid_argument("KwaySearch: bad power budget");
+  }
+  budget_w_ = watts;
+  if (pair_search_ != nullptr) pair_search_->set_power_budget(watts);
+}
+
+std::uint64_t KwaySearch::total_invocations() const {
+  // Sum each distinct predictor once (several workloads usually share
+  // one); linear dedupe keeps the scan deterministic.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < predictors_.size(); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (predictors_[j] == predictors_[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) total += predictors_[i]->model_invocations();
+  }
+  return total;
+}
+
+void KwaySearch::validate_loads(const std::vector<double>& qps_real) const {
+  if (static_cast<int>(qps_real.size()) != workloads_.size()) {
+    throw std::invalid_argument(
+        "KwaySearch: qps vector does not match workload count");
+  }
+  for (int i = 0; i < workloads_.size(); ++i) {
+    if (!workloads_[i].is_ls()) continue;
+    const double q = qps_real[static_cast<std::size_t>(i)];
+    STURGEON_CHECK(std::isfinite(q) && q >= 0.0,
+                   "KwaySearch: qps[" << i << "] = " << q);
+  }
+}
+
+double KwaySearch::predicted_power_w(const std::vector<double>& qps_real,
+                                     const Allocation& a) const {
+  double power = 0.0;
+  for (int i = 0; i < workloads_.size(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (workloads_[i].is_ls()) {
+      power += predictors_[idx]->ls_power_w(qps_real[idx], a[i]);
+    } else if (a[i].cores > 0) {
+      power += predictors_[idx]->be_power_w(a[i]);
+    }
+  }
+  return power;
+}
+
+double KwaySearch::objective(const Allocation& a) const {
+  double sum = 0.0;
+  for (int i = 0; i < workloads_.size(); ++i) {
+    if (!workloads_[i].is_be() || a[i].cores == 0) continue;
+    sum += workloads_[i].weight() *
+           predictors_[static_cast<std::size_t>(i)]->be_throughput(a[i]);
+  }
+  return sum;
+}
+
+bool KwaySearch::feasible(const std::vector<double>& qps_real,
+                          const Allocation& a) const {
+  if (a.size() != workloads_.size() || !a.valid_for(machine())) return false;
+  for (int i = 0; i < workloads_.size(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (workloads_[i].is_ls() &&
+        !predictors_[idx]->ls_qos_ok(qps_real[idx], a[i])) {
+      return false;
+    }
+  }
+  return predicted_power_w(qps_real, a) <= budget_w_;
+}
+
+std::optional<Allocation> KwaySearch::greedy_seed(
+    const std::vector<double>& qps_real) const {
+  const MachineSpec& m = machine();
+  const int k = workloads_.size();
+  if (k > m.num_cores || k > m.llc_ways) return std::nullopt;
+
+  Allocation a;
+  a.slices.assign(static_cast<std::size_t>(k), AppSlice{1, 0, 1});
+  int cores_used = k;
+  int ways_used = k;
+
+  // Grow each LS slice until its own predictor clears its QoS target.
+  // One unit of each resource per round (cores, then ways, then
+  // frequency), stopping at the first ok -- round-robin rather than
+  // exhaust-cores-first, because a target gated on cache ways would
+  // otherwise soak up the whole core pool before touching a way. The
+  // hill-climb trims any overshoot afterwards.
+  for (const int i : workloads_.ls_indices()) {
+    const Predictor& pred = *predictors_[static_cast<std::size_t>(i)];
+    const double qps = qps_real[static_cast<std::size_t>(i)];
+    AppSlice& s = a[i];
+    while (!pred.ls_qos_ok(qps, s)) {
+      bool grew = false;
+      if (cores_used < m.num_cores) {
+        ++s.cores;
+        ++cores_used;
+        grew = true;
+      }
+      if (!pred.ls_qos_ok(qps, s)) {
+        if (ways_used < m.llc_ways) {
+          ++s.llc_ways;
+          ++ways_used;
+          grew = true;
+        }
+        if (!pred.ls_qos_ok(qps, s) && s.freq_level < m.max_freq_level()) {
+          ++s.freq_level;
+          grew = true;
+        }
+      }
+      if (!grew) return std::nullopt;  // machine cannot hold this target
+    }
+  }
+
+  // Spread the leftover cores and ways over the BE slices proportionally
+  // to their priority weights (largest-remainder rounding, index order
+  // breaking ties) so higher-priority applications seed bigger.
+  const std::vector<int> be = workloads_.be_indices();
+  if (!be.empty()) {
+    double total_weight = 0.0;
+    for (const int j : be) total_weight += workloads_[j].weight();
+    const auto spread = [&](int spare, auto get, auto bump) {
+      std::vector<double> frac(be.size(), 0.0);
+      int handed = 0;
+      for (std::size_t n = 0; n < be.size(); ++n) {
+        const double ideal =
+            spare * workloads_[be[n]].weight() / total_weight;
+        const int whole = static_cast<int>(ideal);
+        frac[n] = ideal - whole;
+        bump(a[be[n]], whole);
+        handed += whole;
+      }
+      for (int rest = spare - handed; rest > 0; --rest) {
+        std::size_t pick = 0;
+        for (std::size_t n = 1; n < be.size(); ++n) {
+          if (frac[n] > frac[pick]) pick = n;
+        }
+        frac[pick] = -1.0;
+        bump(a[be[pick]], 1);
+      }
+      (void)get;
+    };
+    spread(m.num_cores - cores_used,
+           [](const AppSlice& s) { return s.cores; },
+           [](AppSlice& s, int n) { s.cores += n; });
+    spread(m.llc_ways - ways_used,
+           [](const AppSlice& s) { return s.llc_ways; },
+           [](AppSlice& s, int n) { s.llc_ways += n; });
+
+    // Raise BE frequencies round-robin (heaviest first, index breaking
+    // ties) while the summed power model still fits the budget.
+    std::vector<int> order = be;
+    std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+      return workloads_[x].weight() > workloads_[y].weight();
+    });
+    bool raised = true;
+    while (raised) {
+      raised = false;
+      for (const int j : order) {
+        if (a[j].freq_level >= m.max_freq_level()) continue;
+        ++a[j].freq_level;
+        if (predicted_power_w(qps_real, a) <= budget_w_) {
+          raised = true;
+        } else {
+          --a[j].freq_level;
+        }
+      }
+    }
+  }
+
+  if (!feasible(qps_real, a)) return std::nullopt;
+  return a;
+}
+
+std::optional<Allocation> KwaySearch::best_move(
+    const std::vector<double>& qps_real, const Allocation& a,
+    double current_objective) const {
+  const MachineSpec& m = machine();
+  const int k = workloads_.size();
+  std::optional<Allocation> best;
+  double best_obj = current_objective;
+
+  const auto consider = [&](const Allocation& cand) {
+    if (!feasible(qps_real, cand)) return;
+    const double obj = objective(cand);
+    if (obj > best_obj) {
+      best_obj = obj;
+      best = cand;
+    }
+  };
+
+  // Single-unit transfers between every ordered slice pair, then single
+  // P-state steps -- one fixed enumeration order, so equal-objective
+  // candidates always resolve the same way.
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (i == j) continue;
+      if (a[i].cores > 1) {
+        Allocation cand = a;
+        --cand[i].cores;
+        ++cand[j].cores;
+        consider(cand);
+      }
+      if (a[i].llc_ways > 1) {
+        Allocation cand = a;
+        --cand[i].llc_ways;
+        ++cand[j].llc_ways;
+        consider(cand);
+      }
+    }
+  }
+  for (int i = 0; i < k; ++i) {
+    if (a[i].freq_level < m.max_freq_level()) {
+      Allocation cand = a;
+      ++cand[i].freq_level;
+      consider(cand);
+    }
+    if (a[i].freq_level > 0) {
+      Allocation cand = a;
+      --cand[i].freq_level;
+      consider(cand);
+    }
+  }
+  return best;
+}
+
+KwaySearchResult KwaySearch::finish(const std::vector<double>& qps_real,
+                                    Allocation a, bool is_feasible,
+                                    int rounds,
+                                    std::uint64_t invocations_before) const {
+  KwaySearchResult r;
+  r.best = std::move(a);
+  r.feasible = is_feasible;
+  r.rounds = rounds;
+  r.slice_throughput.assign(static_cast<std::size_t>(workloads_.size()), 0.0);
+  if (is_feasible) {
+    for (const int j : workloads_.be_indices()) {
+      if (r.best[j].cores == 0) continue;
+      r.slice_throughput[static_cast<std::size_t>(j)] =
+          predictors_[static_cast<std::size_t>(j)]->be_throughput(r.best[j]);
+    }
+    r.objective = objective(r.best);
+    r.predicted_power_w = predicted_power_w(qps_real, r.best);
+  }
+  r.model_invocations = total_invocations() - invocations_before;
+  ValidateConfig(machine(), r.best, "KwaySearch::search");
+  return r;
+}
+
+KwaySearchResult KwaySearch::search(const std::vector<double>& qps_real,
+                                    const Allocation* warm_start) const {
+  validate_loads(qps_real);
+  const std::uint64_t invocations_before = total_invocations();
+
+  if (pair_search_ != nullptr) {
+    const SearchResult pair = pair_search_->search(qps_real[0]);
+    KwaySearchResult r;
+    r.best = Allocation::of(pair.best);
+    r.feasible = pair.feasible;
+    r.predicted_power_w = pair.predicted_power_w;
+    r.slice_throughput = {0.0, pair.predicted_throughput};
+    r.objective = workloads_[1].weight() * pair.predicted_throughput;
+    r.model_invocations = pair.model_invocations;
+    return r;
+  }
+
+  std::optional<Allocation> start;
+  if (warm_start != nullptr && warm_start->size() == workloads_.size() &&
+      feasible(qps_real, *warm_start)) {
+    start = *warm_start;
+  } else {
+    start = greedy_seed(qps_real);
+  }
+  if (!start) {
+    return finish(qps_real,
+                  Allocation::all_to_first(machine(), workloads_.size()),
+                  false, 0, invocations_before);
+  }
+
+  Allocation current = std::move(*start);
+  double obj = objective(current);
+  int rounds = 0;
+  while (rounds < kMaxHillClimbRounds) {
+    const auto next = best_move(qps_real, current, obj);
+    if (!next) break;
+    current = *next;
+    obj = objective(current);
+    ++rounds;
+  }
+  return finish(qps_real, std::move(current), true, rounds,
+                invocations_before);
+}
+
+KwaySearchResult KwaySearch::exhaustive(
+    const std::vector<double>& qps_real) const {
+  validate_loads(qps_real);
+  const std::uint64_t invocations_before = total_invocations();
+  const MachineSpec& m = machine();
+  const int k = workloads_.size();
+
+  Allocation cur;
+  cur.slices.assign(static_cast<std::size_t>(k), AppSlice{});
+  std::optional<Allocation> best;
+  double best_obj = 0.0;
+
+  // Depth-first over every (cores, freq, ways) choice per slice, pruning
+  // on the core/way totals. Exponential in K: tests-and-oracles only.
+  const auto recurse = [&](auto&& self, int i, int cores_used,
+                           int ways_used) -> void {
+    if (i == k) {
+      if (!feasible(qps_real, cur)) return;
+      const double obj = objective(cur);
+      if (!best || obj > best_obj) {
+        best = cur;
+        best_obj = obj;
+      }
+      return;
+    }
+    const int max_c = m.num_cores - cores_used - (k - 1 - i);
+    const int max_l = m.llc_ways - ways_used - (k - 1 - i);
+    for (int c = 1; c <= max_c; ++c) {
+      for (int f = 0; f <= m.max_freq_level(); ++f) {
+        for (int l = 1; l <= max_l; ++l) {
+          cur[i] = AppSlice{c, f, l};
+          self(self, i + 1, cores_used + c, ways_used + l);
+        }
+      }
+    }
+  };
+  recurse(recurse, 0, 0, 0);
+
+  if (!best) {
+    return finish(qps_real, Allocation::all_to_first(m, k), false, 0,
+                  invocations_before);
+  }
+  return finish(qps_real, std::move(*best), true, 0, invocations_before);
+}
+
+}  // namespace sturgeon::core

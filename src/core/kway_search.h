@@ -1,0 +1,136 @@
+// K-way configuration search: the N-slice generalization of Sturgeon's
+// pair search (paper Section V-B).
+//
+// The pair search exploits LS/BE monotonicity to enumerate "just-enough"
+// LS candidates in O(N log N). With K workloads (any mix of LS services
+// with individual QoS targets and priority-ranked BE applications) the
+// candidate lattice is no longer one-dimensional, so KwaySearch uses a
+// different sub-millisecond strategy:
+//
+//   1. greedy seed -- every slice starts minimal; each LS slice grows
+//      (cores, then ways, then frequency) until its own predictor says
+//      its QoS target holds at its load; leftover cores/ways spread over
+//      the BE slices by priority weight; BE frequencies rise while the
+//      summed power model fits the budget;
+//   2. warm start -- when the caller passes last epoch's allocation and
+//      it is still feasible at the new loads, it replaces the seed
+//      (steady-state searches start at the optimum and converge in one
+//      round);
+//   3. hill-climb -- single-unit moves (one core or one way between any
+//      ordered slice pair, one P-state up or down on any slice) are
+//      scanned in a fixed order; the best strictly-improving feasible
+//      move is taken until none exists.
+//
+// The objective is the priority-weighted sum of predicted BE throughputs
+// (LS slices are constraints, not objective terms). Total power is
+// approximated as sum(ls_power_w) + sum(be_power_w), exact at K = 2 by
+// construction of the pair predictor and conservative (uncore counted
+// once per LS slice) beyond it.
+//
+// K = 2 with a shared predictor and the canonical {LS, BE} shape does
+// not hill-climb at all: it delegates to ConfigSearch::search and
+// converts the result, so pair answers are bit-identical to the pair
+// path. Everything here is deterministic -- fixed enumeration order, no
+// RNG, no time -- preserving the repo's bit-reproducibility discipline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config_search.h"
+#include "core/predictor.h"
+#include "util/types.h"
+
+namespace sturgeon::core {
+
+struct KwaySearchResult {
+  /// Best feasible allocation; all-to-first fallback when no K-way split
+  /// satisfies every LS target under the budget (feasible == false).
+  Allocation best;
+  bool feasible = false;
+  /// Priority-weighted sum of predicted BE throughputs of `best`.
+  double objective = 0.0;
+  double predicted_power_w = 0.0;
+  /// Predicted BE throughput per slice (0 for LS slices), aligned with
+  /// `best`.
+  std::vector<double> slice_throughput;
+  std::uint64_t model_invocations = 0;  ///< predictions this search used
+  int rounds = 0;  ///< hill-climb rounds run (0 = seed was optimal or the
+                   ///< K = 2 delegation path answered)
+};
+
+class KwaySearch {
+ public:
+  /// One predictor per workload, aligned with `workloads` (an LS
+  /// workload's predictor answers ls_qos_ok/ls_power_w for ITS demand
+  /// model; a BE workload's answers be_throughput/be_power_w). All
+  /// predictors must share the same MachineSpec and outlive the search.
+  KwaySearch(WorkloadSet workloads,
+             std::vector<const Predictor*> predictors, double power_budget_w);
+
+  /// Convenience: every workload shares one predictor (the common case:
+  /// one profiled LS service and one profiled BE app family).
+  KwaySearch(WorkloadSet workloads, const Predictor& predictor,
+             double power_budget_w);
+
+  /// Search at per-workload loads `qps_real` (indexed like the workload
+  /// set; entries for BE workloads are ignored). `warm_start`, when given
+  /// and still feasible, seeds the climb with last epoch's allocation.
+  KwaySearchResult search(const std::vector<double>& qps_real,
+                          const Allocation* warm_start = nullptr) const;
+
+  /// Exhaustive oracle over the full K-way grid (every composition of
+  /// cores and ways times every frequency combination). Exponential in
+  /// K -- only for small machines in tests and search-quality checks.
+  KwaySearchResult exhaustive(const std::vector<double>& qps_real) const;
+
+  double power_budget_w() const { return budget_w_; }
+
+  /// Retarget the budget; applies from the next search. Must be > 0.
+  void set_power_budget(double watts);
+
+  const WorkloadSet& workloads() const { return workloads_; }
+  const MachineSpec& machine() const { return predictors_[0]->machine(); }
+
+  /// Summed power of `a` at loads `qps_real` under the per-slice model
+  /// (exposed for tests and the bench harness).
+  double predicted_power_w(const std::vector<double>& qps_real,
+                           const Allocation& a) const;
+
+  /// Priority-weighted BE objective of `a`.
+  double objective(const Allocation& a) const;
+
+ private:
+  /// True iff `a` is expressible, every LS slice meets its target at its
+  /// load, and the summed power fits the budget.
+  bool feasible(const std::vector<double>& qps_real,
+                const Allocation& a) const;
+
+  /// The greedy seed described in the header comment; nullopt when some
+  /// LS target cannot be met even greedily.
+  std::optional<Allocation> greedy_seed(
+      const std::vector<double>& qps_real) const;
+
+  /// Best strictly-improving single-unit move from `a`, or nullopt at a
+  /// local optimum. Scans moves in a fixed order for determinism.
+  std::optional<Allocation> best_move(const std::vector<double>& qps_real,
+                                      const Allocation& a,
+                                      double current_objective) const;
+
+  KwaySearchResult finish(const std::vector<double>& qps_real, Allocation a,
+                          bool feasible, int rounds,
+                          std::uint64_t invocations_before) const;
+
+  std::uint64_t total_invocations() const;
+  void validate_loads(const std::vector<double>& qps_real) const;
+
+  WorkloadSet workloads_;
+  std::vector<const Predictor*> predictors_;
+  double budget_w_;
+  /// Non-null exactly when the workload set is the canonical {LS, BE}
+  /// pair sharing one predictor: the delegation path that recovers the
+  /// pair search bit-for-bit.
+  std::unique_ptr<ConfigSearch> pair_search_;
+};
+
+}  // namespace sturgeon::core

@@ -1,5 +1,5 @@
 // Co-location policy interface: one decision per 1 s interval, mapping
-// the latest telemetry sample to the partition for the next interval.
+// the latest telemetry sample to the allocation for the next interval.
 // Sturgeon, Sturgeon-NoB and the baseline controllers all implement this,
 // so the experiment harness can drive them interchangeably.
 //
@@ -12,6 +12,10 @@
 //     Policies report counters/gauges/spans through it; a policy always
 //     has a context (a private no-op sink from birth), so instrument
 //     updates never need a null check.
+//
+// Decisions carry a K-way Allocation; the pair-era decide(Partition)
+// entry point remains the required override (every shipped policy is a
+// pair controller), and the Allocation overload adapts exactly at K = 2.
 #pragma once
 
 #include <cstdint>
@@ -27,17 +31,45 @@ class TelemetryContext;
 
 namespace sturgeon::core {
 
+/// Machine-readable decision tag. The free-form detail string refines the
+/// tag ("balance" + "cores", "power_cap" + "freq"); exporters render both
+/// via PolicyDecision::action_string(), which reproduces the historical
+/// "tag:detail" wire format exactly.
+enum class Action {
+  kNone,      ///< no decision yet (pre-first-decide / post-reset)
+  kHold,      ///< keep the current allocation
+  kSearch,    ///< adopted a model-searched configuration
+  kBalance,   ///< feedback balancer moved a resource unit
+  kRevert,    ///< undid the previous probe/adjustment
+  kStatic,    ///< fixed allocation (no management)
+  kUpsize,    ///< grew the LS share of a resource
+  kDownsize,  ///< harvested a resource unit from the LS share
+  kProbe,     ///< speculative downsize while healthy
+  kSeedBe,    ///< gave an empty BE side its first minimal slice
+  kPowerCap,  ///< backed off to respect the power budget
+  kBeBoost,   ///< opportunistically raised the BE frequency
+  kSafeMode,  ///< watchdog forced the known-safe allocation
+};
+
+const char* to_string(Action action);
+
 /// What the last decide() call chose, uniformly across policies.
 struct PolicyDecision {
   std::uint64_t epoch = 0;  ///< 1-based decide() counter since reset()
-  Partition partition;      ///< the returned allocation
-  /// Machine-readable action tag: "hold", "search", "balance:<resource>",
-  /// "upsize:<resource>", "downsize:<resource>", "revert", "static", ...
-  std::string action = "none";
+  Allocation allocation;    ///< the returned allocation (K slices)
+  Action action = Action::kNone;
+  std::string detail;  ///< optional refinement, e.g. "cores", "freq"
   double slack = 0.0;  ///< measured slack this decision saw (0 if unused)
   /// Model expectations backing the decision; 0 for model-free policies.
   double predicted_throughput = 0.0;
   double predicted_power_w = 0.0;
+
+  /// K = 2 view of the allocation (empty Partition before any decision).
+  Partition partition() const;
+
+  /// Historical wire format for exporters: "hold", "balance:cores",
+  /// "power_cap:freq", ... -- to_string(action) plus ":detail" when set.
+  std::string action_string() const;
 };
 
 class Policy {
@@ -60,15 +92,28 @@ class Policy {
   virtual Partition decide(const sim::ServerTelemetry& sample,
                            const Partition& current) = 0;
 
+  /// K-way entry point. The default adapter handles exactly K = 2 by
+  /// delegating to the pair decide() above (bit-identical round trip);
+  /// it throws std::invalid_argument for any other K. Policies with a
+  /// native K-way control loop override this.
+  virtual Allocation decide(const sim::ServerTelemetry& sample,
+                            const Allocation& current);
+
   /// What the most recent decide() chose; default-initialized before the
   /// first call and after reset().
   const PolicyDecision& last_decision() const { return last_decision_; }
 
+  /// Whether set_power_cap() actually retargets this policy. Callers that
+  /// distribute caps (exp::Runner, cluster::ClusterNode) consult this to
+  /// count dropped caps instead of silently losing them.
+  virtual bool supports_power_cap() const { return false; }
+
   /// Update the power budget (watts) this policy must keep the node
   /// under. The cluster-level PowerCoordinator re-caps nodes between
   /// epochs; power-aware policies (Sturgeon, PARTIES, Heracles) retarget
-  /// their budget checks, the default ignores the cap (policies with no
-  /// power notion, e.g. Static). Takes effect from the next decide().
+  /// their budget checks and report supports_power_cap() == true; the
+  /// default ignores the cap (policies with no power notion, e.g.
+  /// Static). Takes effect from the next decide().
   virtual void set_power_cap(double /*watts*/) {}
 
   /// Route this policy's instruments/spans through `context` (the

@@ -53,6 +53,16 @@ RunResult run_colocation(const LsProfile& ls, const BeProfile& be,
   telemetry::Counter& changes_counter =
       registry.counter("run.partition_changes");
 
+  if (config.power_cap_w > 0.0) {
+    if (policy.supports_power_cap()) {
+      policy.set_power_cap(config.power_cap_w);
+    } else {
+      // Cap dropped on the floor by a power-oblivious policy: make the
+      // loss observable instead of silent.
+      registry.counter("policy.cap.unsupported").inc();
+    }
+  }
+
   // Everything the run learned must survive every exit path: normal end,
   // violation abort, and exceptions out of the policy or the simulator.
   const auto finalize = [&]() {
@@ -94,14 +104,23 @@ RunResult run_colocation(const LsProfile& ls, const BeProfile& be,
       Partition next;
       {
         telemetry::Span span = tracer.start_span("decide");
-        next = policy.decide(sample, enforcer.current());
-        span.attr("action", policy.last_decision().action);
+        if (config.route_via_allocation) {
+          next = policy.decide(sample, enforcer.current_allocation())
+                     .to_partition();
+        } else {
+          next = policy.decide(sample, enforcer.current());
+        }
+        span.attr("action", policy.last_decision().action_string());
       }
 
       const bool changed = !(next == enforcer.current());
       if (changed) {
         telemetry::Span span = tracer.start_span("enforce");
-        enforcer.apply(next);
+        if (config.route_via_allocation) {
+          enforcer.apply(Allocation::of(next));
+        } else {
+          enforcer.apply(next);
+        }
         changes_counter.inc();
         span.attr("partition", next.to_string(server.machine()));
       }
@@ -109,7 +128,7 @@ RunResult run_colocation(const LsProfile& ls, const BeProfile& be,
           .attr("p95_ms", sample.ls.p95_ms)
           .attr("power_w", sample.power_w)
           .attr("slack", slack)
-          .attr("action", policy.last_decision().action)
+          .attr("action", policy.last_decision().action_string())
           .attr("changed", changed);
       result.intervals_run = t + 1;
 

@@ -34,6 +34,16 @@ struct RunConfig {
   /// Abort the run after this many *consecutive* QoS-violating intervals
   /// (0 = never). Partial results and telemetry are still flushed.
   int abort_after_violation_s = 0;
+  /// Power cap handed to the policy before the run (0 = leave the policy's
+  /// construction-time budget alone). When the policy reports
+  /// !supports_power_cap() the cap is NOT silently dropped: the run's
+  /// "policy.cap.unsupported" counter records it.
+  double power_cap_w = 0.0;
+  /// Route decisions and enforcement through the K-way Allocation API
+  /// (Policy::decide(Allocation) + ResourceEnforcer::apply(Allocation))
+  /// instead of the pair entry points. Same-seed results are bit-identical
+  /// either way at K = 2 -- the twin test in tests/kway pins this.
+  bool route_via_allocation = false;
 };
 
 struct RunResult {

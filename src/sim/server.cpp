@@ -22,6 +22,15 @@ SimulatedServer::SimulatedServer(const LsProfile& ls, const BeProfile& be,
       interference_(config.interference, derive_seed(seed, 1)),
       noise_rng_(derive_seed(seed, 2)) {}
 
+void SimulatedServer::set_allocation(const Allocation& a) {
+  if (a.size() != 2) {
+    throw std::invalid_argument(
+        "set_allocation: pair simulator cannot express K = " +
+        std::to_string(a.size()));
+  }
+  set_partition(a.to_partition());
+}
+
 void SimulatedServer::set_partition(const Partition& p) {
   const bool be_empty = p.be.cores == 0;
   if (be_empty) {
@@ -166,6 +175,20 @@ ServerTelemetry SimulatedServer::step(double load_fraction) {
                   "step: be throughput = " << t.be_throughput);
   STURGEON_DCHECK(std::isfinite(t.bw_gbps) && t.bw_gbps >= 0.0,
                   "step: bandwidth = " << t.bw_gbps);
+
+  // Per-workload breakdown (LS then BE), the K-way view of the sample.
+  SliceTelemetry ls_view;
+  ls_view.kind = WorkloadKind::kLatencySensitive;
+  ls_view.slice = partition_.ls;
+  ls_view.p95_ms = t.ls.p95_ms;
+  ls_view.qos_target_ms = t.qos_target_ms;
+  ls_view.qos_met = t.qos_met();
+  SliceTelemetry be_view;
+  be_view.kind = WorkloadKind::kBestEffort;
+  be_view.slice = partition_.be;
+  be_view.throughput = t.be_throughput;
+  be_view.throughput_norm = t.be_throughput_norm;
+  t.slices = {ls_view, be_view};
   return t;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "sim/interference.h"
 #include "sim/ls_queue.h"
@@ -20,6 +21,20 @@
 #include "workloads/app_profile.h"
 
 namespace sturgeon::sim {
+
+/// Per-slice view of one telemetry sample: how each co-scheduled
+/// workload fared this interval, in WorkloadSet order. Pair servers emit
+/// two entries (LS then BE); the fields not applicable to a slice's kind
+/// stay zero.
+struct SliceTelemetry {
+  WorkloadKind kind = WorkloadKind::kBestEffort;
+  AppSlice slice;              ///< resources the workload held
+  double p95_ms = 0.0;         ///< LS only
+  double qos_target_ms = 0.0;  ///< LS only
+  bool qos_met = true;         ///< LS only; always true for BE
+  double throughput = 0.0;       ///< BE only (abstract ops/s)
+  double throughput_norm = 0.0;  ///< BE only, normalized to solo
+};
 
 /// One 1 s telemetry sample, the unit of observation for controllers and
 /// for offline model training.
@@ -40,6 +55,10 @@ struct ServerTelemetry {
 
   double interference_factor = 1.0;  ///< hidden disturbance (ground truth;
                                      ///< controllers must not read this)
+
+  /// Per-workload breakdown in WorkloadSet order (LS then BE for pair
+  /// servers); the scalar fields above are the K = 2 roll-up.
+  std::vector<SliceTelemetry> slices;
 
   bool qos_met() const { return ls.p95_ms <= qos_target_ms; }
 };
@@ -64,6 +83,11 @@ class SimulatedServer {
   /// initial all-to-LS allocation.
   void set_partition(const Partition& p);
   const Partition& partition() const { return partition_; }
+
+  /// K-way adapters over the pair simulator (exactly K = 2; throws
+  /// otherwise -- the physical model simulates one LS + one BE).
+  void set_allocation(const Allocation& a);
+  Allocation allocation() const { return Allocation::of(partition_); }
 
   /// Advance one second at `load_fraction` of the LS peak load.
   ServerTelemetry step(double load_fraction);

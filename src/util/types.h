@@ -1,11 +1,16 @@
-// Shared resource-partition types used across the Sturgeon codebase.
+// Shared resource-allocation types used across the Sturgeon codebase.
 //
-// A co-location partitions the server between one latency-sensitive (LS)
-// service and one best-effort (BE) application. Following the paper's
-// notation, a configuration <C1,F1,L1; C2,F2,L2> assigns C1 cores at
-// frequency F1 and L1 LLC ways to the LS service, and C2/F2/L2 to the BE
-// application. Frequencies are carried as indices into the machine's
-// P-state table so that controllers can do integer binary search over them.
+// The paper co-locates exactly one latency-sensitive (LS) service with one
+// best-effort (BE) application; a configuration <C1,F1,L1; C2,F2,L2>
+// assigns C1 cores at frequency F1 and L1 LLC ways to the LS service, and
+// C2/F2/L2 to the BE application. The generalized model managed here is
+// K-way: a WorkloadSet describes an ordered list of co-scheduled
+// workloads (each LS-with-QoS-target or BE-with-priority) and an
+// Allocation assigns one AppSlice per workload. Partition remains the
+// K = 2 view of that model -- every pair-era API keeps working, and
+// Allocation::of / Allocation::to_partition bridge the two exactly.
+// Frequencies are carried as indices into the machine's P-state table so
+// that controllers can do integer binary search over them.
 #pragma once
 
 #include <cstdint>
@@ -53,9 +58,125 @@ struct AppSlice {
   int llc_ways = 0;
 
   bool operator==(const AppSlice&) const = default;
+
+  /// True for the "not scheduled" slice (no cores pinned). An empty
+  /// slice is what the initial all-to-LS allocation hands the BE side.
+  bool empty() const { return cores == 0; }
 };
 
-/// A full co-location configuration <C1,F1,L1; C2,F2,L2>.
+/// What kind of co-scheduled workload a slice serves.
+enum class WorkloadKind {
+  kLatencySensitive,  ///< has a tail-latency QoS target
+  kBestEffort,        ///< throughput-oriented, priority-ranked
+};
+
+const char* to_string(WorkloadKind kind);
+
+/// One co-scheduled workload: an LS service with a QoS target, or a BE
+/// application with a scheduling priority (higher = weightier in the
+/// search objective and last to be harvested by the arbiter).
+struct Workload {
+  WorkloadKind kind = WorkloadKind::kBestEffort;
+  std::string name;
+  double qos_target_ms = 0.0;  ///< LS only; must be > 0
+  int priority = 0;            ///< BE only; >= 0, higher = more important
+
+  static Workload latency_sensitive(std::string name, double qos_target_ms);
+  static Workload best_effort(std::string name, int priority = 0);
+
+  bool is_ls() const { return kind == WorkloadKind::kLatencySensitive; }
+  bool is_be() const { return kind == WorkloadKind::kBestEffort; }
+  /// Objective weight of a BE workload (1 + priority); 0 for LS.
+  double weight() const { return is_be() ? 1.0 + priority : 0.0; }
+};
+
+/// Ordered list of co-scheduled workloads on one node. The order is the
+/// slice order of every Allocation decided for this set.
+struct WorkloadSet {
+  std::vector<Workload> items;
+
+  int size() const { return static_cast<int>(items.size()); }
+  const Workload& operator[](int i) const {
+    return items[static_cast<std::size_t>(i)];
+  }
+
+  std::vector<int> ls_indices() const;
+  std::vector<int> be_indices() const;
+
+  /// True iff this is the paper's shape: exactly {one LS, one BE}, in
+  /// that order -- the shape Partition expresses.
+  bool is_pair() const;
+
+  /// Throws std::invalid_argument when malformed: empty set, an LS
+  /// workload without a positive QoS target, or a BE with priority < 0.
+  void validate() const;
+
+  /// The canonical paper pair: one LS service at `qos_target_ms`, one
+  /// priority-0 BE application.
+  static WorkloadSet pair(double qos_target_ms);
+};
+
+/// A full K-way co-location configuration: one AppSlice per workload of
+/// the owning WorkloadSet, in the same order. The generalization of
+/// Partition; Allocation::of / to_partition convert exactly at K = 2.
+struct Allocation {
+  std::vector<AppSlice> slices;
+
+  Allocation() = default;
+  explicit Allocation(std::vector<AppSlice> s) : slices(std::move(s)) {}
+
+  int size() const { return static_cast<int>(slices.size()); }
+  AppSlice& operator[](int i) { return slices[static_cast<std::size_t>(i)]; }
+  const AppSlice& operator[](int i) const {
+    return slices[static_cast<std::size_t>(i)];
+  }
+
+  bool operator==(const Allocation&) const = default;
+
+  int total_cores() const;
+  int total_ways() const;
+
+  /// True iff the allocation is expressible on `m`: at least one slice,
+  /// every slice holds >= 1 core and >= 1 way at a legal P-state, and
+  /// the core / way totals fit the machine (no oversubscription).
+  /// Mirrors Partition::valid_for generalized to K slices; like the pair
+  /// version, an all-empty tail is NOT tolerated here -- use
+  /// valid_for(m, /*allow_empty=*/true) for controller-initial shapes.
+  bool valid_for(const MachineSpec& m) const;
+
+  /// As above, but slices with zero cores are skipped (the K-way
+  /// analogue of the pair rule that an empty BE slice is allowed); the
+  /// first slice must still be non-empty.
+  bool valid_for(const MachineSpec& m, bool allow_empty) const;
+
+  /// Paper-style rendering generalized to K slices, e.g.
+  /// "<8C, 1.2F, 7L; 6C, 2.2F, 9L; 6C, 1.8F, 4L>".
+  std::string to_string(const MachineSpec& m) const;
+
+  /// Remainder helper (generalizes the pair-era free complement_slice):
+  /// the slice holding every core and way no existing slice holds, at
+  /// `freq_level` clamped to the P-state table.
+  AppSlice remainder(const MachineSpec& m, int freq_level) const;
+
+  /// Pair-shaped complement: every core/way `held` does not hold, at
+  /// `freq_level` clamped to the table. Equivalent to
+  /// Allocation{{held}}.remainder(m, freq_level).
+  static AppSlice complement(const MachineSpec& m, const AppSlice& held,
+                             int freq_level);
+
+  /// K-slice analogue of Partition::all_to_ls: slice 0 owns the whole
+  /// machine at max frequency, every other slice is empty. The
+  /// conservative fallback when no feasible K-way split exists.
+  static Allocation all_to_first(const MachineSpec& m, int k);
+
+  /// Exact K=2 bridges to the pair world.
+  static Allocation of(const struct Partition& p);
+  struct Partition to_partition() const;  ///< throws unless size() == 2
+};
+
+/// A full pair co-location configuration <C1,F1,L1; C2,F2,L2> -- the
+/// K = 2 view of an Allocation, kept as the working currency of the
+/// pair-era controllers and the isolation backend.
 struct Partition {
   AppSlice ls;  ///< latency-sensitive service share
   AppSlice be;  ///< best-effort application share
@@ -69,14 +190,11 @@ struct Partition {
   /// Paper-style rendering, e.g. "<8C, 1.2F, 7L; 12C, 2.2F, 13L>".
   std::string to_string(const MachineSpec& m) const;
 
-  /// Partition giving everything to the LS service at max frequency --
-  /// the controller's initial allocation (Algorithm 1, line 1). The BE
-  /// slice is left empty.
+  /// Partition giving every core and way to the LS service at the top
+  /// P-state; the BE slice is empty (cores = ways = 0 at P-state 0).
+  /// This is the controller's initial allocation (Algorithm 1, line 1)
+  /// and doubles as the watchdog's known-safe fallback partition.
   static Partition all_to_ls(const MachineSpec& m);
 };
-
-/// Remainder helper: BE gets every core/way the LS slice does not hold.
-AppSlice complement_slice(const MachineSpec& m, const AppSlice& ls,
-                          int be_freq_level);
 
 }  // namespace sturgeon

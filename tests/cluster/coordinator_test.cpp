@@ -13,7 +13,7 @@ NodeReport report(double budget, double idle, double cap, double power,
                   double slack, bool qos_met,
                   Liveness liveness = Liveness::kAlive, bool rejoined = false) {
   return NodeReport{budget, idle,    cap,      power,
-                    slack,  qos_met, liveness, rejoined};
+                    slack,  qos_met, liveness, rejoined, {}};
 }
 
 double sum(const std::vector<double>& v) {

@@ -12,7 +12,7 @@ TEST(GroundTruth, MeasureConfigurationIsDeterministic) {
   const auto& be = find_be("rt");
   Partition p;
   p.ls = {4, m.level_for(1.6), 6};
-  p.be = complement_slice(m, p.ls, 8);
+  p.be = Allocation::complement(m, p.ls, 8);
   const auto a = measure_configuration(ls, be, p, 0.2, 3, 9);
   const auto b = measure_configuration(ls, be, p, 0.2, 3, 9);
   EXPECT_DOUBLE_EQ(a.p95_ms, b.p95_ms);
@@ -26,12 +26,12 @@ TEST(GroundTruth, MeasureReportsQosAgainstTarget) {
   // Generous slice at low load: met. Starved slice at high load: not.
   Partition good;
   good.ls = {16, m.max_freq_level(), 16};
-  good.be = complement_slice(m, good.ls, 0);
+  good.be = Allocation::complement(m, good.ls, 0);
   EXPECT_TRUE(measure_configuration(ls, be, good, 0.2).qos_met);
 
   Partition bad;
   bad.ls = {2, 0, 2};
-  bad.be = complement_slice(m, bad.ls, 0);
+  bad.be = Allocation::complement(m, bad.ls, 0);
   const auto point = measure_configuration(ls, be, bad, 0.8);
   EXPECT_FALSE(point.qos_met);
   EXPECT_GT(point.p95_ms, ls.qos_target_ms);

@@ -27,7 +27,7 @@ TEST(Runner, StaticPolicyHoldsItsPartition) {
   const MachineSpec m = MachineSpec::xeon_e5_2630_v4();
   Partition p;
   p.ls = {8, m.max_freq_level(), 10};
-  p.be = complement_slice(m, p.ls, 4);
+  p.be = Allocation::complement(m, p.ls, 4);
   baselines::StaticPolicy policy(p, "Fixed");
   RunConfig rc;
   rc.record_trace = true;

@@ -91,7 +91,9 @@ TEST(TelemetryE2E, SturgeonEpochSpansReconcileWithHistograms) {
     if (s.name == "features" || s.name == "search" || s.name == "balance") {
       EXPECT_EQ(parent->name, "decide");
     }
-    if (s.name == "candidate_eval") EXPECT_EQ(parent->name, "search");
+    if (s.name == "candidate_eval") {
+      EXPECT_EQ(parent->name, "search");
+    }
   }
 
   // Reconciliation contract: per-phase histogram counts == span counts.
@@ -129,7 +131,7 @@ TEST(TelemetryE2E, EarlyAbortStillFlushesValidTelemetry) {
   // Starve the LS service so every interval violates QoS.
   Partition p;
   p.ls = {1, 0, 1};
-  p.be = complement_slice(m, p.ls, m.max_freq_level());
+  p.be = Allocation::complement(m, p.ls, m.max_freq_level());
   baselines::StaticPolicy policy(p, "Starved");
 
   const std::string jsonl = ::testing::TempDir() + "abort_trace.jsonl";
@@ -190,7 +192,7 @@ TEST(TelemetryE2E, AllPoliciesImplementDescribeAndLastDecision) {
   baselines::HeraclesController heracles(m, ls.qos_target_ms, ho);
   Partition fixed;
   fixed.ls = {8, m.max_freq_level(), 10};
-  fixed.be = complement_slice(m, fixed.ls, 4);
+  fixed.be = Allocation::complement(m, fixed.ls, 4);
   baselines::StaticPolicy fixed_policy(fixed, "Fixed");
 
   core::Policy* policies[] = {&sturgeon, &parties, &heracles, &fixed_policy};
@@ -203,7 +205,7 @@ TEST(TelemetryE2E, AllPoliciesImplementDescribeAndLastDecision) {
     // Before any decision, last_decision() is the default.
     policy->reset();
     EXPECT_EQ(policy->last_decision().epoch, 0u);
-    EXPECT_EQ(policy->last_decision().action, "none");
+    EXPECT_EQ(policy->last_decision().action, core::Action::kNone);
 
     RunConfig rc;
     rc.seed = 3;
@@ -213,11 +215,11 @@ TEST(TelemetryE2E, AllPoliciesImplementDescribeAndLastDecision) {
     EXPECT_EQ(r.intervals_run, duration_s);
     EXPECT_EQ(policy->last_decision().epoch,
               static_cast<std::uint64_t>(duration_s));
-    EXPECT_NE(policy->last_decision().action, "none");
+    EXPECT_NE(policy->last_decision().action, core::Action::kNone);
 
     policy->reset();
     EXPECT_EQ(policy->last_decision().epoch, 0u);
-    EXPECT_EQ(policy->last_decision().action, "none");
+    EXPECT_EQ(policy->last_decision().action, core::Action::kNone);
   }
 }
 

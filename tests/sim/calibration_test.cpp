@@ -89,7 +89,7 @@ TEST(CalibrationPower, OverloadBandMatchesPaper) {
       SimulatedServer server(ls, be, 14, quiet());
       AppSlice slice{4, machine.level_for(freq), 6};
       Partition p{slice,
-                  complement_slice(machine, slice, machine.max_freq_level())};
+                  Allocation::complement(machine, slice, machine.max_freq_level())};
       server.set_partition(p);
       double peak = 0.0;
       for (int i = 0; i < 3; ++i) {
@@ -117,9 +117,9 @@ TEST(CalibrationPreference, CoreVsFrequencyFlipExists) {
       // Core-rich vs freq-rich, both QoS-feasible by construction.
       AppSlice narrow{load < 0.3 ? 4 : 6, machine.level_for(2.0), 6};
       AppSlice wide{load < 0.3 ? 8 : 12, machine.level_for(1.4), 10};
-      Partition a{narrow, complement_slice(machine, narrow,
+      Partition a{narrow, Allocation::complement(machine, narrow,
                                            machine.level_for(1.8))};
-      Partition b{wide, complement_slice(machine, wide,
+      Partition b{wide, Allocation::complement(machine, wide,
                                          machine.max_freq_level())};
       SimulatedServer sa(ls, be, 15, quiet());
       sa.set_partition(a);

@@ -87,10 +87,10 @@ TEST_P(PairPropertyTest, MoreLsResourcesNeverHurtLatency) {
 
   Partition small;
   small.ls = {5, m.level_for(1.6), 5};
-  small.be = complement_slice(m, small.ls, 5);
+  small.be = Allocation::complement(m, small.ls, 5);
   Partition big;
   big.ls = {10, m.max_freq_level(), 10};
-  big.be = complement_slice(m, big.ls, 5);
+  big.be = Allocation::complement(m, big.ls, 5);
   // Allow a generous noise margin; the relation must hold clearly.
   EXPECT_LT(mean_p95(big), mean_p95(small) * 1.05);
 }

@@ -27,7 +27,7 @@ TEST(Server, StepProducesCoherentTelemetry) {
   auto server = make_server();
   Partition p;
   p.ls = {4, 4, 6};
-  p.be = complement_slice(server.machine(), p.ls, 8);
+  p.be = Allocation::complement(server.machine(), p.ls, 8);
   server.set_partition(p);
   const auto t = server.step(0.2);
   EXPECT_GT(t.ls.completed, 0u);
@@ -45,7 +45,7 @@ TEST(Server, BeThroughputMonotoneInCores) {
   double prev = 0.0;
   for (int be_cores : {2, 6, 10, 14}) {
     AppSlice ls{20 - be_cores, 4, 6};
-    Partition p{ls, complement_slice(server.machine(), ls, 8)};
+    Partition p{ls, Allocation::complement(server.machine(), ls, 8)};
     const double thr = server.be_raw_throughput(p.be);
     EXPECT_GT(thr, prev);
     prev = thr;
@@ -89,7 +89,7 @@ TEST(Server, HigherLoadMoreLatency) {
   auto server = make_server();
   Partition p;
   p.ls = {6, 6, 8};
-  p.be = complement_slice(server.machine(), p.ls, 5);
+  p.be = Allocation::complement(server.machine(), p.ls, 5);
   server.set_partition(p);
   double p95_low = 0.0, p95_high = 0.0;
   for (int i = 0; i < 3; ++i) p95_low += server.step(0.2).ls.p95_ms;
@@ -117,7 +117,7 @@ TEST(Server, PowerObliviousColocationOverloads) {
   for (const auto& be : be_catalog()) {
     SimulatedServer server(find_ls("memcached"), be, 3, quiet());
     AppSlice ls{4, server.machine().level_for(1.6), 6};
-    Partition p{ls, complement_slice(server.machine(), ls,
+    Partition p{ls, Allocation::complement(server.machine(), ls,
                                      server.machine().max_freq_level())};
     server.set_partition(p);
     double peak = 0.0;
@@ -134,7 +134,7 @@ TEST(Server, BandwidthContentionThrottlesBothSides) {
   // open must show bandwidth pressure in the telemetry.
   SimulatedServer server(find_ls("memcached"), find_be("fd"), 4, quiet());
   AppSlice ls{6, 10, 2};
-  Partition p{ls, complement_slice(server.machine(), ls, 8)};
+  Partition p{ls, Allocation::complement(server.machine(), ls, 8)};
   server.set_partition(p);
   const auto t = server.step(0.5);
   EXPECT_GT(t.bw_gbps, server.machine().mem_bw_gbps * 0.8);
@@ -159,7 +159,7 @@ TEST(Server, DeterministicPerSeed) {
   auto b = make_server("xapian", "fe", 77);
   Partition p;
   p.ls = {5, 6, 5};
-  p.be = complement_slice(a.machine(), p.ls, 7);
+  p.be = Allocation::complement(a.machine(), p.ls, 7);
   a.set_partition(p);
   b.set_partition(p);
   for (int i = 0; i < 3; ++i) {

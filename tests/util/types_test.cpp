@@ -72,13 +72,13 @@ TEST(Partition, AllToLsIsInitialAllocation) {
 TEST(Partition, ComplementSlice) {
   const auto m = MachineSpec::xeon_e5_2630_v4();
   const AppSlice ls{4, 4, 6};
-  const auto be = complement_slice(m, ls, 8);
+  const auto be = Allocation::complement(m, ls, 8);
   EXPECT_EQ(be.cores, 16);
   EXPECT_EQ(be.llc_ways, 14);
   EXPECT_EQ(be.freq_level, 8);
   // Frequency level is clamped into the table.
-  EXPECT_EQ(complement_slice(m, ls, 99).freq_level, m.max_freq_level());
-  EXPECT_EQ(complement_slice(m, ls, -3).freq_level, 0);
+  EXPECT_EQ(Allocation::complement(m, ls, 99).freq_level, m.max_freq_level());
+  EXPECT_EQ(Allocation::complement(m, ls, -3).freq_level, 0);
 }
 
 }  // namespace
