@@ -1,0 +1,206 @@
+// Fleet-engine evaluation: event-driven throughput vs fleet size under
+// diurnal workload churn, the scaling story the fleet subsystem exists
+// for:
+//
+//   1. epochs/sec for 64/1k/10k-node fleets with quiescence skipping and
+//      churn enabled (the 10k fleet must sustain >= 50 simulated
+//      epochs/sec -- far past where the lockstep engine's O(N) sweep
+//      falls over on one core);
+//   2. the engine must actually be skipping (>= 50% of node-epochs
+//      quiescent on smooth phase-offset diurnal load) and churning
+//      (jobs submitted and completed), or the headline number is
+//      meaningless.
+//
+// Emits BENCH_fleet.json (machine-readable rows + gate verdicts) next
+// to the working directory and exits non-zero if any gate fails.
+// STURGEON_QUICK=1 shrinks everything to a compile-smoke scale.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fleet/fleet.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace sturgeon;
+
+namespace {
+
+int g_failures = 0;
+
+void expect(bool ok, const std::string& what) {
+  std::cout << (ok ? "  [pass] " : "  [FAIL] ") << what << "\n";
+  if (!ok) ++g_failures;
+}
+
+/// The bench measures the fleet *engine* (event queue, skipping, delta
+/// coordination, churn bookkeeping), not DES fidelity: shrink the
+/// per-node discrete-event arrival scale hard so a 10k-node fleet fits
+/// one core's measurement budget. Own profile name = own (tiny)
+/// profiling campaign, shared across every fleet size in the process.
+LsProfile fleet_ls() {
+  LsProfile ls = find_ls("memcached");
+  ls.name = "memcached-fleet";
+  ls.sim_scale = 0.002;
+  return ls;
+}
+
+core::TrainerConfig fleet_trainer() {
+  core::TrainerConfig cfg;
+  cfg.ls_samples = 250;
+  cfg.ls_boundary_searches = 60;
+  cfg.be_samples = 150;
+  return cfg;
+}
+
+/// `n` nodes on phase-offset diurnal load: every node sees the same
+/// smooth day, each at its own point in it, so at any epoch most of the
+/// fleet sits on a flat stretch of its trace (quiescable) while a thin
+/// rotating frontier rides the steep part (awake). This is the fleet
+/// regime the paper's utilization argument lives in.
+std::vector<cluster::NodeSpec> diurnal_fleet(int n, int duration_s) {
+  const auto& bes = be_catalog();
+  std::vector<cluster::NodeSpec> specs;
+  specs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    cluster::NodeSpec spec;
+    spec.ls = fleet_ls();
+    spec.be = bes[static_cast<std::size_t>(i) % bes.size()];
+    spec.trace = LoadTrace::diurnal_phased(
+        0.18, 0.50, duration_s,
+        static_cast<double>(i) / static_cast<double>(n));
+    spec.trainer = fleet_trainer();
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+fleet::FleetConfig fleet_config() {
+  fleet::FleetConfig fc;
+  fc.cluster.seed = 11;
+  fc.cluster.oversubscription = 1.0;
+  // Hysteresis on the governor's relax path: a power-capped node settles
+  // at a constant throttle level (a sleepable fixed point) instead of
+  // oscillating one level up and down around its cap forever.
+  fc.cluster.governor.relax_margin = 0.90;
+  fc.quiescence.enabled = true;
+  fc.quiescence.load_epsilon = 0.12;
+  fc.quiescence.cap_headroom = 0.02;
+  fc.quiescence.max_sleep_epochs = 128;
+  fc.churn.enabled = true;
+  fc.churn.arrival_rate_per_epoch = 1.0;
+  fc.churn.mean_size_norm_s = 30.0;
+  fc.churn.slots_per_node = 4;
+  fc.delta.rebalance_period = 64;
+  return fc;
+}
+
+struct BenchRow {
+  int nodes = 0;
+  fleet::FleetResult result;
+  double wall_s = 0.0;
+};
+
+BenchRow run_size(int nodes, int epochs) {
+  BenchRow row;
+  row.nodes = nodes;
+  fleet::FleetSim sim(diurnal_fleet(nodes, epochs), fleet_config());
+  const auto t0 = std::chrono::steady_clock::now();
+  row.result = sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  row.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return row;
+}
+
+double epochs_per_s(const BenchRow& row) {
+  return static_cast<double>(row.result.cluster.epochs) / row.wall_s;
+}
+
+void write_json(const std::vector<BenchRow>& rows, bool quick,
+                double eps_largest, double skipped_largest,
+                const std::string& path) {
+  std::ostringstream os;
+  os << "{\"bench\":\"fleet_scale\",\"quick\":" << (quick ? "true" : "false")
+     << ",\"results\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    const fleet::FleetResult& r = row.result;
+    if (i > 0) os << ",";
+    os << "{\"nodes\":" << row.nodes << ",\"epochs\":" << r.cluster.epochs
+       << ",\"wall_s\":" << row.wall_s
+       << ",\"epochs_per_s\":" << epochs_per_s(row)
+       << ",\"skipped_fraction\":" << r.skipped_fraction
+       << ",\"total_wakes\":" << r.total_wakes
+       << ",\"events_processed\":" << r.events_processed
+       << ",\"event_queue_peak\":" << r.event_queue_peak
+       << ",\"cap_revisions\":" << r.cap_revisions
+       << ",\"rebalances\":" << r.rebalances
+       << ",\"jobs_submitted\":" << r.jobs_submitted
+       << ",\"jobs_completed\":" << r.jobs_completed
+       << ",\"jobs_migrated\":" << r.jobs_migrated
+       << ",\"fleet_qos\":" << r.cluster.fleet_qos_guarantee_rate
+       << ",\"agg_be_throughput\":" << r.cluster.aggregate_be_throughput
+       << "}";
+  }
+  os << "],\"gates\":{\"largest_epochs_per_s\":" << eps_largest
+     << ",\"largest_epochs_per_s_ge_50\":"
+     << (eps_largest >= 50.0 ? "true" : "false")
+     << ",\"largest_skipped_fraction\":" << skipped_largest
+     << ",\"largest_skipped_ge_half\":"
+     << (skipped_largest >= 0.5 ? "true" : "false") << "}}\n";
+  std::ofstream out(path);
+  out << os.str();
+  std::cout << "\nwrote " << path << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = bench::quick_mode();
+  const int epochs = quick ? 60 : 200;
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{16, 64} : std::vector<int>{64, 1000, 10000};
+
+  std::cout << "== fleet_scale: event-driven throughput under diurnal "
+            << "churn ==\n";
+  TablePrinter table({"nodes", "epochs", "wall s", "epochs/s", "skipped %",
+                      "wakes", "jobs done", "migrated"});
+  std::vector<BenchRow> rows;
+  for (const int n : sizes) {
+    rows.push_back(run_size(n, epochs));
+    const BenchRow& row = rows.back();
+    const fleet::FleetResult& r = row.result;
+    table.add_row({std::to_string(n), std::to_string(r.cluster.epochs),
+                   TablePrinter::fmt(row.wall_s, 2),
+                   TablePrinter::fmt(epochs_per_s(row), 1),
+                   TablePrinter::fmt_pct(r.skipped_fraction, 1),
+                   std::to_string(r.total_wakes),
+                   std::to_string(r.jobs_completed),
+                   std::to_string(r.jobs_migrated)});
+  }
+  table.print(std::cout);
+
+  const BenchRow& largest = rows.back();
+  const double eps = epochs_per_s(largest);
+  const double skipped = largest.result.skipped_fraction;
+  expect(eps >= 50.0, std::to_string(largest.nodes) +
+                          "-node churning fleet sustains >= 50 epochs/sec");
+  expect(skipped >= 0.5,
+         "quiescence skips >= 50% of node-epochs at the largest size");
+  expect(largest.result.jobs_submitted > 0 &&
+             largest.result.jobs_completed > 0,
+         "churn is live: jobs submitted and completed");
+  expect(largest.result.jobs_placed ==
+             largest.result.jobs_completed + largest.result.jobs_active_at_end,
+         "churn bookkeeping: placed == completed + active");
+
+  write_json(rows, quick, eps, skipped, "BENCH_fleet.json");
+
+  std::cout << (g_failures == 0 ? "\nall gates passed\n" : "\ngates FAILED\n");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -4,107 +4,23 @@
 #include <stdexcept>
 #include <utility>
 
-#include "exp/model_registry.h"
+#include "cluster/rollup.h"
 #include "util/check.h"
-#include "util/rng.h"
 
 namespace sturgeon::cluster {
-
-namespace {
-
-/// Machine power capacity proxy for placement: the whole package busy at
-/// top frequency with unit activity. Machine-only (no workload term), so
-/// heterogeneous fleets rank by hardware size.
-double machine_capacity_w(const sim::ServerConfig& server) {
-  return sim::PowerModel(server.machine, server.power).max_package_power_w();
-}
-
-/// p95 of a sample of episode lengths (0 for an empty sample).
-double p95_epochs(std::vector<int> samples) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const std::size_t idx =
-      (samples.size() * 95 + 99) / 100;  // ceil(0.95 n), 1-based
-  return static_cast<double>(samples[std::min(idx, samples.size()) - 1]);
-}
-
-}  // namespace
 
 ClusterSim::ClusterSim(std::vector<NodeSpec> specs, ClusterConfig config)
     : config_(std::move(config)),
       heartbeat_(std::max<std::size_t>(specs.size(), 1),
                  config_.resilience.heartbeat),
       pool_(config_.threads) {
-  if (specs.empty()) {
-    throw std::invalid_argument("ClusterSim: empty fleet");
-  }
-  if (!(config_.oversubscription > 0.0 && config_.oversubscription <= 1.0)) {
-    throw std::invalid_argument("ClusterSim: oversubscription must be (0,1]");
-  }
-  const std::size_t n = specs.size();
-
-  telemetry_ = config_.telemetry
-                   ? config_.telemetry
-                   : telemetry::TelemetryContext::make(specs[0].server.machine);
-
-  // Placement: map workload w (pair + trace + policy) onto machine i.
-  std::vector<double> demand(n), capacity(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    demand[i] = estimate_pair_power_w(specs[i].ls, specs[i].be,
-                                      specs[i].server);
-    capacity[i] = machine_capacity_w(specs[i].server);
-  }
-  const std::vector<std::size_t> assignment =
-      place(config_.placement, demand, capacity);
-
-  // Warm every distinct Sturgeon model before any node constructs its
-  // policy: parallel across distinct services, train-once per service.
-  std::vector<std::pair<const LsProfile*, const BeProfile*>> to_warm;
-  const core::TrainerConfig* trainer = nullptr;
-  for (const auto& spec : specs) {
-    if (spec.policy == PolicyKind::kSturgeon && !spec.make_policy) {
-      to_warm.emplace_back(&spec.ls, &spec.be);
-      trainer = &spec.trainer;
-    }
-  }
-  if (!to_warm.empty()) {
-    exp::warm_models(to_warm, &pool_, *trainer);
-  }
-
-  nodes_.reserve(n);
-  double budget_sum = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    NodeSpec spec = specs[assignment[i]];
-    spec.server = specs[i].server;  // workload moves, the machine stays
-    if (config_.route_via_allocation) spec.route_via_allocation = true;
-    max_trace_s_ = std::max(max_trace_s_, spec.trace.duration_s());
-    auto ctx = telemetry::TelemetryContext::make(
-        spec.server.machine, telemetry::TelemetryConfig{
-                                 config_.node_tracing, false, "", "",
-                                 telemetry_->config().clock});
-    nodes_.push_back(std::make_unique<ClusterNode>(
-        static_cast<int>(i), std::move(spec),
-        derive_seed(config_.seed, static_cast<std::uint64_t>(i)),
-        std::move(ctx), config_.governor, config_.resilience,
-        config_.faults.for_node(static_cast<int>(i))));
-    budget_sum += nodes_.back()->budget_w();
-  }
-
-  budget_w_ = config_.power_budget_w > 0.0
-                  ? config_.power_budget_w
-                  : config_.oversubscription * budget_sum;
-  double idle_sum = 0.0;
-  for (const auto& node : nodes_) idle_sum += node->idle_w();
-  STURGEON_CHECK(budget_w_ > idle_sum,
-                 "ClusterSim: cluster budget " << budget_w_
-                     << " W below fleet idle power " << idle_sum << " W");
-
+  ClusterBuild build = build_cluster(std::move(specs), config_, pool_);
+  telemetry_ = std::move(build.telemetry);
+  nodes_ = std::move(build.nodes);
+  budget_w_ = build.budget_w;
+  max_trace_s_ = build.max_trace_s;
   coordinator_ =
       make_coordinator(config_.coordinator, config_.coordinator_config);
-
-  auto& registry = telemetry_->metrics();
-  registry.gauge("cluster.nodes").set(static_cast<double>(n));
-  registry.gauge("cluster.power_budget_w").set(budget_w_);
 }
 
 ClusterResult ClusterSim::run(int epochs) {
@@ -115,32 +31,16 @@ ClusterResult ClusterSim::run(int epochs) {
   if (epochs <= 0) epochs = max_trace_s_;
   const std::size_t n = nodes_.size();
 
-  auto& registry = telemetry_->metrics();
-  auto& power_hist = registry.histogram(
-      "cluster.power_w", telemetry::Histogram::exponential_bounds(
-                             budget_w_ / 64.0, 1.25, 24));
-  auto& epoch_counter = registry.counter("cluster.epochs");
-  auto& overshoot_counter = registry.counter("cluster.overshoot_epochs");
-  auto& power_gauge = registry.gauge("cluster.power_w.last");
-  auto& dead_gauge = registry.gauge("cluster.dead_nodes");
-  auto& ls_qos_gauge = registry.gauge("cluster.slices.ls_qos_fraction");
-  auto& be_norm_gauge = registry.gauge("cluster.slices.be_throughput_norm");
-  auto& dead_epochs_counter = registry.counter("fault.node.dead_epochs");
-
+  ClusterRollup rollup(*telemetry_, budget_w_);
   coordinator_->reset();
   heartbeat_.reset();
   std::vector<NodeReport> reports(n);
   std::vector<int> last_steps(n, -1);
-  double power_sum = 0.0;
-  double max_ratio = 0.0;
-  double max_cap_sum_ratio = 0.0;
-  int overshoot_epochs = 0;
-  int dead_node_epochs = 0;
 
   for (int t = 0; t < epochs; ++t) {
     telemetry::Span span = telemetry_->tracer().start_span("cluster.epoch");
     span.attr("t_s", t);
-    epoch_counter.inc();
+    rollup.begin_epoch();
 
     // 1. Budget split (sequential, deterministic in node order). The
     // heartbeat tracker stamps liveness first: a node that stopped
@@ -151,19 +51,11 @@ ClusterResult ClusterSim::run(int epochs) {
       last_steps[i] = nodes_[i]->last_step_epoch();
     }
     const int dead = heartbeat_.update(t, last_steps, reports);
-    dead_gauge.set(static_cast<double>(dead));
-    if (dead > 0) {
-      dead_node_epochs += dead;
-      dead_epochs_counter.add(static_cast<std::uint64_t>(dead));
-    }
+    rollup.note_dead(dead);
     const std::vector<double> caps = coordinator_->assign(budget_w_, reports);
     double cap_sum = 0.0;
     for (const double c : caps) cap_sum += c;
-    STURGEON_CHECK(cap_sum <= budget_w_ * (1.0 + 1e-9) + 1e-6,
-                   "ClusterSim: coordinator oversubscribed the budget ("
-                       << cap_sum << " W > " << budget_w_ << " W at t=" << t
-                       << ")");
-    max_cap_sum_ratio = std::max(max_cap_sum_ratio, cap_sum / budget_w_);
+    rollup.note_cap_sum(cap_sum, t);
     for (std::size_t i = 0; i < n; ++i) nodes_[i]->set_power_cap(caps[i]);
 
     // 2. Lockstep: every node advances one epoch, in parallel. Nodes
@@ -175,14 +67,7 @@ ClusterResult ClusterSim::run(int epochs) {
     // is about watts actually drawn.
     double fleet_power = 0.0;
     for (const auto& node : nodes_) fleet_power += node->true_power_w();
-    power_hist.observe(fleet_power);
-    power_gauge.set(fleet_power);
-    power_sum += fleet_power;
-    max_ratio = std::max(max_ratio, fleet_power / budget_w_);
-    if (fleet_power > budget_w_) {
-      ++overshoot_epochs;
-      overshoot_counter.inc();
-    }
+    rollup.note_power(fleet_power);
     // Per-slice fleet roll-up, in node/slice order: what fraction of the
     // fleet's LS slices met QoS this epoch, and how many machines' worth
     // of BE work its BE slices sustained.
@@ -198,84 +83,13 @@ ClusterResult ClusterSim::run(int epochs) {
         }
       }
     }
-    ls_qos_gauge.set(ls_total == 0 ? 1.0
-                                   : static_cast<double>(ls_met) /
-                                         static_cast<double>(ls_total));
-    be_norm_gauge.set(be_norm_sum);
+    rollup.note_slices(ls_total, ls_met, be_norm_sum);
 
     span.attr("power_w", fleet_power).attr("dead_nodes", dead);
   }
 
-  ClusterResult result;
-  result.cluster_power_budget_w = budget_w_;
-  result.epochs = epochs;
-  result.nodes = static_cast<int>(n);
-  result.coordinator = coordinator_->name();
-  result.telemetry = telemetry_;
-
-  std::uint64_t completed = 0, violations = 0;
-  result.node_results.reserve(n);
-  for (const auto& node : nodes_) {
-    NodeResult nr = node->result();
-    completed += nr.total_completed;
-    violations += nr.total_violations;
-    result.aggregate_be_throughput += nr.mean_be_throughput_norm;
-    result.node_results.push_back(std::move(nr));
-  }
-  result.fleet_qos_guarantee_rate =
-      completed == 0 ? 1.0
-                     : static_cast<double>(completed - violations) /
-                           static_cast<double>(completed);
-  result.cluster_overshoot_fraction =
-      epochs == 0 ? 0.0
-                  : static_cast<double>(overshoot_epochs) /
-                        static_cast<double>(epochs);
-  result.max_cluster_power_ratio = max_ratio;
-  result.mean_cluster_power_w =
-      epochs == 0 ? 0.0 : power_sum / static_cast<double>(epochs);
-  result.max_cap_sum_ratio = max_cap_sum_ratio;
-  result.dead_node_epochs = dead_node_epochs;
-
-  // Recovery accounting: heartbeat outages (declared-dead to rejoin)
-  // plus each node's completed watchdog safe-mode episodes, merged into
-  // one MTTR sample. Sequential in node order, so deterministic.
-  result.recovery_mttr_epochs = heartbeat_.completed_outages();
-  for (const auto& node : nodes_) {
-    const std::vector<int> episodes = node->result().safe_mode_episodes;
-    result.recovery_mttr_epochs.insert(result.recovery_mttr_epochs.end(),
-                                       episodes.begin(), episodes.end());
-  }
-  result.mttr_p95_epochs = p95_epochs(result.recovery_mttr_epochs);
-  auto& mttr_hist = registry.histogram(
-      "recovery.mttr_epochs", telemetry::Histogram::exponential_bounds(
-                                  1.0, 2.0, 10));
-  for (const int e : result.recovery_mttr_epochs) {
-    mttr_hist.observe(static_cast<double>(e));
-  }
-  registry.gauge("recovery.mttr_p95_epochs").set(result.mttr_p95_epochs);
-  registry.gauge("cluster.max_cap_sum_ratio").set(max_cap_sum_ratio);
-
-  // Roll the per-node counters up into the cluster registry ("fleet."
-  // prefix) so one snapshot answers fleet-wide questions; gauges and
-  // histograms stay node-local (summing them is not meaningful).
-  for (const auto& node : nodes_) {
-    const auto snap = node->result().telemetry->metrics().snapshot();
-    for (const auto& [name, value] : snap.counters) {
-      registry.counter("fleet." + name).add(value);
-    }
-  }
-  registry.gauge("cluster.fleet_qos_guarantee_rate")
-      .set(result.fleet_qos_guarantee_rate);
-  registry.gauge("cluster.aggregate_be_throughput")
-      .set(result.aggregate_be_throughput);
-  registry.gauge("cluster.overshoot_fraction")
-      .set(result.cluster_overshoot_fraction);
-  registry.gauge("cluster.max_power_ratio").set(result.max_cluster_power_ratio);
-  registry.gauge("cluster.mean_power_w").set(result.mean_cluster_power_w);
-
-  for (const auto& node : nodes_) node->result().telemetry->flush();
-  telemetry_->flush();
-  return result;
+  return rollup.finalize(epochs, coordinator_->name(), nodes_, heartbeat_,
+                         telemetry_);
 }
 
 }  // namespace sturgeon::cluster

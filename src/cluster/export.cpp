@@ -24,6 +24,7 @@ std::string str(const std::string& s) {
 
 void write_cluster_jsonl(const ClusterResult& result, std::ostream& os) {
   std::size_t span_total = 0;
+  long long skipped_total = 0, wakes_total = 0;
   std::map<std::string, telemetry::PhaseTotal> merged;
 
   for (const auto& nr : result.node_results) {
@@ -56,7 +57,11 @@ void write_cluster_jsonl(const ClusterResult& result, std::ostream& os) {
        << ",\"faults_injected\":" << nr.faults_injected
        << ",\"sensor_rejected\":" << nr.sensor_rejected
        << ",\"actuator_retries\":" << nr.actuator_retries
-       << ",\"actuator_gave_up\":" << nr.actuator_gave_up << "}\n";
+       << ",\"actuator_gave_up\":" << nr.actuator_gave_up
+       << ",\"skipped_epochs\":" << nr.skipped_epochs
+       << ",\"wakes\":" << nr.wakes << "}\n";
+    skipped_total += nr.skipped_epochs;
+    wakes_total += nr.wakes;
   }
 
   os << "{\"type\":\"run_summary\",\"cluster\":true,\"nodes\":"
@@ -74,7 +79,9 @@ void write_cluster_jsonl(const ClusterResult& result, std::ostream& os) {
      << ",\"max_cap_sum_ratio\":" << num(result.max_cap_sum_ratio)
      << ",\"dead_node_epochs\":" << result.dead_node_epochs
      << ",\"recovery_episodes\":" << result.recovery_mttr_epochs.size()
-     << ",\"mttr_p95_epochs\":" << num(result.mttr_p95_epochs) << "}\n";
+     << ",\"mttr_p95_epochs\":" << num(result.mttr_p95_epochs)
+     << ",\"skipped_epochs\":" << skipped_total
+     << ",\"wakes\":" << wakes_total << "}\n";
 }
 
 bool write_cluster_jsonl(const ClusterResult& result,

@@ -313,6 +313,13 @@ void ClusterNode::step(int t) {
   if (safe_mode) {
     next = safe_partition_;
     action = core::to_string(core::Action::kSafeMode);
+  } else if (!be_active_) {
+    // No BE jobs on the node: hold the all-to-LS partition without
+    // consulting the policy. The LS service keeps its whole machine;
+    // the policy resumes (warm-started from this partition) when the
+    // churn engine lands the next job.
+    next = safe_partition_;
+    action = "be-idle";
   } else {
     telemetry::Span span = tracer.start_span("decide");
     sim::ServerTelemetry decide_sample = observed;

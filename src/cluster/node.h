@@ -129,6 +129,13 @@ struct NodeResult {
   std::uint64_t sensor_rejected = 0;   ///< sanitizer interventions
   std::uint64_t actuator_retries = 0;  ///< extra enforcer attempts
   std::uint64_t actuator_gave_up = 0;  ///< applies abandoned after retries
+  // -- event-driven engine accounting (always zero under lockstep) ----
+  /// Epochs the fleet engine skipped this node while quiescent; in an
+  /// event-driven run epochs + skipped_epochs == the run's epoch count.
+  int skipped_epochs = 0;
+  /// Times the engine woke the node out of quiescence (load shift, job
+  /// arrival/finish, cap change, rebalance).
+  int wakes = 0;
   /// The node's telemetry (child context; rolled up by the ClusterSim).
   std::shared_ptr<telemetry::TelemetryContext> telemetry;
 };
@@ -147,6 +154,24 @@ class ClusterNode {
 
   /// Re-cap the node for the coming epoch (policy budget + governor).
   void set_power_cap(double watts);
+
+  /// Whether the node currently hosts any best-effort work. With BE
+  /// inactive (the churn engine drained the node's last job) step()
+  /// bypasses the policy and holds the all-to-LS partition: the LS
+  /// service keeps serving, the BE slice is empty, and the node draws
+  /// LS-only power. Defaults active -- lockstep runs never call this,
+  /// so pre-fleet behaviour is bit-identical.
+  void set_be_active(bool active) { be_active_ = active; }
+  bool be_active() const { return be_active_; }
+
+  /// Frequency levels the reactive governor currently confiscates; the
+  /// fleet engine keeps throttled nodes awake (cap pressure).
+  int governor_throttle() const { return throttle_; }
+
+  /// True when a fault injector is armed: such nodes are never eligible
+  /// for quiescence skipping (their fault timeline must advance every
+  /// epoch).
+  bool has_fault_injector() const { return injector_ != nullptr; }
 
   /// Advance one lockstep epoch at trace time `t`. Thread-safe with
   /// respect to OTHER nodes (no shared mutable state); never call
@@ -173,6 +198,9 @@ class ClusterNode {
   /// and hung epochs do not beat.
   int last_step_epoch() const { return last_step_epoch_; }
   bool in_safe_mode() const { return watchdog_.in_safe_mode(); }
+  /// The node's LS load trace (the quiescence policy scans it ahead for
+  /// the next shift out of the epsilon band).
+  const LoadTrace& trace() const { return spec_.trace; }
   const sim::SimulatedServer& server() const { return server_; }
   core::Policy& policy() { return *policy_; }
 
@@ -218,6 +246,7 @@ class ClusterNode {
   double cap_w_ = 0.0;
   double true_power_w_ = 0.0;
   int throttle_ = 0;  ///< frequency levels currently confiscated
+  bool be_active_ = true;  ///< false = no BE jobs: hold all-to-LS
   int throttled_epochs_ = 0;
   int epochs_run_ = 0;
   int epochs_down_ = 0;

@@ -1,0 +1,90 @@
+// Shared fleet construction and aggregation, used by both stepping
+// engines: the lockstep ClusterSim (cluster/cluster.h) and the
+// event-driven FleetSim (fleet/fleet.h).
+//
+// The twin-equivalence contract (tests/fleet/twin_test.cpp) says the
+// event-driven path with quiescence skipping disabled and zero churn
+// must produce a ClusterResult bit-identical to the lockstep path. The
+// only way to keep that promise cheap is to share the arithmetic: node
+// construction (placement, seeding, model warming, budget resolution)
+// lives in build_cluster(), and every per-epoch instrument plus the
+// end-of-run ClusterResult assembly lives in ClusterRollup. Both
+// engines call the same code in the same order; only the decision of
+// WHICH nodes step each epoch differs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace sturgeon::cluster {
+
+/// Everything ClusterSim's constructor used to assemble inline: the
+/// placed, seeded fleet (models pre-warmed), the cluster telemetry
+/// context and the resolved cluster power budget.
+struct ClusterBuild {
+  std::shared_ptr<telemetry::TelemetryContext> telemetry;
+  std::vector<std::unique_ptr<ClusterNode>> nodes;
+  double budget_w = 0.0;
+  int max_trace_s = 0;  ///< longest node trace (default epoch count)
+};
+
+/// Place workloads onto machines, warm every distinct Sturgeon model on
+/// `pool`, construct the fleet with per-node derived seeds and child
+/// telemetry contexts, and resolve the cluster budget. Throws
+/// std::invalid_argument on an empty fleet or bad oversubscription;
+/// STURGEON_CHECKs that the budget clears the fleet's idle power.
+ClusterBuild build_cluster(std::vector<NodeSpec> specs,
+                           const ClusterConfig& config, ThreadPool& pool);
+
+/// Per-epoch cluster instruments plus the end-of-run ClusterResult
+/// assembly. One instance per run; feed it in epoch order.
+class ClusterRollup {
+ public:
+  ClusterRollup(telemetry::TelemetryContext& telemetry, double budget_w);
+
+  /// Epoch bookkeeping, called once per epoch in this order.
+  void begin_epoch();
+  void note_dead(int dead_nodes);
+  /// Checks the coordinator invariant sum(caps) <= budget (t only
+  /// labels the failure message).
+  void note_cap_sum(double cap_sum_w, int t);
+  void note_power(double fleet_power_w);
+  void note_slices(int ls_total, int ls_met, double be_norm_sum);
+
+  double max_cap_sum_ratio() const { return max_cap_sum_ratio_; }
+
+  /// Assemble the ClusterResult: per-node results, fleet QoS/throughput
+  /// roll-ups, recovery accounting, fleet.* counter roll-up, final
+  /// gauges and flushes. Exactly the epilogue ClusterSim::run used to
+  /// inline, so both engines produce identical results from identical
+  /// node states.
+  ClusterResult finalize(
+      int epochs, const std::string& coordinator_name,
+      const std::vector<std::unique_ptr<ClusterNode>>& nodes,
+      const HeartbeatTracker& heartbeat,
+      std::shared_ptr<telemetry::TelemetryContext> telemetry);
+
+ private:
+  telemetry::TelemetryContext& telemetry_;
+  double budget_w_ = 0.0;
+
+  telemetry::Histogram* power_hist_ = nullptr;
+  telemetry::Counter* epoch_counter_ = nullptr;
+  telemetry::Counter* overshoot_counter_ = nullptr;
+  telemetry::Gauge* power_gauge_ = nullptr;
+  telemetry::Gauge* dead_gauge_ = nullptr;
+  telemetry::Gauge* ls_qos_gauge_ = nullptr;
+  telemetry::Gauge* be_norm_gauge_ = nullptr;
+  telemetry::Counter* dead_epochs_counter_ = nullptr;
+
+  double power_sum_ = 0.0;
+  double max_ratio_ = 0.0;
+  double max_cap_sum_ratio_ = 0.0;
+  int overshoot_epochs_ = 0;
+  int dead_node_epochs_ = 0;
+};
+
+}  // namespace sturgeon::cluster

@@ -1,0 +1,166 @@
+#include "fleet/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sturgeon::fleet {
+
+ChurnEngine::ChurnEngine(ChurnConfig config, std::uint64_t seed,
+                         std::size_t num_be_profiles, std::size_t num_nodes)
+    : config_(config),
+      rng_(derive_seed(seed, kChurnStream)),
+      num_be_profiles_(num_be_profiles == 0 ? 1 : num_be_profiles),
+      active_(num_nodes) {
+  STURGEON_CHECK(config_.slots_per_node >= 1,
+                 "ChurnEngine: slots_per_node must be >= 1, got "
+                     << config_.slots_per_node);
+  if (config_.enabled) {
+    STURGEON_CHECK(config_.arrival_rate_per_epoch > 0.0,
+                   "ChurnEngine: arrival rate must be > 0 when enabled");
+    STURGEON_CHECK(config_.mean_size_norm_s > 0.0,
+                   "ChurnEngine: mean job size must be > 0");
+    next_arrival_time_ =
+        rng_.exponential(config_.arrival_rate_per_epoch);
+  }
+}
+
+int ChurnEngine::next_arrival_epoch() const {
+  if (next_arrival_time_ < 0.0) return -1;
+  return static_cast<int>(std::floor(next_arrival_time_));
+}
+
+std::vector<std::uint64_t> ChurnEngine::arrive(int t) {
+  std::vector<std::uint64_t> out;
+  if (next_arrival_time_ < 0.0) return out;
+  while (std::floor(next_arrival_time_) <= static_cast<double>(t)) {
+    Job job;
+    job.id = jobs_.size();
+    job.be_index = static_cast<int>(rng_.next_below(num_be_profiles_));
+    job.size_norm_s = std::max(
+        1e-6, rng_.lognormal_mean_cv(config_.mean_size_norm_s,
+                                     config_.size_cv));
+    job.remaining_norm_s = job.size_norm_s;
+    job.arrival_epoch = t;
+    jobs_.push_back(job);
+    out.push_back(job.id);
+    ++stats_.submitted;
+    next_arrival_time_ += rng_.exponential(config_.arrival_rate_per_epoch);
+  }
+  return out;
+}
+
+void ChurnEngine::assign(std::uint64_t id, int node, int t) {
+  Job& job = jobs_[id];
+  STURGEON_CHECK(job.node < 0 && job.finish_epoch < 0,
+                 "ChurnEngine::assign: job " << id << " already placed");
+  job.node = node;
+  if (job.start_epoch < 0) job.start_epoch = t;
+  active_[static_cast<std::size_t>(node)].push_back(id);
+  ++active_total_;
+  ++stats_.placed;
+}
+
+void ChurnEngine::enqueue(std::uint64_t id) {
+  pending_.push_back(id);
+  if (pending_.size() > stats_.queue_peak) stats_.queue_peak = pending_.size();
+}
+
+void ChurnEngine::reject(std::uint64_t id) {
+  jobs_[id].finish_epoch = -2;  // sentinel: never ran
+  ++stats_.rejected;
+}
+
+std::uint64_t ChurnEngine::pop_queued() {
+  STURGEON_CHECK(!pending_.empty(), "ChurnEngine::pop_queued: empty queue");
+  std::uint64_t id = pending_.front();
+  pending_.pop_front();
+  return id;
+}
+
+std::vector<std::uint64_t> ChurnEngine::accrue(int node,
+                                               double rate_norm_per_epoch,
+                                               int first_epoch,
+                                               int last_epoch) {
+  std::vector<std::uint64_t> done;
+  const int epochs = last_epoch - first_epoch + 1;
+  auto& list = active_[static_cast<std::size_t>(node)];
+  if (epochs <= 0 || list.empty() || rate_norm_per_epoch <= 0.0) return done;
+  // Equal share frozen at the window start: at most the shortest job can
+  // finish inside a sleep window (the node wakes at that epoch), so the
+  // share never needs recomputing mid-window.
+  const double share =
+      rate_norm_per_epoch / static_cast<double>(list.size());
+  for (std::uint64_t id : list) {
+    Job& job = jobs_[id];
+    const int need =
+        static_cast<int>(std::ceil(job.remaining_norm_s / share));
+    if (need <= epochs) {
+      job.remaining_norm_s = 0.0;
+      job.finish_epoch = first_epoch + std::max(need, 1) - 1;
+      done.push_back(id);
+    } else {
+      job.remaining_norm_s -= share * static_cast<double>(epochs);
+    }
+  }
+  std::sort(done.begin(), done.end(),
+            [this](std::uint64_t a, std::uint64_t b) {
+              const Job& ja = jobs_[a];
+              const Job& jb = jobs_[b];
+              if (ja.finish_epoch != jb.finish_epoch)
+                return ja.finish_epoch < jb.finish_epoch;
+              return a < b;
+            });
+  for (std::uint64_t id : done) complete(id, jobs_[id].finish_epoch);
+  return done;
+}
+
+int ChurnEngine::earliest_finish(int node, double rate_norm_per_epoch,
+                                 int t) const {
+  const auto& list = active_[static_cast<std::size_t>(node)];
+  if (list.empty() || rate_norm_per_epoch <= 0.0) return -1;
+  const double share =
+      rate_norm_per_epoch / static_cast<double>(list.size());
+  double min_rem = -1.0;
+  for (std::uint64_t id : list) {
+    const double rem = jobs_[id].remaining_norm_s;
+    if (min_rem < 0.0 || rem < min_rem) min_rem = rem;
+  }
+  const int need =
+      std::max(1, static_cast<int>(std::ceil(min_rem / share)));
+  return t + need;
+}
+
+void ChurnEngine::migrate(std::uint64_t id, int to, int t) {
+  Job& job = jobs_[id];
+  STURGEON_CHECK(job.node >= 0,
+                 "ChurnEngine::migrate: job " << id << " not placed");
+  detach(id);
+  job.node = to;
+  ++job.migrations;
+  active_[static_cast<std::size_t>(to)].push_back(id);
+  ++stats_.migrated;
+  (void)t;
+}
+
+void ChurnEngine::complete(std::uint64_t id, int t) {
+  Job& job = jobs_[id];
+  detach(id);
+  job.node = -1;
+  job.finish_epoch = t;
+  --active_total_;
+  ++stats_.completed;
+  stats_.completion_epochs_sum +=
+      static_cast<double>(t - job.arrival_epoch + 1);
+}
+
+void ChurnEngine::detach(std::uint64_t id) {
+  auto& list = active_[static_cast<std::size_t>(jobs_[id].node)];
+  auto it = std::find(list.begin(), list.end(), id);
+  STURGEON_CHECK(it != list.end(),
+                 "ChurnEngine::detach: job " << id << " not on its node");
+  list.erase(it);
+}
+
+}  // namespace sturgeon::fleet

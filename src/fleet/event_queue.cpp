@@ -1,0 +1,38 @@
+#include "fleet/event_queue.h"
+
+#include "util/check.h"
+
+namespace sturgeon::fleet {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kWake: return "wake";
+    case EventKind::kJobArrival: return "job-arrival";
+    case EventKind::kJobFinish: return "job-finish";
+    case EventKind::kCapChange: return "cap-change";
+    case EventKind::kRebalance: return "rebalance";
+  }
+  return "unknown";
+}
+
+FleetEvent EventQueue::push(EventKind kind, int time, int node) {
+  STURGEON_CHECK(time >= 0, "EventQueue::push: negative time " << time);
+  FleetEvent e;
+  e.time = time;
+  e.node = node;
+  e.seq = seq_++;
+  e.kind = kind;
+  heap_.push(e);
+  ++pushed_;
+  if (heap_.size() > max_depth_) max_depth_ = heap_.size();
+  return e;
+}
+
+FleetEvent EventQueue::pop() {
+  STURGEON_CHECK(!heap_.empty(), "EventQueue::pop: empty queue");
+  FleetEvent e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace sturgeon::fleet

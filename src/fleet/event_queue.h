@@ -1,0 +1,54 @@
+// Deterministic event queue for the fleet engine: a binary heap over
+// FleetEvents ordered by (time, node, seq), with push-order sequence
+// stamping and depth instrumentation.
+//
+// Single-threaded by design: only the engine's sequential epoch driver
+// touches it (the parallel part of an epoch is the node step()s, which
+// never schedule events themselves). That keeps the queue free of locks
+// and its pop order a pure function of the push history, which is what
+// makes event-driven runs bit-identical across worker thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "fleet/event.h"
+
+namespace sturgeon::fleet {
+
+class EventQueue {
+ public:
+  /// Schedule `kind` for `node` (-1 = fleet-level) at epoch `time`.
+  /// Returns the stamped event. `time` may equal the current epoch
+  /// (same-epoch wakes are legal); scheduling into the past is the
+  /// caller's bug and throws via STURGEON_CHECK at pop time.
+  FleetEvent push(EventKind kind, int time, int node);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Earliest pending event time; -1 when empty.
+  int next_time() const { return heap_.empty() ? -1 : heap_.top().time; }
+
+  /// True when the earliest event fires at or before `t`.
+  bool has_due(int t) const {
+    return !heap_.empty() && heap_.top().time <= t;
+  }
+
+  /// Pop the earliest event (must exist, checked).
+  FleetEvent pop();
+
+  // -- instrumentation ------------------------------------------------
+  std::uint64_t total_pushed() const { return pushed_; }
+  std::size_t max_depth() const { return max_depth_; }
+
+ private:
+  std::priority_queue<FleetEvent, std::vector<FleetEvent>, EventAfter> heap_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace sturgeon::fleet

@@ -1,0 +1,501 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sturgeon::fleet {
+
+using cluster::ClusterRollup;
+using cluster::NodeReport;
+
+FleetSim::FleetSim(std::vector<cluster::NodeSpec> specs, FleetConfig config)
+    : config_(std::move(config)),
+      heartbeat_(std::max<std::size_t>(specs.size(), 1),
+                 config_.cluster.resilience.heartbeat),
+      pool_(config_.cluster.threads),
+      churn_(config_.churn, config_.cluster.seed, specs.size(), specs.size()),
+      placer_(config_.job_placement,
+              static_cast<int>(std::max<std::size_t>(specs.size(), 1)),
+              config_.churn.slots_per_node) {
+  cluster::ClusterBuild build =
+      cluster::build_cluster(std::move(specs), config_.cluster, pool_);
+  telemetry_ = std::move(build.telemetry);
+  nodes_ = std::move(build.nodes);
+  budget_w_ = build.budget_w;
+  max_trace_s_ = build.max_trace_s;
+  coordinator_ = cluster::make_coordinator(config_.cluster.coordinator,
+                                           config_.cluster.coordinator_config);
+  const std::size_t n = nodes_.size();
+  delta_ = std::make_unique<DeltaCoordinator>(config_.delta, budget_w_, n);
+  ctl_.resize(n);
+  reports_.resize(n);
+  last_steps_.assign(n, -1);
+  power_contrib_.assign(n, 0.0);
+  ls_contrib_.assign(n, 0);
+  ls_met_contrib_.assign(n, 0);
+  be_norm_contrib_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Fault timelines must advance every epoch; armed nodes never sleep.
+    ctl_[i].never_sleep = nodes_[i]->has_fault_injector();
+    // Under churn the job population IS the best-effort work: nodes
+    // start LS-only and activate their BE slice when the first job
+    // lands. Without churn the static pair stays active (twin mode).
+    if (config_.churn.enabled) nodes_[i]->set_be_active(false);
+  }
+}
+
+FleetResult FleetSim::run(int epochs) {
+  if (ran_) {
+    throw std::logic_error("FleetSim::run: one-shot; build a new sim");
+  }
+  ran_ = true;
+  if (epochs <= 0) epochs = max_trace_s_;
+  return config_.quiescence.enabled ? run_events(epochs)
+                                    : run_lockstep(epochs);
+}
+
+double FleetSim::be_rate(const NodeReport& report) {
+  double sum = 0.0;
+  for (const cluster::SliceReport& s : report.slices) {
+    if (!s.latency_sensitive) sum += s.throughput_norm;
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------
+// Lockstep-equivalent path: every node steps every epoch, the full
+// coordinator splits the budget each epoch. With churn disabled this is
+// arithmetic-for-arithmetic the ClusterSim::run loop (the twin test
+// pins bit-identity); with churn enabled the job hooks slot in between
+// the shared phases.
+// ---------------------------------------------------------------------
+
+FleetResult FleetSim::run_lockstep(int epochs) {
+  const std::size_t n = nodes_.size();
+  ClusterRollup rollup(*telemetry_, budget_w_);
+  coordinator_->reset();
+  heartbeat_.reset();
+
+  for (int t = 0; t < epochs; ++t) {
+    telemetry::Span span = telemetry_->tracer().start_span("cluster.epoch");
+    span.attr("t_s", t);
+    rollup.begin_epoch();
+
+    if (config_.churn.enabled) {
+      const int next = churn_.next_arrival_epoch();
+      if (next >= 0 && next <= t) {
+        for (std::uint64_t id : churn_.arrive(t)) route_job(id, t);
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      reports_[i] = nodes_[i]->report();
+      last_steps_[i] = nodes_[i]->last_step_epoch();
+    }
+    const int dead = heartbeat_.update(t, last_steps_, reports_);
+    rollup.note_dead(dead);
+    const std::vector<double> caps = coordinator_->assign(budget_w_, reports_);
+    double cap_sum = 0.0;
+    for (const double c : caps) cap_sum += c;
+    rollup.note_cap_sum(cap_sum, t);
+    for (std::size_t i = 0; i < n; ++i) nodes_[i]->set_power_cap(caps[i]);
+
+    pool_.parallel_for(n, [&](std::size_t i) { nodes_[i]->step(t); });
+
+    double fleet_power = 0.0;
+    for (const auto& node : nodes_) fleet_power += node->true_power_w();
+    rollup.note_power(fleet_power);
+    int ls_total = 0, ls_met = 0;
+    double be_norm_sum = 0.0;
+    for (const auto& node : nodes_) {
+      for (const cluster::SliceReport& s : node->report().slices) {
+        if (s.latency_sensitive) {
+          ++ls_total;
+          if (s.qos_met) ++ls_met;
+        } else {
+          be_norm_sum += s.throughput_norm;
+        }
+      }
+    }
+    rollup.note_slices(ls_total, ls_met, be_norm_sum);
+
+    if (config_.churn.enabled) {
+      for (std::size_t i = 0; i < n; ++i) {
+        reports_[i] = nodes_[i]->report();
+        churn_post_step(i, t);
+      }
+    }
+
+    span.attr("power_w", fleet_power).attr("dead_nodes", dead);
+  }
+
+  return finish(rollup, epochs);
+}
+
+// ---------------------------------------------------------------------
+// Event-driven path.
+// ---------------------------------------------------------------------
+
+FleetResult FleetSim::run_events(int epochs) {
+  const std::size_t n = nodes_.size();
+  ClusterRollup rollup(*telemetry_, budget_w_);
+  coordinator_->reset();
+  heartbeat_.reset();
+
+  // Seed the persistent report vector from the nodes' pre-step state so
+  // the t=0 rebalance sees real budgets (the lockstep path re-reads
+  // node->report() every epoch; here a node's entry refreshes only when
+  // it steps).
+  for (std::size_t i = 0; i < n; ++i) reports_[i] = nodes_[i]->report();
+
+  auto& registry = telemetry_->metrics();
+  telemetry::Counter& skipped_counter =
+      registry.counter("fleet.skipped_epochs.live");
+  telemetry::Gauge& depth_gauge = registry.gauge("fleet.event_queue.depth");
+  telemetry::Gauge& woken_gauge = registry.gauge("fleet.woken_nodes");
+
+  // Seed the fleet-level event streams: the first churn arrival and the
+  // initial (t=0) full budget split; every later rebalance reschedules
+  // itself rebalance_period epochs ahead.
+  queue_.push(EventKind::kRebalance, 0, -1);
+  if (config_.churn.enabled) {
+    const int first = churn_.next_arrival_epoch();
+    if (first >= 0 && first < epochs) {
+      queue_.push(EventKind::kJobArrival, first, -1);
+    }
+  }
+
+  std::vector<double> caps;
+  for (int t = 0; t < epochs; ++t) {
+    rollup.begin_epoch();
+
+    // Phase 1: drain events due at t (pop order: (time, node, seq)).
+    // Wakes mark nodes steppable; arrivals may place jobs onto sleeping
+    // nodes, which wakes them too (the host must re-partition).
+    bool rebalance_due = false;
+    while (queue_.has_due(t)) {
+      const FleetEvent e = queue_.pop();
+      ++events_processed_;
+      switch (e.kind) {
+        case EventKind::kJobArrival: {
+          for (std::uint64_t id : churn_.arrive(t)) route_job(id, t);
+          const int next = churn_.next_arrival_epoch();
+          if (next >= 0 && next < epochs) {
+            queue_.push(EventKind::kJobArrival, next, -1);
+          }
+          break;
+        }
+        case EventKind::kRebalance: {
+          rebalance_due = true;
+          if (config_.delta.rebalance_period > 0 &&
+              t + config_.delta.rebalance_period < epochs) {
+            queue_.push(EventKind::kRebalance,
+                        t + config_.delta.rebalance_period, -1);
+          }
+          break;
+        }
+        case EventKind::kWake:
+        case EventKind::kJobFinish:
+        case EventKind::kCapChange:
+          wake_node(static_cast<std::size_t>(e.node), t);
+          break;
+      }
+    }
+
+    // Phase 2: heartbeat over the whole fleet. Scheduled sleepers beat
+    // virtually (they are healthy by construction -- only nodes without
+    // fault injectors may sleep); a crashed node stops beating for real
+    // because it never becomes eligible to sleep.
+    for (std::size_t i = 0; i < n; ++i) {
+      last_steps_[i] =
+          ctl_[i].sleeping ? t - 1 : nodes_[i]->last_step_epoch();
+    }
+    const int dead = heartbeat_.update(t, last_steps_, reports_);
+    rollup.note_dead(dead);
+
+    // Phase 3: caps. Rebalance epochs run the full strategy over the
+    // persistent report vector and rebase the delta state; other epochs
+    // revise only the awake nodes, O(#awake).
+    if (rebalance_due) {
+      ++rebalances_;
+      caps = coordinator_->assign(budget_w_, reports_);
+      delta_->rebase(caps);
+      for (std::size_t i = 0; i < n; ++i) {
+        nodes_[i]->set_power_cap(caps[i]);
+        if (ctl_[i].sleeping && caps[i] < power_contrib_[i]) {
+          // The new cap undercuts the frozen draw: the node must wake
+          // and re-govern this epoch (counts as a cap-change wake).
+          ++events_processed_;
+          wake_node(i, t);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (ctl_[i].sleeping) continue;
+        nodes_[i]->set_power_cap(delta_->revise(i, reports_[i]));
+      }
+    }
+    rollup.note_cap_sum(delta_->cap_sum(), t);
+
+    // Phase 4: step the woken set in parallel (fleet order; nodes share
+    // no mutable state, so the schedule cannot change results).
+    woken_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!ctl_[i].sleeping) woken_.push_back(i);
+    }
+    pool_.parallel_for(woken_.size(),
+                       [&](std::size_t k) { nodes_[woken_[k]]->step(t); });
+
+    // Phase 5: sequential post-step over the woken set, fleet order:
+    // fold fresh contributions into the incremental aggregates, drain
+    // churn jobs, decide who sleeps next.
+    for (std::size_t i : woken_) {
+      const NodeReport& r = nodes_[i]->report();
+      update_contrib(i, r, nodes_[i]->true_power_w());
+      reports_[i] = r;
+      if (config_.churn.enabled) churn_post_step(i, t);
+      maybe_sleep(i, t);
+    }
+    rollup.note_power(fleet_power_);
+    rollup.note_slices(ls_total_, ls_met_, be_norm_sum_);
+
+    skipped_counter.add(static_cast<std::uint64_t>(n - woken_.size()));
+    depth_gauge.set(static_cast<double>(queue_.size()));
+    woken_gauge.set(static_cast<double>(woken_.size()));
+  }
+
+  // Settle nodes still asleep at the end of the run so the per-node
+  // invariant (stepped + skipped == run epochs) holds; no wake is
+  // counted (nothing woke them, the run ended).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!ctl_[i].sleeping) continue;
+    ctl_[i].skipped += epochs - ctl_[i].sleep_from;
+    if (config_.churn.enabled) {
+      handle_completions(static_cast<int>(i),
+                         churn_.accrue(static_cast<int>(i),
+                                       ctl_[i].frozen_rate,
+                                       ctl_[i].sleep_from, epochs - 1),
+                         epochs - 1);
+    }
+    ctl_[i].sleeping = false;
+  }
+
+  return finish(rollup, epochs);
+}
+
+void FleetSim::wake_node(std::size_t i, int t) {
+  NodeCtl& c = ctl_[i];
+  if (!c.sleeping) return;  // stale event for an already-woken node
+  c.sleeping = false;
+  ++c.wakes;
+  const int skipped = t - c.sleep_from;  // epochs sleep_from .. t-1
+  c.skipped += skipped;
+  if (config_.churn.enabled && skipped > 0) {
+    // Drain the sleep window at the frozen rate. By construction the
+    // scheduled job-finish wake lands before any completion epoch, so
+    // this normally completes nothing; handled anyway for external
+    // wakes racing a nearly-done job.
+    handle_completions(
+        static_cast<int>(i),
+        churn_.accrue(static_cast<int>(i), c.frozen_rate, c.sleep_from,
+                      t - 1),
+        t - 1);
+  }
+}
+
+void FleetSim::route_job(std::uint64_t id, int t) {
+  const int to = placer_.pick();
+  if (to >= 0) {
+    placer_.claim(to);
+    churn_.assign(id, to, t);
+    nodes_[static_cast<std::size_t>(to)]->set_be_active(true);
+    // Pre-step phase: a sleeping host wakes and steps this very epoch.
+    wake_node(static_cast<std::size_t>(to), t);
+  } else if (config_.churn.queue_when_full) {
+    churn_.enqueue(id);
+  } else {
+    churn_.reject(id);
+  }
+}
+
+void FleetSim::churn_post_step(std::size_t i, int t) {
+  const int node = static_cast<int>(i);
+  if (churn_.active_on(node).empty()) return;
+  const NodeReport& r = reports_[i];
+  handle_completions(node, churn_.accrue(node, be_rate(r), t, t), t);
+
+  NodeCtl& c = ctl_[i];
+  if (config_.churn.migrate_after_epochs <= 0 ||
+      churn_.active_on(node).empty()) {
+    c.bad_streak = 0;
+    return;
+  }
+  // Sustained QoS violation or cap pressure (governor actively
+  // throttling) evicts the newest job to the best other host.
+  const bool pressure = !r.qos_met || nodes_[i]->governor_throttle() > 0;
+  c.bad_streak = pressure ? c.bad_streak + 1 : 0;
+  if (c.bad_streak < config_.churn.migrate_after_epochs) return;
+  c.bad_streak = 0;
+  const int to = placer_.pick(node);
+  if (to < 0) return;  // nowhere to go; stay and retry next streak
+  const std::uint64_t id = churn_.active_on(node).back();
+  placer_.release(node);
+  placer_.claim(to);
+  churn_.migrate(id, to, t);
+  nodes_[static_cast<std::size_t>(to)]->set_be_active(true);
+  if (churn_.active_on(node).empty()) nodes_[i]->set_be_active(false);
+  if (ctl_[static_cast<std::size_t>(to)].sleeping && t + 1 >= 0) {
+    // Post-step phase: the target steps again no earlier than t+1.
+    queue_.push(EventKind::kWake, t + 1, to);
+  }
+}
+
+void FleetSim::handle_completions(int node,
+                                  const std::vector<std::uint64_t>& done,
+                                  int t) {
+  if (done.empty()) return;
+  for (std::size_t k = 0; k < done.size(); ++k) placer_.release(node);
+  // Freed slots admit queued jobs FIFO; the placer decides the host
+  // (often this node, possibly a better one that freed up earlier).
+  while (churn_.has_queued()) {
+    const int to = placer_.pick();
+    if (to < 0) break;
+    const std::uint64_t id = churn_.pop_queued();
+    placer_.claim(to);
+    churn_.assign(id, to, t);
+    nodes_[static_cast<std::size_t>(to)]->set_be_active(true);
+    if (ctl_[static_cast<std::size_t>(to)].sleeping) {
+      queue_.push(EventKind::kWake, t + 1, to);
+    }
+  }
+  if (churn_.active_on(node).empty()) {
+    nodes_[static_cast<std::size_t>(node)]->set_be_active(false);
+  }
+}
+
+void FleetSim::maybe_sleep(std::size_t i, int t) {
+  const QuiescenceConfig& q = config_.quiescence;
+  NodeCtl& c = ctl_[i];
+  if (c.never_sleep) return;
+  cluster::ClusterNode& node = *nodes_[i];
+  const NodeReport& r = reports_[i];
+  // Only a node whose controller is at a fixed point may sleep: alive
+  // and reporting, QoS met with slack in band, governor quiet, not in
+  // safe mode, comfortably under its cap.
+  if (!r.alive() || !r.qos_met) return;
+  if (r.slack < q.min_slack) return;
+  // Governor: quiet (no levels confiscated) or holding a constant
+  // nonzero level under the relax hysteresis -- both are part of the
+  // node's fixed point. A *moving* nonzero level is active cap
+  // enforcement and blocks sleep.
+  const int throttle = node.governor_throttle();
+  const bool throttle_quiet = throttle == 0 || throttle == c.last_throttle;
+  c.last_throttle = throttle;
+  if (!throttle_quiet || node.in_safe_mode()) return;
+  if (r.power_w > (1.0 - q.cap_headroom) * node.power_cap_w()) return;
+  const double rate = be_rate(r);
+  const bool has_jobs =
+      config_.churn.enabled && !churn_.active_on(static_cast<int>(i)).empty();
+  if (has_jobs && rate <= 0.0) return;  // starved jobs need live control
+
+  int wake = next_load_shift(node.trace(), t, q.load_epsilon,
+                             q.max_sleep_epochs);
+  EventKind kind = EventKind::kWake;
+  if (has_jobs) {
+    const int finish =
+        churn_.earliest_finish(static_cast<int>(i), rate, t);
+    if (finish >= 0 && finish < wake) {
+      wake = finish;
+      kind = EventKind::kJobFinish;
+    }
+  }
+  if (wake - (t + 1) < q.min_sleep_epochs) return;
+  c.sleeping = true;
+  c.sleep_from = t + 1;
+  c.frozen_rate = rate;
+  queue_.push(kind, wake, static_cast<int>(i));
+}
+
+void FleetSim::update_contrib(std::size_t i, const NodeReport& report,
+                              double true_power_w) {
+  fleet_power_ += true_power_w - power_contrib_[i];
+  power_contrib_[i] = true_power_w;
+  int ls = 0, met = 0;
+  double be = 0.0;
+  for (const cluster::SliceReport& s : report.slices) {
+    if (s.latency_sensitive) {
+      ++ls;
+      if (s.qos_met) ++met;
+    } else {
+      be += s.throughput_norm;
+    }
+  }
+  ls_total_ += ls - ls_contrib_[i];
+  ls_met_ += met - ls_met_contrib_[i];
+  be_norm_sum_ += be - be_norm_contrib_[i];
+  ls_contrib_[i] = ls;
+  ls_met_contrib_[i] = met;
+  be_norm_contrib_[i] = be;
+}
+
+FleetResult FleetSim::finish(ClusterRollup& rollup, int epochs) {
+  const std::size_t n = nodes_.size();
+  std::uint64_t total_skipped = 0, total_wakes = 0;
+  for (const NodeCtl& c : ctl_) {
+    total_skipped += static_cast<std::uint64_t>(c.skipped);
+    total_wakes += static_cast<std::uint64_t>(c.wakes);
+  }
+
+  // Engine + churn roll-up into the cluster registry before finalize
+  // flushes it (satellites export these through the fleet JSONL).
+  auto& registry = telemetry_->metrics();
+  registry.counter("fleet.skipped_epochs").add(total_skipped);
+  registry.counter("fleet.wakes").add(total_wakes);
+  registry.counter("fleet.events").add(events_processed_);
+  registry.gauge("fleet.event_queue.depth_peak")
+      .set(static_cast<double>(queue_.max_depth()));
+  const ChurnStats& cs = churn_.stats();
+  registry.counter("fleet.churn.submitted").add(cs.submitted);
+  registry.counter("fleet.churn.placed").add(cs.placed);
+  registry.counter("fleet.churn.completed").add(cs.completed);
+  registry.counter("fleet.churn.migrated").add(cs.migrated);
+  registry.counter("fleet.churn.rejected").add(cs.rejected);
+  registry.gauge("fleet.churn.queue_peak")
+      .set(static_cast<double>(cs.queue_peak));
+  registry.gauge("fleet.churn.active_at_end")
+      .set(static_cast<double>(churn_.active_total()));
+
+  FleetResult out;
+  out.cluster = rollup.finalize(epochs, coordinator_->name(), nodes_,
+                                heartbeat_, telemetry_);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.cluster.node_results[i].skipped_epochs = ctl_[i].skipped;
+    out.cluster.node_results[i].wakes = ctl_[i].wakes;
+  }
+  out.total_skipped_epochs = total_skipped;
+  out.total_wakes = total_wakes;
+  out.skipped_fraction =
+      (n == 0 || epochs == 0)
+          ? 0.0
+          : static_cast<double>(total_skipped) /
+                (static_cast<double>(n) * static_cast<double>(epochs));
+  out.events_processed = events_processed_;
+  out.event_queue_peak = queue_.max_depth();
+  out.cap_revisions = delta_->revisions();
+  out.rebalances = rebalances_;
+  out.jobs_submitted = cs.submitted;
+  out.jobs_placed = cs.placed;
+  out.jobs_completed = cs.completed;
+  out.jobs_migrated = cs.migrated;
+  out.jobs_rejected = cs.rejected;
+  out.job_queue_peak = cs.queue_peak;
+  out.mean_job_completion_epochs = churn_.mean_completion_epochs();
+  out.jobs_active_at_end = churn_.active_total();
+  out.jobs_queued_at_end = churn_.queued();
+  return out;
+}
+
+}  // namespace sturgeon::fleet

@@ -1,0 +1,180 @@
+// FleetSim: the event-driven fleet engine.
+//
+// ClusterSim advances every node every epoch -- O(N) node steps per
+// epoch no matter how little is happening. At fleet scale (10k nodes,
+// diurnal traces) the overwhelming majority of node-epochs are control
+// fixed points: the load is where it was, slack is in band, the
+// partition and DVFS level would come out unchanged. FleetSim replaces
+// the lockstep sweep with a priority queue of events keyed by
+// (time, node, seq) (fleet/event.h): quiescent nodes schedule their
+// next wake (trace shift / predicted job finish / max-sleep backstop)
+// and are skipped until it arrives or an external event -- job arrival,
+// cap change from a rebalance -- targets them earlier. While asleep, a
+// node's last power/slice contribution stays frozen in the fleet
+// aggregates (incremental += new - old updates, so per-epoch
+// aggregation cost follows the woken set, not the fleet).
+//
+// Workload churn (fleet/churn.h) runs on top: a seeded deterministic
+// arrival process emits best-effort jobs, placed online (fleet/
+// placer.h, reusing the cluster PlacementKind vocabulary) into BE
+// slots, drained at each node's measured normalized BE throughput, and
+// migrated off nodes showing sustained QoS violation or cap pressure.
+// A node whose last job leaves goes LS-only and may quiesce.
+//
+// Coordination between rebalances is incremental too: the
+// DeltaCoordinator (fleet/delta_coordinator.h) revises only woken
+// nodes' caps against a running pool; a periodic kRebalance event runs
+// the full lockstep strategy over the persistent report vector.
+//
+// Twin contract: with quiescence disabled and churn disabled, run()
+// takes a lockstep path built from the same shared pieces as
+// ClusterSim::run (cluster/rollup.h) and produces a bit-identical
+// ClusterResult -- pinned by tests/fleet/twin_test.cpp. With skipping
+// enabled the engine is an approximation whose error is bounded by the
+// quiescence bands; determinism across worker thread counts holds in
+// every mode (events, churn and aggregation are engine-sequential).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/rollup.h"
+#include "fleet/churn.h"
+#include "fleet/delta_coordinator.h"
+#include "fleet/event_queue.h"
+#include "fleet/placer.h"
+#include "fleet/quiescence.h"
+
+namespace sturgeon::fleet {
+
+struct FleetConfig {
+  /// Fleet construction, budget, coordinator strategy, faults,
+  /// resilience -- everything the lockstep engine understands.
+  cluster::ClusterConfig cluster;
+  QuiescenceConfig quiescence;
+  ChurnConfig churn;
+  /// Delta coordination (only consulted when quiescence is enabled;
+  /// the lockstep-equivalent path runs the full strategy every epoch).
+  DeltaCoordinatorConfig delta;
+  /// Online job placement strategy (cluster vocabulary: worst-fit
+  /// spreads, bin-pack consolidates so whole nodes can quiesce).
+  cluster::PlacementKind job_placement = cluster::PlacementKind::kWorstFit;
+};
+
+/// ClusterResult plus the engine's own accounting.
+struct FleetResult {
+  cluster::ClusterResult cluster;
+  // -- event engine ---------------------------------------------------
+  std::uint64_t total_skipped_epochs = 0;  ///< sum over nodes
+  std::uint64_t total_wakes = 0;
+  /// skipped node-epochs / (nodes * epochs): the work the engine avoided.
+  double skipped_fraction = 0.0;
+  std::uint64_t events_processed = 0;
+  std::size_t event_queue_peak = 0;
+  // -- coordinator ----------------------------------------------------
+  std::uint64_t cap_revisions = 0;  ///< delta revisions (0 in twin mode)
+  std::uint64_t rebalances = 0;     ///< full-strategy re-splits
+  // -- churn ----------------------------------------------------------
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_placed = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_migrated = 0;
+  std::uint64_t jobs_rejected = 0;
+  std::size_t job_queue_peak = 0;
+  double mean_job_completion_epochs = 0.0;
+  std::size_t jobs_active_at_end = 0;
+  std::size_t jobs_queued_at_end = 0;
+};
+
+class FleetSim {
+ public:
+  explicit FleetSim(std::vector<cluster::NodeSpec> specs,
+                    FleetConfig config = {});
+
+  /// Advance `epochs` (0 = longest node trace) and aggregate. One-shot,
+  /// like ClusterSim::run.
+  FleetResult run(int epochs = 0);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  double cluster_budget_w() const { return budget_w_; }
+  bool has_run() const { return ran_; }
+  cluster::ClusterNode& node(std::size_t i) { return *nodes_.at(i); }
+  const ChurnEngine& churn() const { return churn_; }
+
+ private:
+  // Per-node engine control state (everything the event path needs to
+  // know about a node that the node itself does not track).
+  struct NodeCtl {
+    bool sleeping = false;
+    int sleep_from = 0;       ///< first skipped epoch
+    double frozen_rate = 0.0; ///< BE norm rate at sleep time (job drain)
+    int skipped = 0;
+    int wakes = 0;
+    int bad_streak = 0;  ///< consecutive stepped epochs under pressure
+    int last_throttle = 0;  ///< governor level after the previous step
+    bool never_sleep = false;  ///< fault injector armed
+  };
+
+  FleetResult run_lockstep(int epochs);  ///< twin / no-skip path
+  FleetResult run_events(int epochs);    ///< quiescence-skipping path
+
+  /// Pull a node out of quiescence at epoch `t`: settle its sleep
+  /// window (skipped-epoch accounting + frozen-rate job drain) and mark
+  /// it steppable. Idempotent for awake nodes.
+  void wake_node(std::size_t i, int t);
+  /// Route one emitted job: place (waking the host), queue, or reject.
+  void route_job(std::uint64_t id, int t);
+  /// Post-step churn bookkeeping for node i at epoch t: drain jobs at
+  /// the measured BE rate, complete finished ones (freeing slots and
+  /// admitting queued jobs), check the migration trigger.
+  void churn_post_step(std::size_t i, int t);
+  /// Completions on `node`: slot release, queued-job admission, LS-only
+  /// transition when the node's last job left.
+  void handle_completions(int node, const std::vector<std::uint64_t>& done,
+                          int t);
+  /// Post-step quiescence decision for an awake node (event path only).
+  void maybe_sleep(std::size_t i, int t);
+  /// Fold node i's fresh post-step state into the incremental fleet
+  /// aggregates (power / slice tallies), replacing its frozen share.
+  void update_contrib(std::size_t i, const cluster::NodeReport& report,
+                      double true_power_w);
+  /// Engine accounting into FleetResult + telemetry, then the shared
+  /// rollup finalize. Both paths end here.
+  FleetResult finish(cluster::ClusterRollup& rollup, int epochs);
+  /// Measured normalized BE throughput from a report (sum of BE slices).
+  static double be_rate(const cluster::NodeReport& report);
+
+  FleetConfig config_;
+  std::shared_ptr<telemetry::TelemetryContext> telemetry_;
+  std::vector<std::unique_ptr<cluster::ClusterNode>> nodes_;
+  std::unique_ptr<cluster::PowerCoordinator> coordinator_;
+  cluster::HeartbeatTracker heartbeat_;
+  ThreadPool pool_;
+  double budget_w_ = 0.0;
+  int max_trace_s_ = 0;
+  bool ran_ = false;
+
+  EventQueue queue_;
+  ChurnEngine churn_;
+  SlotPlacer placer_;
+  /// Needs the resolved budget, so built after build_cluster().
+  std::unique_ptr<DeltaCoordinator> delta_;
+  std::vector<NodeCtl> ctl_;
+  /// Persistent last-known report per node (stale while asleep).
+  std::vector<cluster::NodeReport> reports_;
+  std::vector<int> last_steps_;
+  /// Frozen per-node contributions to the incremental aggregates.
+  std::vector<double> power_contrib_;
+  std::vector<int> ls_contrib_, ls_met_contrib_;
+  std::vector<double> be_norm_contrib_;
+  double fleet_power_ = 0.0;
+  int ls_total_ = 0, ls_met_ = 0;
+  double be_norm_sum_ = 0.0;
+  std::uint64_t rebalances_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::vector<std::size_t> woken_;  ///< step set scratch (fleet order)
+};
+
+}  // namespace sturgeon::fleet

@@ -1,0 +1,90 @@
+#include "fleet/placer.h"
+
+#include "util/check.h"
+
+namespace sturgeon::fleet {
+
+SlotPlacer::SlotPlacer(cluster::PlacementKind kind, int num_nodes,
+                       int slots_per_node)
+    : kind_(kind),
+      slots_per_node_(slots_per_node),
+      free_(static_cast<std::size_t>(num_nodes), slots_per_node),
+      buckets_(static_cast<std::size_t>(slots_per_node) + 1) {
+  STURGEON_CHECK(num_nodes > 0 && slots_per_node > 0,
+                 "SlotPlacer: need nodes > 0 and slots > 0");
+  for (int i = 0; i < num_nodes; ++i) {
+    buckets_[static_cast<std::size_t>(slots_per_node)].insert(i);
+  }
+  total_free_ = static_cast<long>(num_nodes) * slots_per_node;
+}
+
+namespace {
+
+// First id != exclude in an ordered set, or -1.
+int first_not(const std::set<int>& s, int exclude) {
+  for (auto it = s.begin(); it != s.end(); ++it) {
+    if (*it != exclude) return *it;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int SlotPlacer::pick(int exclude) const {
+  switch (kind_) {
+    case cluster::PlacementKind::kWorstFit: {
+      for (int f = slots_per_node_; f >= 1; --f) {
+        int id = first_not(buckets_[static_cast<std::size_t>(f)], exclude);
+        if (id >= 0) return id;
+      }
+      return -1;
+    }
+    case cluster::PlacementKind::kBinPack: {
+      for (int f = 1; f <= slots_per_node_; ++f) {
+        int id = first_not(buckets_[static_cast<std::size_t>(f)], exclude);
+        if (id >= 0) return id;
+      }
+      return -1;
+    }
+    case cluster::PlacementKind::kRoundRobin: {
+      // Smallest eligible id >= cursor_, wrapping; advance the cursor
+      // past the pick so successive jobs rotate through the fleet.
+      int best = -1;
+      int wrap_best = -1;
+      for (int f = 1; f <= slots_per_node_; ++f) {
+        const auto& bucket = buckets_[static_cast<std::size_t>(f)];
+        auto it = bucket.lower_bound(cursor_);
+        while (it != bucket.end() && *it == exclude) ++it;
+        if (it != bucket.end() && (best < 0 || *it < best)) best = *it;
+        int head = first_not(bucket, exclude);
+        if (head >= 0 && (wrap_best < 0 || head < wrap_best))
+          wrap_best = head;
+      }
+      int id = best >= 0 ? best : wrap_best;
+      if (id >= 0) cursor_ = id + 1;
+      return id;
+    }
+  }
+  return -1;
+}
+
+void SlotPlacer::claim(int node) {
+  int& f = free_[static_cast<std::size_t>(node)];
+  STURGEON_CHECK(f > 0, "SlotPlacer::claim: node " << node << " is full");
+  buckets_[static_cast<std::size_t>(f)].erase(node);
+  --f;
+  --total_free_;
+  if (f > 0) buckets_[static_cast<std::size_t>(f)].insert(node);
+}
+
+void SlotPlacer::release(int node) {
+  int& f = free_[static_cast<std::size_t>(node)];
+  STURGEON_CHECK(f < slots_per_node_,
+                 "SlotPlacer::release: node " << node << " has no claimed slot");
+  if (f > 0) buckets_[static_cast<std::size_t>(f)].erase(node);
+  ++f;
+  ++total_free_;
+  buckets_[static_cast<std::size_t>(f)].insert(node);
+}
+
+}  // namespace sturgeon::fleet

@@ -1,0 +1,24 @@
+#include "fleet/quiescence.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sturgeon::fleet {
+
+int next_load_shift(const LoadTrace& trace, int t, double epsilon,
+                    int max_sleep) {
+  STURGEON_CHECK(max_sleep >= 1, "next_load_shift: max_sleep must be >= 1");
+  const double base = trace.at(t);
+  const int horizon = t + max_sleep;
+  // Past the trace end at() clamps to the final value, so the scan can
+  // stop there: no further shift is possible.
+  const int scan_end =
+      horizon < trace.duration_s() ? horizon : trace.duration_s();
+  for (int s = t + 1; s <= scan_end; ++s) {
+    if (std::abs(trace.at(s) - base) > epsilon) return s;
+  }
+  return horizon;
+}
+
+}  // namespace sturgeon::fleet

@@ -1,0 +1,53 @@
+// Quiescence policy: when may the fleet engine stop stepping a node?
+//
+// A node is quiescent when nothing that would change its control
+// decisions is on the horizon: its load trace holds inside an epsilon
+// band, its QoS slack sits inside the configured band, its governor's
+// throttle level is not moving (a constant level held by the relax
+// hysteresis is part of the fixed point; a changing one is active
+// control), it is not in fault safe-mode and no fault injector is
+// armed. Such a node's partition, DVFS level and power draw are fixed
+// points of the controller -- re-running the step every epoch just
+// re-derives them, which is the cost the event engine skips.
+//
+// A sleeping node freezes its last power/slice contribution in the
+// fleet aggregates and schedules a wake at the earliest of: the next
+// trace shift out of the epsilon band, its earliest predicted job
+// completion, and a max-sleep backstop. External events (job arrival,
+// cap change from a rebalance) wake it earlier. The approximation is
+// therefore bounded by the band widths: anything larger than epsilon /
+// the slack band triggers a real step.
+#pragma once
+
+#include "workloads/load_trace.h"
+
+namespace sturgeon::fleet {
+
+struct QuiescenceConfig {
+  /// Master switch: false = lockstep-equivalent (every node steps every
+  /// epoch; the twin-equivalence tests run in this mode).
+  bool enabled = false;
+  /// Trace band: a node sleeps only while |load(t') - load(t)| stays
+  /// below this; the first epoch outside the band is a scheduled wake.
+  double load_epsilon = 0.02;
+  /// Minimum QoS slack (fraction of the target) required to sleep --
+  /// nodes near their latency target keep stepping so the governor can
+  /// react every epoch.
+  double min_slack = 0.05;
+  /// Required power headroom under the cap: sleep only while
+  /// power <= (1 - cap_headroom) * cap, so a frozen draw cannot sit on
+  /// the cap edge unobserved.
+  double cap_headroom = 0.04;
+  /// Backstop: never sleep past this many epochs without a real step.
+  int max_sleep_epochs = 64;
+  /// Sleeps shorter than this are not worth the event traffic.
+  int min_sleep_epochs = 2;
+};
+
+/// First epoch s > t with |trace(s) - trace(t)| > epsilon, capped at
+/// t + max_sleep. Exploits LoadTrace::at clamping past the end: a trace
+/// in its final plateau yields the full max_sleep.
+int next_load_shift(const LoadTrace& trace, int t, double epsilon,
+                    int max_sleep);
+
+}  // namespace sturgeon::fleet

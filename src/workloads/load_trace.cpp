@@ -60,6 +60,24 @@ LoadTrace LoadTrace::diurnal(double lo, double hi, int duration_s) {
   return LoadTrace(std::move(pts));
 }
 
+LoadTrace LoadTrace::diurnal_phased(double lo, double hi, int duration_s,
+                                    double phase_fraction) {
+  if (duration_s < 2) throw std::invalid_argument("diurnal_phased: too short");
+  if (phase_fraction < 0.0 || phase_fraction >= 1.0) {
+    throw std::invalid_argument("diurnal_phased: phase outside [0,1)");
+  }
+  std::vector<double> pts(static_cast<std::size_t>(duration_s));
+  for (int t = 0; t < duration_s; ++t) {
+    const double phase =
+        2.0 * M_PI *
+        (static_cast<double>(t) / static_cast<double>(duration_s) -
+         phase_fraction);
+    pts[static_cast<std::size_t>(t)] =
+        lo + (hi - lo) * 0.5 * (1.0 - std::cos(phase));
+  }
+  return LoadTrace(std::move(pts));
+}
+
 LoadTrace LoadTrace::constant(double level, int duration_s) {
   if (duration_s < 1) throw std::invalid_argument("constant: too short");
   return LoadTrace(

@@ -28,6 +28,12 @@ class LoadTrace {
   /// [lo, hi] with the minimum at t=0 (night) and maximum mid-trace.
   static LoadTrace diurnal(double lo, double hi, int duration_s);
 
+  /// Diurnal with the minimum shifted to `phase_fraction` of the day
+  /// (in [0,1)). Fleet runs spread node phases so load shifts -- and
+  /// therefore event-engine wakes -- stagger instead of synchronizing.
+  static LoadTrace diurnal_phased(double lo, double hi, int duration_s,
+                                  double phase_fraction);
+
   static LoadTrace constant(double level, int duration_s);
 
   /// Piecewise-constant steps, each held `step_len_s` seconds.

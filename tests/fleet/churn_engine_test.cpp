@@ -1,0 +1,156 @@
+// ChurnEngine unit tests: deterministic arrivals, accrual/completion
+// arithmetic, the earliest-finish prediction the sleep scheduler uses,
+// and the migration bookkeeping -- including the job-finishes-while-
+// being-migrated ordering the fleet engine relies on.
+#include "fleet/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sturgeon::fleet {
+namespace {
+
+ChurnConfig small_churn() {
+  ChurnConfig c;
+  c.enabled = true;
+  c.arrival_rate_per_epoch = 0.8;
+  c.mean_size_norm_s = 3.0;
+  c.size_cv = 0.5;
+  c.slots_per_node = 2;
+  return c;
+}
+
+TEST(ChurnEngine, DisabledEmitsNothing) {
+  ChurnEngine engine(ChurnConfig{}, 7, 4, 2);
+  EXPECT_EQ(engine.next_arrival_epoch(), -1);
+  EXPECT_TRUE(engine.arrive(0).empty());
+  EXPECT_TRUE(engine.arrive(1000).empty());
+}
+
+TEST(ChurnEngine, ArrivalsAreSeedDeterministic) {
+  auto timeline = [](std::uint64_t seed) {
+    ChurnEngine engine(small_churn(), seed, 4, 2);
+    std::vector<std::size_t> counts;
+    for (int t = 0; t < 50; ++t) counts.push_back(engine.arrive(t).size());
+    return counts;
+  };
+  EXPECT_EQ(timeline(7), timeline(7));
+  EXPECT_NE(timeline(7), timeline(8));
+}
+
+TEST(ChurnEngine, ArriveEmitsEverythingDueAndAdvancesClock) {
+  ChurnEngine engine(small_churn(), 7, 4, 2);
+  std::uint64_t total = 0;
+  for (int t = 0; t < 100; ++t) {
+    const int next = engine.next_arrival_epoch();
+    const auto ids = engine.arrive(t);
+    if (next > t) {
+      EXPECT_TRUE(ids.empty());
+    }
+    total += ids.size();
+    // After arrive(t) the clock is strictly past epoch t.
+    EXPECT_GT(engine.next_arrival_epoch(), t);
+    for (std::uint64_t id : ids) {
+      EXPECT_EQ(engine.job(id).arrival_epoch, t);
+      EXPECT_GT(engine.job(id).size_norm_s, 0.0);
+      EXPECT_EQ(engine.job(id).node, -1);
+    }
+  }
+  EXPECT_EQ(engine.stats().submitted, total);
+  // Rate 0.8/epoch over 100 epochs: a seeded draw lands near 80.
+  EXPECT_GT(total, 40u);
+  EXPECT_LT(total, 160u);
+}
+
+TEST(ChurnEngine, AccrueSharesRateEquallyAndCompletesInOrder) {
+  ChurnEngine engine(small_churn(), 7, 4, 1);
+  const auto ids = [&] {
+    std::vector<std::uint64_t> out;
+    // Manufacture two jobs deterministically via arrive() draws.
+    for (int t = 0; out.size() < 2 && t < 100; ++t) {
+      for (std::uint64_t id : engine.arrive(t)) out.push_back(id);
+    }
+    return out;
+  }();
+  ASSERT_GE(ids.size(), 2u);
+  engine.assign(ids[0], 0, 0);
+  engine.assign(ids[1], 0, 0);
+  engine.job(ids[0]).remaining_norm_s = 1.0;
+  engine.job(ids[1]).remaining_norm_s = 4.0;
+
+  // Total rate 1.0 shared over 2 jobs = 0.5/epoch each: job 0 needs 2
+  // epochs, job 1 needs 8.
+  EXPECT_EQ(engine.earliest_finish(0, 1.0, 9), 9 + 2);
+
+  auto done = engine.accrue(0, 1.0, 10, 11);  // 2 epochs
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], ids[0]);
+  EXPECT_EQ(engine.job(ids[0]).finish_epoch, 11);
+  EXPECT_EQ(engine.job(ids[0]).node, -1);
+  EXPECT_DOUBLE_EQ(engine.job(ids[1]).remaining_norm_s, 3.0);
+  EXPECT_EQ(engine.active_on(0).size(), 1u);
+  EXPECT_EQ(engine.stats().completed, 1u);
+
+  // Remaining job alone now takes the whole rate.
+  done = engine.accrue(0, 1.0, 12, 14);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(engine.job(ids[1]).finish_epoch, 14);
+  EXPECT_EQ(engine.active_total(), 0u);
+}
+
+TEST(ChurnEngine, AccrueWithoutRateOrJobsIsANoop) {
+  ChurnEngine engine(small_churn(), 7, 4, 1);
+  EXPECT_TRUE(engine.accrue(0, 1.0, 0, 5).empty());   // no jobs
+  const auto ids = engine.arrive(engine.next_arrival_epoch());
+  ASSERT_FALSE(ids.empty());
+  engine.assign(ids[0], 0, 0);
+  EXPECT_TRUE(engine.accrue(0, 0.0, 0, 5).empty());   // no rate
+  EXPECT_TRUE(engine.accrue(0, 1.0, 5, 4).empty());   // empty window
+  EXPECT_EQ(engine.earliest_finish(0, 0.0, 0), -1);
+}
+
+// The fleet engine's ordering contract: completions are drained BEFORE
+// the migration decision, so a job that finishes in the same epoch a
+// migration triggers is completed, never moved. The engine must keep
+// both bookkeepings consistent when the remaining job then migrates.
+TEST(ChurnEngine, CompletionThenMigrationKeepsListsConsistent) {
+  ChurnEngine engine(small_churn(), 7, 4, 2);
+  std::vector<std::uint64_t> ids;
+  for (int t = 0; ids.size() < 2 && t < 100; ++t) {
+    for (std::uint64_t id : engine.arrive(t)) ids.push_back(id);
+  }
+  ASSERT_GE(ids.size(), 2u);
+  engine.assign(ids[0], 0, 0);
+  engine.assign(ids[1], 0, 0);
+  engine.job(ids[0]).remaining_norm_s = 0.2;  // finishes this epoch
+  engine.job(ids[1]).remaining_norm_s = 9.0;
+
+  const auto done = engine.accrue(0, 1.0, 5, 5);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], ids[0]);
+
+  engine.migrate(ids[1], 1, 5);
+  EXPECT_TRUE(engine.active_on(0).empty());
+  ASSERT_EQ(engine.active_on(1).size(), 1u);
+  EXPECT_EQ(engine.active_on(1)[0], ids[1]);
+  EXPECT_EQ(engine.job(ids[1]).node, 1);
+  EXPECT_EQ(engine.job(ids[1]).migrations, 1);
+  EXPECT_EQ(engine.stats().migrated, 1u);
+  EXPECT_EQ(engine.stats().completed, 1u);
+  EXPECT_EQ(engine.active_total(), 1u);
+}
+
+TEST(ChurnEngine, QueueIsFifo) {
+  ChurnEngine engine(small_churn(), 7, 4, 1);
+  engine.enqueue(11);
+  engine.enqueue(22);
+  EXPECT_EQ(engine.queued(), 2u);
+  EXPECT_EQ(engine.stats().queue_peak, 2u);
+  EXPECT_EQ(engine.pop_queued(), 11u);
+  EXPECT_EQ(engine.pop_queued(), 22u);
+  EXPECT_FALSE(engine.has_queued());
+}
+
+}  // namespace
+}  // namespace sturgeon::fleet

@@ -1,0 +1,123 @@
+// DeltaCoordinator: incremental cap revision keeps the budget invariant
+// and reacts to pressure / headroom / death / rejoin like the full
+// strategies do, one node at a time.
+#include "fleet/delta_coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sturgeon::fleet {
+namespace {
+
+using cluster::Liveness;
+using cluster::NodeReport;
+
+NodeReport report(double budget, double idle, double cap, double power,
+                  double slack, bool qos_met) {
+  NodeReport r;
+  r.budget_w = budget;
+  r.idle_w = idle;
+  r.cap_w = cap;
+  r.power_w = power;
+  r.slack = slack;
+  r.qos_met = qos_met;
+  r.liveness = Liveness::kAlive;
+  return r;
+}
+
+TEST(DeltaCoordinator, RebaseAdoptsCapsAndPool) {
+  DeltaCoordinator delta({}, 100.0, 3);
+  delta.rebase({30.0, 30.0, 30.0});
+  EXPECT_DOUBLE_EQ(delta.cap_sum(), 90.0);
+  EXPECT_DOUBLE_EQ(delta.pool_w(), 10.0);
+  EXPECT_DOUBLE_EQ(delta.cap(1), 30.0);
+}
+
+TEST(DeltaCoordinator, PressureGrantsFromThePoolOnly) {
+  DeltaCoordinatorConfig config;
+  config.grant_fraction = 0.5;
+  DeltaCoordinator delta(config, 100.0, 2);
+  delta.rebase({48.0, 48.0});  // pool = 4 W
+
+  // Node 0 presses its cap (power at 95% of 48 W, budget 60 W): it
+  // wants +30 W but the pool only holds 4 W.
+  const double c0 = delta.revise(0, report(60, 10, 48, 46.5, 0.2, true));
+  EXPECT_DOUBLE_EQ(c0, 52.0);
+  EXPECT_DOUBLE_EQ(delta.pool_w(), 0.0);
+  EXPECT_EQ(delta.grants(), 1u);
+
+  // Pool exhausted: a second pressured node gets nothing.
+  const double c1 = delta.revise(1, report(60, 10, 48, 47.0, 0.2, false));
+  EXPECT_DOUBLE_EQ(c1, 48.0);
+  EXPECT_LE(delta.cap_sum(), 100.0 + 1e-9);
+}
+
+TEST(DeltaCoordinator, HeadroomShrinksTowardPowerWithFloor) {
+  DeltaCoordinatorConfig config;
+  config.headroom_margin = 0.1;
+  config.min_cap_fraction = 0.3;
+  DeltaCoordinator delta(config, 200.0, 2);
+  delta.rebase({100.0, 100.0});
+
+  // Power 20 W well under the 100 W cap: shrink to power + 10% of the
+  // 60 W budget = 26 W (above both floors).
+  const double c0 = delta.revise(0, report(60, 10, 100, 20.0, 0.5, true));
+  EXPECT_DOUBLE_EQ(c0, 26.0);
+  EXPECT_EQ(delta.shrinks(), 1u);
+
+  // Deep idle: the min-cap floor (30% of 60 = 18 W) catches the shrink.
+  const double c1 = delta.revise(1, report(60, 10, 100, 2.0, 0.9, true));
+  EXPECT_DOUBLE_EQ(c1, 18.0);
+  EXPECT_DOUBLE_EQ(delta.pool_w(), 200.0 - 26.0 - 18.0);
+}
+
+TEST(DeltaCoordinator, QuietZoneLeavesTheCapAlone) {
+  DeltaCoordinator delta({}, 100.0, 1);
+  delta.rebase({50.0});
+  // Power between shrink (60%) and pressure (92%) thresholds: no-op.
+  const double c = delta.revise(0, report(60, 10, 50, 40.0, 0.3, true));
+  EXPECT_DOUBLE_EQ(c, 50.0);
+  EXPECT_EQ(delta.grants(), 0u);
+  EXPECT_EQ(delta.shrinks(), 0u);
+  EXPECT_EQ(delta.revisions(), 1u);
+}
+
+TEST(DeltaCoordinator, DeathCollapsesAndRejoinRegrants) {
+  DeltaCoordinator delta({}, 100.0, 2);
+  delta.rebase({50.0, 40.0});
+
+  NodeReport dead = report(60, 8, 50, 0.0, 0.0, true);
+  dead.liveness = Liveness::kDead;
+  EXPECT_DOUBLE_EQ(delta.revise(0, dead), 8.0);  // idle floor
+  EXPECT_DOUBLE_EQ(delta.pool_w(), 100.0 - 8.0 - 40.0);
+
+  NodeReport back = report(60, 8, 8, 0.0, 0.0, true);
+  back.rejoined = true;
+  const double c = delta.revise(0, back);
+  EXPECT_DOUBLE_EQ(c, 18.0);  // min_cap_fraction * budget
+  EXPECT_LE(delta.cap_sum(), 100.0 + 1e-9);
+}
+
+TEST(DeltaCoordinator, RandomizedRevisionsNeverBreakTheBudget) {
+  DeltaCoordinator delta({}, 120.0, 4);
+  delta.rebase({30.0, 30.0, 30.0, 30.0});
+  // Deterministic pseudo-random walk over reports; the invariant must
+  // hold after every revision.
+  unsigned state = 12345;
+  auto next = [&state] {
+    state = state * 1103515245u + 12345u;
+    return static_cast<double>((state >> 16) & 0x7fff) / 32768.0;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t node = static_cast<std::size_t>(i) % 4;
+    const double power = 5.0 + 55.0 * next();
+    const bool qos = next() > 0.2;
+    delta.revise(node, report(60, 5, delta.cap(node), power, next(), qos));
+    ASSERT_LE(delta.cap_sum(), 120.0 + 1e-6) << "iteration " << i;
+    ASSERT_GE(delta.cap(node), 5.0 - 1e-9) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sturgeon::fleet

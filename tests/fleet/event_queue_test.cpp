@@ -1,0 +1,62 @@
+// EventQueue ordering contract: pop order is exactly (time, node, seq),
+// a pure function of the push history.
+#include "fleet/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sturgeon::fleet {
+namespace {
+
+TEST(EventQueue, PopsByTimeThenNodeThenSeq) {
+  EventQueue q;
+  q.push(EventKind::kWake, 5, 2);
+  q.push(EventKind::kWake, 3, 7);
+  q.push(EventKind::kWake, 3, 1);
+  q.push(EventKind::kJobFinish, 3, 1);  // same (time, node): seq decides
+  q.push(EventKind::kRebalance, 0, -1);
+
+  std::vector<FleetEvent> order;
+  while (!q.empty()) order.push_back(q.pop());
+
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0].kind, EventKind::kRebalance);
+  EXPECT_EQ(order[0].node, -1);
+  EXPECT_EQ(order[1].node, 1);
+  EXPECT_EQ(order[1].kind, EventKind::kWake);  // pushed before kJobFinish
+  EXPECT_EQ(order[2].node, 1);
+  EXPECT_EQ(order[2].kind, EventKind::kJobFinish);
+  EXPECT_EQ(order[3].node, 7);
+  EXPECT_EQ(order[4].time, 5);
+}
+
+TEST(EventQueue, HasDueAndNextTime) {
+  EventQueue q;
+  EXPECT_FALSE(q.has_due(100));
+  EXPECT_EQ(q.next_time(), -1);
+  q.push(EventKind::kWake, 4, 0);
+  EXPECT_EQ(q.next_time(), 4);
+  EXPECT_FALSE(q.has_due(3));
+  EXPECT_TRUE(q.has_due(4));
+  EXPECT_TRUE(q.has_due(9));
+}
+
+TEST(EventQueue, TracksDepthAndPushCount) {
+  EventQueue q;
+  for (int i = 0; i < 6; ++i) q.push(EventKind::kWake, i, i);
+  for (int i = 0; i < 4; ++i) q.pop();
+  q.push(EventKind::kWake, 9, 9);
+  EXPECT_EQ(q.total_pushed(), 7u);
+  EXPECT_EQ(q.max_depth(), 6u);
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(EventQueueDeathTest, ChecksMisuse) {
+  EventQueue q;
+  EXPECT_DEATH(q.push(EventKind::kWake, -1, 0), "negative time");
+  EXPECT_DEATH(q.pop(), "empty queue");
+}
+
+}  // namespace
+}  // namespace sturgeon::fleet

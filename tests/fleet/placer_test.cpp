@@ -1,0 +1,73 @@
+// SlotPlacer strategy + bookkeeping tests.
+#include "fleet/placer.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::fleet {
+namespace {
+
+using cluster::PlacementKind;
+
+TEST(SlotPlacer, WorstFitSpreadsAcrossEmptiestNodes) {
+  SlotPlacer p(PlacementKind::kWorstFit, 3, 2);
+  // All equal: lowest id wins; claims then rotate to the next emptiest.
+  EXPECT_EQ(p.pick(), 0);
+  p.claim(0);
+  EXPECT_EQ(p.pick(), 1);
+  p.claim(1);
+  EXPECT_EQ(p.pick(), 2);
+  p.claim(2);
+  EXPECT_EQ(p.pick(), 0);  // all at 1 free slot again
+  p.claim(0);
+  p.claim(1);
+  p.claim(2);
+  EXPECT_EQ(p.pick(), -1);  // full fleet
+  EXPECT_EQ(p.total_free(), 0);
+  p.release(1);
+  EXPECT_EQ(p.pick(), 1);
+}
+
+TEST(SlotPlacer, BinPackConsolidatesOntoFullestFittingNode) {
+  SlotPlacer p(PlacementKind::kBinPack, 3, 2);
+  EXPECT_EQ(p.pick(), 0);  // tie toward lowest id
+  p.claim(0);
+  // Node 0 now has 1 free slot -- the fullest node that still fits.
+  EXPECT_EQ(p.pick(), 0);
+  p.claim(0);
+  // Node 0 full: next job starts node 1, then keeps packing it.
+  EXPECT_EQ(p.pick(), 1);
+  p.claim(1);
+  EXPECT_EQ(p.pick(), 1);
+}
+
+TEST(SlotPlacer, RoundRobinRotates) {
+  SlotPlacer p(PlacementKind::kRoundRobin, 3, 2);
+  EXPECT_EQ(p.pick(), 0);
+  p.claim(0);
+  EXPECT_EQ(p.pick(), 1);
+  p.claim(1);
+  EXPECT_EQ(p.pick(), 2);
+  p.claim(2);
+  EXPECT_EQ(p.pick(), 0);  // wraps
+}
+
+TEST(SlotPlacer, ExcludeSkipsTheMigrationSource) {
+  SlotPlacer p(PlacementKind::kWorstFit, 2, 2);
+  EXPECT_EQ(p.pick(0), 1);
+  // Fill the only alternative: nowhere to migrate.
+  p.claim(1);
+  p.claim(1);
+  EXPECT_EQ(p.pick(0), -1);
+  EXPECT_EQ(p.pick(), 0);  // but a plain pick still finds node 0
+}
+
+TEST(SlotPlacerDeathTest, ChecksMisuse) {
+  SlotPlacer p(PlacementKind::kWorstFit, 1, 1);
+  p.claim(0);
+  EXPECT_DEATH(p.claim(0), "full");
+  p.release(0);
+  EXPECT_DEATH(p.release(0), "no claimed slot");
+}
+
+}  // namespace
+}  // namespace sturgeon::fleet

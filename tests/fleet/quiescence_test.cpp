@@ -1,0 +1,44 @@
+// next_load_shift: the trace-scan half of the quiescence policy.
+#include "fleet/quiescence.h"
+
+#include <gtest/gtest.h>
+
+namespace sturgeon::fleet {
+namespace {
+
+TEST(NextLoadShift, ConstantTraceSleepsToTheBackstop) {
+  const LoadTrace trace = LoadTrace::constant(0.4, 100);
+  EXPECT_EQ(next_load_shift(trace, 10, 0.02, 32), 42);
+}
+
+TEST(NextLoadShift, FindsTheFirstEpochOutsideTheBand) {
+  // Steps: 0.40 for 20 epochs, then 0.50.
+  const LoadTrace trace = LoadTrace::steps({0.40, 0.50}, 20);
+  EXPECT_EQ(next_load_shift(trace, 5, 0.02, 64), 20);
+  // A wide band swallows the step entirely.
+  EXPECT_EQ(next_load_shift(trace, 5, 0.15, 64), 69);
+}
+
+TEST(NextLoadShift, ClampsPastTheTraceEnd) {
+  // The trace ends at t=10 and at() clamps to the final value, so a
+  // scan starting near the end runs to the backstop.
+  const LoadTrace trace = LoadTrace::steps({0.3, 0.6}, 5);
+  EXPECT_EQ(next_load_shift(trace, 9, 0.02, 50), 59);
+  EXPECT_EQ(next_load_shift(trace, 500, 0.02, 16), 516);
+}
+
+TEST(NextLoadShift, DiurnalPhasedShiftsTheMinimum) {
+  const LoadTrace a = LoadTrace::diurnal(0.2, 0.8, 100);
+  const LoadTrace b = LoadTrace::diurnal_phased(0.2, 0.8, 100, 0.25);
+  // Phase 0.25 moves the night minimum to t=25.
+  EXPECT_NEAR(b.at(25), 0.2, 1e-9);
+  EXPECT_NEAR(a.at(0), 0.2, 1e-9);
+  EXPECT_NEAR(b.at(75), 0.8, 1e-9);
+  // Same shape, different anchor: a phased node's next shift from its
+  // own minimum matches the unphased node's from t=0.
+  EXPECT_EQ(next_load_shift(a, 0, 0.05, 100) + 25,
+            next_load_shift(b, 25, 0.05, 100));
+}
+
+}  // namespace
+}  // namespace sturgeon::fleet

@@ -1,0 +1,225 @@
+// The twin-equivalence contract: FleetSim with quiescence skipping
+// disabled and zero churn must produce a ClusterResult bit-identical to
+// the lockstep ClusterSim -- same seeds, same coordinator arithmetic,
+// same aggregation order (they share build_cluster/ClusterRollup by
+// construction; this test pins that it stays true). Plus the event
+// engine's own determinism and accounting invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "../core/fake_models.h"
+#include "cluster/cluster.h"
+#include "core/controller.h"
+#include "fleet/export.h"
+#include "fleet/fleet.h"
+#include "workloads/app_profile.h"
+
+namespace sturgeon::fleet {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::ClusterResult;
+using cluster::ClusterSim;
+using cluster::NodeResult;
+using cluster::NodeSpec;
+
+NodeSpec fake_spec(const LoadTrace& trace) {
+  NodeSpec spec;
+  spec.ls = find_ls("memcached");
+  spec.be = be_catalog()[0];
+  spec.trace = trace;
+  const double qos_ms = spec.ls.qos_target_ms;
+  spec.make_policy = [qos_ms](const sim::SimulatedServer& server) {
+    return std::make_unique<core::SturgeonController>(
+        core::testing::fake_predictor(server.machine()), qos_ms,
+        server.power_budget_w());
+  };
+  return spec;
+}
+
+std::vector<NodeSpec> fake_fleet(int n, int duration_s) {
+  std::vector<NodeSpec> specs;
+  for (int i = 0; i < n; ++i) {
+    const double load = 0.3 + 0.1 * (i % 4);
+    specs.push_back(fake_spec(LoadTrace::constant(load, duration_s)));
+  }
+  return specs;
+}
+
+void expect_cluster_results_identical(const ClusterResult& a,
+                                      const ClusterResult& b) {
+  EXPECT_EQ(a.fleet_qos_guarantee_rate, b.fleet_qos_guarantee_rate);
+  EXPECT_EQ(a.aggregate_be_throughput, b.aggregate_be_throughput);
+  EXPECT_EQ(a.cluster_power_budget_w, b.cluster_power_budget_w);
+  EXPECT_EQ(a.cluster_overshoot_fraction, b.cluster_overshoot_fraction);
+  EXPECT_EQ(a.max_cluster_power_ratio, b.max_cluster_power_ratio);
+  EXPECT_EQ(a.mean_cluster_power_w, b.mean_cluster_power_w);
+  EXPECT_EQ(a.max_cap_sum_ratio, b.max_cap_sum_ratio);
+  EXPECT_EQ(a.dead_node_epochs, b.dead_node_epochs);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.coordinator, b.coordinator);
+  ASSERT_EQ(a.node_results.size(), b.node_results.size());
+  for (std::size_t i = 0; i < a.node_results.size(); ++i) {
+    const NodeResult& x = a.node_results[i];
+    const NodeResult& y = b.node_results[i];
+    EXPECT_EQ(x.total_completed, y.total_completed) << "node " << i;
+    EXPECT_EQ(x.total_violations, y.total_violations) << "node " << i;
+    EXPECT_EQ(x.qos_guarantee_rate, y.qos_guarantee_rate) << "node " << i;
+    EXPECT_EQ(x.mean_be_throughput_norm, y.mean_be_throughput_norm)
+        << "node " << i;
+    EXPECT_EQ(x.mean_cap_w, y.mean_cap_w) << "node " << i;
+    EXPECT_EQ(x.max_power_ratio, y.max_power_ratio) << "node " << i;
+    EXPECT_EQ(x.throttled_epochs, y.throttled_epochs) << "node " << i;
+    EXPECT_EQ(x.epochs, y.epochs) << "node " << i;
+  }
+}
+
+TEST(FleetTwin, NoSkipNoChurnIsBitIdenticalToLockstep) {
+  for (const auto kind : {cluster::CoordinatorKind::kStaticEqual,
+                          cluster::CoordinatorKind::kDemandProportional,
+                          cluster::CoordinatorKind::kSlackHarvest}) {
+    ClusterConfig cc;
+    cc.seed = 21;
+    cc.coordinator = kind;
+    ClusterSim lockstep(fake_fleet(4, 24), cc);
+    const ClusterResult expected = lockstep.run();
+
+    FleetConfig fc;
+    fc.cluster = cc;  // quiescence + churn default off
+    FleetSim fleet(fake_fleet(4, 24), fc);
+    const FleetResult actual = fleet.run();
+
+    expect_cluster_results_identical(expected, actual.cluster);
+    // Twin mode does no event-engine work at all.
+    EXPECT_EQ(actual.total_skipped_epochs, 0u);
+    EXPECT_EQ(actual.total_wakes, 0u);
+    EXPECT_EQ(actual.events_processed, 0u);
+    EXPECT_EQ(actual.cap_revisions, 0u);
+    for (const NodeResult& nr : actual.cluster.node_results) {
+      EXPECT_EQ(nr.skipped_epochs, 0);
+      EXPECT_EQ(nr.wakes, 0);
+    }
+  }
+}
+
+FleetConfig skipping_config(std::uint64_t seed, std::size_t threads) {
+  FleetConfig fc;
+  fc.cluster.seed = seed;
+  fc.cluster.threads = threads;
+  fc.quiescence.enabled = true;
+  fc.quiescence.min_sleep_epochs = 1;
+  fc.quiescence.max_sleep_epochs = 8;
+  fc.churn.enabled = true;
+  fc.churn.arrival_rate_per_epoch = 0.4;
+  fc.churn.mean_size_norm_s = 2.0;
+  fc.churn.size_cv = 0.5;
+  fc.churn.slots_per_node = 2;
+  fc.delta.rebalance_period = 10;
+  return fc;
+}
+
+void expect_fleet_results_identical(const FleetResult& a,
+                                    const FleetResult& b) {
+  expect_cluster_results_identical(a.cluster, b.cluster);
+  EXPECT_EQ(a.total_skipped_epochs, b.total_skipped_epochs);
+  EXPECT_EQ(a.total_wakes, b.total_wakes);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.cap_revisions, b.cap_revisions);
+  EXPECT_EQ(a.rebalances, b.rebalances);
+  EXPECT_EQ(a.jobs_submitted, b.jobs_submitted);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.jobs_migrated, b.jobs_migrated);
+  EXPECT_EQ(a.mean_job_completion_epochs, b.mean_job_completion_epochs);
+  for (std::size_t i = 0; i < a.cluster.node_results.size(); ++i) {
+    EXPECT_EQ(a.cluster.node_results[i].skipped_epochs,
+              b.cluster.node_results[i].skipped_epochs)
+        << "node " << i;
+    EXPECT_EQ(a.cluster.node_results[i].wakes,
+              b.cluster.node_results[i].wakes)
+        << "node " << i;
+  }
+}
+
+// Same seed, any worker thread count: the event path's queue, churn and
+// aggregation are engine-sequential, so skipping + churn must stay
+// bit-identical across 1/2/8 threads.
+TEST(FleetEngine, EventModeDeterministicAcrossThreadCounts) {
+  auto run_with = [](std::size_t threads) {
+    FleetSim sim(fake_fleet(4, 40), skipping_config(31, threads));
+    return sim.run();
+  };
+  const FleetResult r1 = run_with(1);
+  const FleetResult r2 = run_with(2);
+  const FleetResult r8 = run_with(8);
+  expect_fleet_results_identical(r1, r2);
+  expect_fleet_results_identical(r1, r8);
+}
+
+// Accounting invariant: every node-epoch is either stepped or skipped.
+TEST(FleetEngine, SteppedPlusSkippedCoversTheRun) {
+  FleetSim sim(fake_fleet(5, 40), skipping_config(33, 2));
+  const FleetResult r = sim.run();
+  EXPECT_EQ(r.cluster.epochs, 40);
+  std::uint64_t skipped_sum = 0;
+  for (const NodeResult& nr : r.cluster.node_results) {
+    EXPECT_EQ(nr.epochs + nr.skipped_epochs, 40) << "node " << nr.node;
+    EXPECT_GE(nr.wakes, 0);
+    skipped_sum += static_cast<std::uint64_t>(nr.skipped_epochs);
+  }
+  EXPECT_EQ(skipped_sum, r.total_skipped_epochs);
+  // Constant traces with slack: the engine must actually skip work.
+  EXPECT_GT(r.total_skipped_epochs, 0u);
+  EXPECT_GT(r.skipped_fraction, 0.0);
+  EXPECT_LT(r.skipped_fraction, 1.0);
+}
+
+// The quiescent fleet must still satisfy the coordinator budget
+// invariant every epoch (delta grants bounded by the pool).
+TEST(FleetEngine, CapInvariantHoldsUnderSkipping) {
+  FleetSim sim(fake_fleet(4, 60), skipping_config(35, 2));
+  const FleetResult r = sim.run();
+  EXPECT_LE(r.cluster.max_cap_sum_ratio, 1.0 + 1e-9);
+  EXPECT_GT(r.cap_revisions, 0u);
+  EXPECT_GE(r.rebalances, 6u);  // t=0 plus every rebalance_period
+}
+
+TEST(FleetExport, JsonlCarriesEngineAndChurnFields) {
+  FleetSim sim(fake_fleet(3, 30), skipping_config(37, 1));
+  const FleetResult r = sim.run();
+
+  std::ostringstream os;
+  write_fleet_jsonl(r, os);
+  std::istringstream is(os.str());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(is, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  // 3 node lines + cluster line + fleet_summary line.
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_NE(lines[0].find("\"skipped_epochs\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"wakes\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"cluster\":true"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"skipped_epochs\""), std::string::npos);
+  const std::string& fleet_line = lines[4];
+  EXPECT_NE(fleet_line.find("\"type\":\"fleet_summary\""), std::string::npos);
+  for (const char* field :
+       {"\"skipped_fraction\"", "\"events_processed\"", "\"cap_revisions\"",
+        "\"jobs_submitted\"", "\"jobs_completed\"", "\"jobs_migrated\"",
+        "\"event_queue_peak\"", "\"mean_job_completion_epochs\""}) {
+    EXPECT_NE(fleet_line.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(FleetSim, RunIsOneShot) {
+  FleetSim sim(fake_fleet(1, 5), FleetConfig{});
+  EXPECT_FALSE(sim.has_run());
+  (void)sim.run();
+  EXPECT_TRUE(sim.has_run());
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sturgeon::fleet

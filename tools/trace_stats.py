@@ -29,7 +29,23 @@ one cluster line. Checks:
     recovery fields are present, and caps never oversubscribed the
     budget (max_cap_sum_ratio <= 1 + tolerance).
 
-Usage: trace_stats.py [--cluster] TRACE.jsonl
+With --fleet the file is a fleet roll-up written by
+fleet::write_fleet_jsonl: the cluster roll-up above followed by one
+"fleet_summary" line. The cluster checks run with one relaxation -- a
+node under quiescence skipping steps fewer epochs than the run, so the
+lockstep rule becomes node epochs + skipped_epochs == cluster epochs --
+plus the engine and churn contracts:
+
+  - per-node skipped_epochs and wakes are non-negative, and the cluster
+    line carries their exact sums;
+  - the fleet_summary's nodes/epochs/skipped_epochs/wakes match the
+    cluster line, and skipped_fraction == skipped / (nodes * epochs);
+  - churn conservation: jobs_submitted == jobs_placed + jobs_rejected +
+    jobs_queued_at_end and jobs_placed == jobs_completed +
+    jobs_active_at_end, with every counter non-negative and the queue
+    peak at least the end-of-run queue depth.
+
+Usage: trace_stats.py [--cluster | --fleet] TRACE.jsonl
 Exits non-zero with a message on the first violated invariant.
 """
 import json
@@ -80,11 +96,17 @@ def check_nonneg(obj, key, where):
         fail(f"{where}: {key} {v!r} not a non-negative number")
 
 
-def validate_cluster(path):
-    """Validate a cluster::write_cluster_jsonl roll-up file."""
+def validate_cluster(lines, fleet=False):
+    """Validate cluster::write_cluster_jsonl roll-up lines.
+
+    With fleet=True the lockstep epoch rule is relaxed to
+    node epochs + skipped_epochs == cluster epochs, and the per-node
+    skipped_epochs/wakes counters are checked and summed against the
+    cluster line. Returns the parsed cluster-line object.
+    """
     node_lines = []
     cluster = None
-    for lineno, obj in read_jsonl(path):
+    for lineno, obj in lines:
         if obj.get("type") != "run_summary":
             fail(f"line {lineno}: cluster file holds only run_summary "
                  f"lines, got {obj.get('type')!r}")
@@ -114,6 +136,8 @@ def validate_cluster(path):
     # span_count and per-phase totals reconcile against the node sums.
     span_sum = 0
     phase_sums = {}
+    skipped_sum = 0
+    wakes_sum = 0
     for lineno, obj in node_lines:
         where = f"node {obj['node']}"
         if not isinstance(obj.get("span_count"), int):
@@ -126,7 +150,18 @@ def validate_cluster(path):
             agg = phase_sums.setdefault(name, {"count": 0, "total_us": 0})
             agg["count"] += info.get("count", 0)
             agg["total_us"] += info.get("total_us", 0)
-        if obj.get("epochs") != c.get("epochs"):
+        if fleet:
+            check_nonneg(obj, "skipped_epochs", where)
+            check_nonneg(obj, "wakes", where)
+            skipped_sum += obj["skipped_epochs"]
+            wakes_sum += obj["wakes"]
+            covered = obj.get("epochs", 0) + obj["skipped_epochs"]
+            if covered != c.get("epochs"):
+                fail(f"{where}: epochs {obj.get('epochs')} + skipped "
+                     f"{obj['skipped_epochs']} != cluster epochs "
+                     f"{c.get('epochs')} (stepped + skipped must cover "
+                     f"the run)")
+        elif obj.get("epochs") != c.get("epochs"):
             fail(f"{where}: epochs {obj.get('epochs')} != cluster "
                  f"epochs {c.get('epochs')} (lockstep broken)")
         check_rate(obj, "qos_guarantee_rate", where)
@@ -167,6 +202,13 @@ def validate_cluster(path):
             fail(f"cluster phase {name}: total_us {info.get('total_us')} "
                  f"!= node sum {agg['total_us']}")
 
+    if fleet:
+        if c.get("skipped_epochs") != skipped_sum:
+            fail(f"cluster skipped_epochs {c.get('skipped_epochs')} != "
+                 f"node sum {skipped_sum}")
+        if c.get("wakes") != wakes_sum:
+            fail(f"cluster wakes {c.get('wakes')} != node sum {wakes_sum}")
+
     if not isinstance(c.get("epochs"), int) or c["epochs"] <= 0:
         fail(f"cluster epochs {c.get('epochs')!r} not a positive integer")
     if not c.get("coordinator"):
@@ -204,17 +246,77 @@ def validate_cluster(path):
               f"{obj['mean_cap_w']:>11.1f} {obj['throttled_epochs']:>9} "
               f"{obj['faults_injected']:>7} {obj['epochs_down']:>5} "
               f"{obj['safe_mode_epochs']:>5}")
+    return c
+
+
+def validate_fleet(path):
+    """Validate a fleet::write_fleet_jsonl roll-up file."""
+    lines = read_jsonl(path)
+    if not lines or lines[-1][1].get("type") != "fleet_summary":
+        fail("last line is not a fleet_summary")
+    lineno, f = lines[-1]
+    c = validate_cluster(lines[:-1], fleet=True)
+
+    where = f"fleet_summary (line {lineno})"
+    for key in ("nodes", "epochs", "skipped_epochs", "wakes"):
+        if f.get(key) != c.get(key):
+            fail(f"{where}: {key} {f.get(key)} != cluster line "
+                 f"{c.get(key)}")
+    for key in ("events_processed", "event_queue_peak", "cap_revisions",
+                "rebalances", "jobs_submitted", "jobs_placed",
+                "jobs_completed", "jobs_migrated", "jobs_rejected",
+                "job_queue_peak", "jobs_active_at_end",
+                "jobs_queued_at_end", "mean_job_completion_epochs",
+                "skipped_fraction"):
+        check_nonneg(f, key, where)
+
+    want_frac = f["skipped_epochs"] / (f["nodes"] * f["epochs"])
+    if abs(f["skipped_fraction"] - want_frac) > 1e-9:
+        fail(f"{where}: skipped_fraction {f['skipped_fraction']} != "
+             f"skipped / (nodes * epochs) = {want_frac}")
+
+    # Churn conservation: every submitted job is placed, rejected or
+    # still queued; every placed job completed or is still running.
+    if f["jobs_submitted"] != (f["jobs_placed"] + f["jobs_rejected"]
+                               + f["jobs_queued_at_end"]):
+        fail(f"{where}: jobs_submitted {f['jobs_submitted']} != placed "
+             f"{f['jobs_placed']} + rejected {f['jobs_rejected']} + "
+             f"queued_at_end {f['jobs_queued_at_end']}")
+    if f["jobs_placed"] != f["jobs_completed"] + f["jobs_active_at_end"]:
+        fail(f"{where}: jobs_placed {f['jobs_placed']} != completed "
+             f"{f['jobs_completed']} + active_at_end "
+             f"{f['jobs_active_at_end']}")
+    if f["job_queue_peak"] < f["jobs_queued_at_end"]:
+        fail(f"{where}: job_queue_peak {f['job_queue_peak']} < "
+             f"jobs_queued_at_end {f['jobs_queued_at_end']}")
+    if f["jobs_completed"] == 0 and f["mean_job_completion_epochs"] != 0:
+        fail(f"{where}: mean_job_completion_epochs "
+             f"{f['mean_job_completion_epochs']} nonzero with zero "
+             f"completions")
+
+    print(f"trace_stats: OK: fleet_summary: "
+          f"{f['skipped_epochs']} skipped node-epochs "
+          f"({f['skipped_fraction']:.1%}), {f['wakes']} wakes, "
+          f"{f['events_processed']} events, "
+          f"{f['rebalances']} rebalances / {f['cap_revisions']} delta "
+          f"revisions, jobs {f['jobs_submitted']} submitted / "
+          f"{f['jobs_completed']} completed / {f['jobs_migrated']} "
+          f"migrated / {f['jobs_rejected']} rejected")
     return 0
 
 
 def main():
     args = sys.argv[1:]
     cluster_mode = "--cluster" in args
-    args = [a for a in args if a != "--cluster"]
-    if len(args) != 1:
-        fail("usage: trace_stats.py [--cluster] TRACE.jsonl")
+    fleet_mode = "--fleet" in args
+    args = [a for a in args if a not in ("--cluster", "--fleet")]
+    if len(args) != 1 or (cluster_mode and fleet_mode):
+        fail("usage: trace_stats.py [--cluster | --fleet] TRACE.jsonl")
+    if fleet_mode:
+        return validate_fleet(args[0])
     if cluster_mode:
-        return validate_cluster(args[0])
+        validate_cluster(read_jsonl(args[0]))
+        return 0
     path = args[0]
 
     spans = {}
