@@ -37,6 +37,25 @@ ClusterResult ClusterSim::run(int epochs) {
   std::vector<NodeReport> reports(n);
   std::vector<int> last_steps(n, -1);
 
+  // Comms mode: every cap revision and node report crosses the message
+  // channel instead of shared memory. With a zero-fault network the
+  // channel is reliable (same-epoch delivery, desired cap == effective
+  // cap) and this loop stays bit-identical to the direct path below.
+  std::unique_ptr<comms::CommsFabric> fabric;
+  std::vector<bool> dead_nodes;
+  if (config_.comms.enabled) {
+    std::vector<NodeReport> initial(n);
+    std::vector<double> idle(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      initial[i] = nodes_[i]->report();
+      idle[i] = initial[i].idle_w;
+    }
+    fabric = std::make_unique<comms::CommsFabric>(
+        config_.comms, derive_seed(config_.seed, comms::kCommsStream),
+        budget_w_, std::move(initial), std::move(idle));
+    dead_nodes.assign(n, false);
+  }
+
   for (int t = 0; t < epochs; ++t) {
     telemetry::Span span = telemetry_->tracer().start_span("cluster.epoch");
     span.attr("t_s", t);
@@ -45,18 +64,43 @@ ClusterResult ClusterSim::run(int epochs) {
     // 1. Budget split (sequential, deterministic in node order). The
     // heartbeat tracker stamps liveness first: a node that stopped
     // stepping is declared dead after dead_after_epochs of silence and
-    // its cap collapses to the idle floor inside the coordinator.
-    for (std::size_t i = 0; i < n; ++i) {
-      reports[i] = nodes_[i]->report();
-      last_steps[i] = nodes_[i]->last_step_epoch();
+    // its cap collapses to the idle floor inside the coordinator. In
+    // comms mode the tracker's inputs are what the wire delivered, not
+    // ground truth: stale reports freeze, lost reports look like death.
+    int dead = 0;
+    if (fabric) {
+      fabric->collect(t);
+      reports = fabric->reports();
+      dead = heartbeat_.update(t, fabric->last_report_epochs(), reports,
+                               fabric->lease_lapsed());
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        reports[i] = nodes_[i]->report();
+        last_steps[i] = nodes_[i]->last_step_epoch();
+      }
+      dead = heartbeat_.update(t, last_steps, reports);
     }
-    const int dead = heartbeat_.update(t, last_steps, reports);
     rollup.note_dead(dead);
     const std::vector<double> caps = coordinator_->assign(budget_w_, reports);
-    double cap_sum = 0.0;
-    for (const double c : caps) cap_sum += c;
-    rollup.note_cap_sum(cap_sum, t);
-    for (std::size_t i = 0; i < n; ++i) nodes_[i]->set_power_cap(caps[i]);
+    if (fabric) {
+      // The coordinator's caps are only DESIRED now; what binds each
+      // node is its lease (or autonomous fallback). The budget check
+      // runs over the true caps -- the safety claim under chaos.
+      for (std::size_t i = 0; i < n; ++i) dead_nodes[i] = reports[i].dead();
+      fabric->send_grants(caps, dead_nodes, t);
+      const std::vector<double>& effective = fabric->effective_caps(t);
+      double cap_sum = 0.0;
+      for (const double c : effective) cap_sum += c;
+      rollup.note_cap_sum(cap_sum, t);
+      for (std::size_t i = 0; i < n; ++i) {
+        nodes_[i]->set_power_cap(effective[i]);
+      }
+    } else {
+      double cap_sum = 0.0;
+      for (const double c : caps) cap_sum += c;
+      rollup.note_cap_sum(cap_sum, t);
+      for (std::size_t i = 0; i < n; ++i) nodes_[i]->set_power_cap(caps[i]);
+    }
 
     // 2. Lockstep: every node advances one epoch, in parallel. Nodes
     // share no mutable state, so the schedule cannot change results.
@@ -85,11 +129,25 @@ ClusterResult ClusterSim::run(int epochs) {
     }
     rollup.note_slices(ls_total, ls_met, be_norm_sum);
 
+    // In comms mode a node's report only reaches the coordinator as a
+    // message, sent after a completed healthy step (a crashed or hung
+    // node goes silent for real -- that is what the heartbeat sees).
+    if (fabric) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (nodes_[i]->last_step_epoch() == t) {
+          fabric->send_report(static_cast<int>(i), nodes_[i]->report(), t, t);
+        }
+      }
+    }
+
     span.attr("power_w", fleet_power).attr("dead_nodes", dead);
   }
 
-  return rollup.finalize(epochs, coordinator_->name(), nodes_, heartbeat_,
-                         telemetry_);
+  if (fabric) fabric->export_metrics(telemetry_->metrics());
+  ClusterResult result = rollup.finalize(epochs, coordinator_->name(), nodes_,
+                                         heartbeat_, telemetry_);
+  if (fabric) fill_comms_results(*fabric, result);
+  return result;
 }
 
 }  // namespace sturgeon::cluster

@@ -31,6 +31,7 @@
 #include "cluster/coordinator.h"
 #include "cluster/node.h"
 #include "cluster/placement.h"
+#include "comms/fabric.h"
 #include "util/thread_pool.h"
 
 namespace sturgeon::cluster {
@@ -69,6 +70,11 @@ struct ClusterConfig {
   /// Fault schedule; each node receives faults.for_node(i). Defaults
   /// disabled (no injector constructed anywhere).
   fault::FaultConfig faults;
+  /// Coordinator<->node messaging. Disabled (direct shared-memory
+  /// paths) by default; enabled with a zero-fault network it stays
+  /// bit-identical to the direct paths, and with network faults the
+  /// lease machinery keeps sum(true caps) <= budget under message loss.
+  comms::CommsConfig comms;
 };
 
 /// Fleet-level outcome, the cluster analogue of exp::RunResult.
@@ -100,6 +106,20 @@ struct ClusterResult {
   int epochs = 0;
   int nodes = 0;
   std::string coordinator;
+  // -- comms accounting (all zero when comms is disabled) -------------
+  std::uint64_t comms_sent = 0;       ///< primary messages sent
+  std::uint64_t comms_dropped = 0;    ///< lost to drops/partitions
+  std::uint64_t comms_delayed = 0;    ///< delivered late
+  std::uint64_t comms_duplicated = 0; ///< extra copies delivered
+  /// Cap-grant subset; sent == delivered + dropped + in_flight exactly
+  /// (trace_stats validates the identity end-to-end).
+  std::uint64_t comms_grants_sent = 0;
+  std::uint64_t comms_grants_delivered = 0;
+  std::uint64_t comms_grants_dropped = 0;
+  std::uint64_t comms_grants_in_flight = 0;
+  std::uint64_t comms_lease_renewals = 0;
+  std::uint64_t comms_lease_expiries = 0;
+  std::uint64_t comms_autonomy_epochs = 0;
   std::vector<NodeResult> node_results;
   /// Cluster-level telemetry (cluster.* + fleet.* roll-up), always set.
   std::shared_ptr<telemetry::TelemetryContext> telemetry;

@@ -368,10 +368,13 @@ HeartbeatTracker::HeartbeatTracker(std::size_t nodes, HeartbeatConfig config)
 }
 
 int HeartbeatTracker::update(int t, const std::vector<int>& last_step_epoch,
-                             std::vector<NodeReport>& reports) {
+                             std::vector<NodeReport>& reports,
+                             const std::vector<bool>& lease_lapsed) {
   STURGEON_CHECK(last_step_epoch.size() == state_.size() &&
                      reports.size() == state_.size(),
                  "HeartbeatTracker::update: fleet size mismatch");
+  STURGEON_CHECK(lease_lapsed.empty() || lease_lapsed.size() == state_.size(),
+                 "HeartbeatTracker::update: lease_lapsed size mismatch");
   currently_dead_ = 0;
   for (std::size_t i = 0; i < state_.size(); ++i) {
     // Heartbeat = the node completed its lockstep step. `t` is the
@@ -393,6 +396,12 @@ int HeartbeatTracker::update(int t, const std::vector<int>& last_step_epoch,
         rejoined = true;
         completed_outages_.push_back(t - declared_dead_epoch_[i]);
         declared_dead_epoch_[i] = -1;
+      } else if (!lease_lapsed.empty() && lease_lapsed[i]) {
+        // Rejoin under an expired lease: the node stayed alive (kept
+        // reporting) but ran autonomously in between, so its cap_w /
+        // power_w predate the lapse just like an outage. One-shot, no
+        // outage recorded.
+        rejoined = true;
       }
     }
     state_[i] = now;

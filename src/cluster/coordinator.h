@@ -133,8 +133,16 @@ class HeartbeatTracker {
   /// `last_step_epoch[i]` is the last epoch node i completed (-1 =
   /// never). Stamps liveness/rejoined on `reports`; returns the number
   /// of currently dead nodes.
+  ///
+  /// `lease_lapsed` (empty = none) marks nodes whose cap lease expired
+  /// since their previous message (comms mode): an alive node that
+  /// rejoins under an expired lease gets the same one-shot `rejoined`
+  /// stamp as a dead->alive transition, so stateful strategies re-base
+  /// instead of leaking a stale slack-harvest grant into the new lease
+  /// term. No outage is recorded (the node never went silent).
   int update(int t, const std::vector<int>& last_step_epoch,
-             std::vector<NodeReport>& reports);
+             std::vector<NodeReport>& reports,
+             const std::vector<bool>& lease_lapsed = {});
 
   int currently_dead() const { return currently_dead_; }
   /// Epochs from declared-dead to rejoin, one entry per completed

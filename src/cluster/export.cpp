@@ -59,7 +59,11 @@ void write_cluster_jsonl(const ClusterResult& result, std::ostream& os) {
        << ",\"actuator_retries\":" << nr.actuator_retries
        << ",\"actuator_gave_up\":" << nr.actuator_gave_up
        << ",\"skipped_epochs\":" << nr.skipped_epochs
-       << ",\"wakes\":" << nr.wakes << "}\n";
+       << ",\"wakes\":" << nr.wakes
+       << ",\"lease_renewals\":" << nr.lease_renewals
+       << ",\"lease_expiries\":" << nr.lease_expiries
+       << ",\"autonomy_epochs\":" << nr.autonomy_epochs
+       << ",\"last_autonomy_epoch\":" << nr.last_autonomy_epoch << "}\n";
     skipped_total += nr.skipped_epochs;
     wakes_total += nr.wakes;
   }
@@ -81,7 +85,18 @@ void write_cluster_jsonl(const ClusterResult& result, std::ostream& os) {
      << ",\"recovery_episodes\":" << result.recovery_mttr_epochs.size()
      << ",\"mttr_p95_epochs\":" << num(result.mttr_p95_epochs)
      << ",\"skipped_epochs\":" << skipped_total
-     << ",\"wakes\":" << wakes_total << "}\n";
+     << ",\"wakes\":" << wakes_total
+     << ",\"comms_sent\":" << result.comms_sent
+     << ",\"comms_dropped\":" << result.comms_dropped
+     << ",\"comms_delayed\":" << result.comms_delayed
+     << ",\"comms_duplicated\":" << result.comms_duplicated
+     << ",\"grants_sent\":" << result.comms_grants_sent
+     << ",\"grants_delivered\":" << result.comms_grants_delivered
+     << ",\"grants_dropped\":" << result.comms_grants_dropped
+     << ",\"grants_in_flight\":" << result.comms_grants_in_flight
+     << ",\"lease_renewals\":" << result.comms_lease_renewals
+     << ",\"lease_expiries\":" << result.comms_lease_expiries
+     << ",\"autonomy_epochs\":" << result.comms_autonomy_epochs << "}\n";
 }
 
 bool write_cluster_jsonl(const ClusterResult& result,

@@ -79,7 +79,8 @@ ClusterNode::ClusterNode(int id, NodeSpec spec, std::uint64_t seed,
       faulty_cat_(backend_.cat(), injector_.get()),
       faulty_freq_(backend_.freq(), injector_.get()),
       enforcer_(server_.machine(), faulty_cpuset_, faulty_cat_, faulty_freq_),
-      retry_(enforcer_, resilience_.retry),
+      retry_(enforcer_, resilience_.retry,
+             derive_seed(seed, fault::kRetryJitterStream)),
       watchdog_(resilience_.watchdog),
       safe_partition_(Partition::all_to_ls(server_.machine())),
       telemetry_(std::move(telemetry)),

@@ -136,6 +136,13 @@ struct NodeResult {
   /// Times the engine woke the node out of quiescence (load shift, job
   /// arrival/finish, cap change, rebalance).
   int wakes = 0;
+  // -- comms accounting (all zero when comms is disabled) -------------
+  std::uint64_t lease_renewals = 0;  ///< cap grants this node adopted
+  std::uint64_t lease_expiries = 0;  ///< leased -> autonomous lapses
+  std::uint64_t autonomy_epochs = 0; ///< epochs on the fallback cap
+  /// Last epoch spent on the autonomous cap (-1 = never); chaos tests
+  /// measure reconvergence-after-heal with it.
+  int last_autonomy_epoch = -1;
   /// The node's telemetry (child context; rolled up by the ClusterSim).
   std::shared_ptr<telemetry::TelemetryContext> telemetry;
 };

@@ -30,6 +30,30 @@ double p95_epochs(std::vector<int> samples) {
 
 }  // namespace
 
+void fill_comms_results(const comms::CommsFabric& fabric,
+                        ClusterResult& result) {
+  const comms::ChannelStats& s = fabric.stats();
+  result.comms_sent = s.sent;
+  result.comms_dropped = s.dropped;
+  result.comms_delayed = s.delayed;
+  result.comms_duplicated = s.duplicated;
+  const comms::ChannelStats& g = fabric.grant_stats();
+  result.comms_grants_sent = g.sent;
+  result.comms_grants_delivered = g.delivered;
+  result.comms_grants_dropped = g.dropped;
+  result.comms_grants_in_flight = g.in_flight();
+  result.comms_lease_renewals = fabric.lease_renewals();
+  result.comms_lease_expiries = fabric.lease_expiries();
+  result.comms_autonomy_epochs = fabric.autonomy_epochs();
+  for (std::size_t i = 0; i < result.node_results.size(); ++i) {
+    const comms::LeaseClient& client = fabric.client(static_cast<int>(i));
+    result.node_results[i].lease_renewals = client.renewals();
+    result.node_results[i].lease_expiries = client.expiries();
+    result.node_results[i].autonomy_epochs = client.autonomy_epochs();
+    result.node_results[i].last_autonomy_epoch = client.last_autonomy_epoch();
+  }
+}
+
 ClusterBuild build_cluster(std::vector<NodeSpec> specs,
                            const ClusterConfig& config, ThreadPool& pool) {
   if (specs.empty()) {

@@ -18,8 +18,15 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "comms/fabric.h"
 
 namespace sturgeon::cluster {
+
+/// Copy a run's comms accounting (channel totals, the grant identity,
+/// per-node lease counters) out of the fabric into the result; both
+/// stepping engines call it right after finalize.
+void fill_comms_results(const comms::CommsFabric& fabric,
+                        ClusterResult& result);
 
 /// Everything ClusterSim's constructor used to assemble inline: the
 /// placed, seeded fleet (models pre-warmed), the cluster telemetry

@@ -1,0 +1,213 @@
+#include "comms/lease.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace sturgeon::comms {
+
+namespace {
+// An acked seq whose parameters were pruned is represented as expired
+// forever: only its autonomous scenario can contribute to the reserve.
+constexpr int kExpiredForever = std::numeric_limits<int>::min();
+}  // namespace
+
+std::vector<double> autonomous_split(double budget_w,
+                                     const std::vector<double>& idle_w) {
+  const std::size_t n = idle_w.size();
+  STURGEON_CHECK(n > 0, "autonomous_split: empty fleet");
+  // Water-filling: nodes whose idle floor exceeds the equal share of
+  // the unpinned budget are pinned at idle; the rest split what is
+  // left. Terminates because each round pins at least one node.
+  std::vector<bool> pinned(n, false);
+  double remaining = budget_w;
+  std::size_t free_count = n;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    STURGEON_CHECK(free_count > 0,
+                   "autonomous_split: idle power exceeds budget ("
+                       << budget_w << " W)");
+    const double share = remaining / static_cast<double>(free_count);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pinned[i] || idle_w[i] <= share) continue;
+      pinned[i] = true;
+      remaining -= idle_w[i];
+      --free_count;
+      changed = true;
+    }
+  }
+  STURGEON_CHECK(free_count > 0 && remaining > 0.0,
+                 "autonomous_split: idle power exceeds budget (" << budget_w
+                                                                 << " W)");
+  const double share = remaining / static_cast<double>(free_count);
+  std::vector<double> caps(n);
+  for (std::size_t i = 0; i < n; ++i) caps[i] = pinned[i] ? idle_w[i] : share;
+  return caps;
+}
+
+// ---------------------------------------------------------------------
+// LeaseClient
+// ---------------------------------------------------------------------
+
+LeaseClient::LeaseClient(double autonomous_w) : autonomous_w_(autonomous_w) {
+  STURGEON_CHECK(autonomous_w > 0.0,
+                 "LeaseClient: autonomous cap must be positive, got "
+                     << autonomous_w);
+}
+
+void LeaseClient::on_grant(const CapGrant& grant) {
+  if (grant.seq <= lease_.seq) return;  // duplicate or out-of-date: no-op
+  lease_ = grant;
+  ++renewals_;
+}
+
+double LeaseClient::cap(int t) {
+  if (leased(t)) {
+    was_leased_ = true;
+    return lease_.cap_w;
+  }
+  if (was_leased_) {
+    ++expiries_;
+    was_leased_ = false;
+  }
+  ++autonomy_epochs_;
+  last_autonomy_epoch_ = t;
+  return autonomous_w_;
+}
+
+// ---------------------------------------------------------------------
+// LeaseLedger
+// ---------------------------------------------------------------------
+
+LeaseLedger::LeaseLedger(std::vector<double> autonomous_w, double budget_w)
+    : budget_w_(budget_w), autonomous_(std::move(autonomous_w)) {
+  STURGEON_CHECK(!autonomous_.empty(), "LeaseLedger: empty fleet");
+  double sum = 0.0;
+  for (const double a : autonomous_) sum += a;
+  STURGEON_CHECK(sum <= budget_w_ * (1.0 + 1e-9) + 1e-6,
+                 "LeaseLedger: autonomous caps oversubscribe the budget ("
+                     << sum << " W > " << budget_w_ << " W)");
+  const std::size_t n = autonomous_.size();
+  acked_.resize(n);
+  outstanding_.resize(n);
+  expired_unacked_seq_.assign(n, 0);
+  seq_.assign(n, 0);
+}
+
+std::uint64_t LeaseLedger::next_seq(int node) {
+  return ++seq_[static_cast<std::size_t>(node)];
+}
+
+bool LeaseLedger::on_ack(int node, std::uint64_t ack_seq) {
+  const auto i = static_cast<std::size_t>(node);
+  if (ack_seq == 0 || ack_seq <= acked_[i].seq) return false;
+  // The node adopted ack_seq: it can never again run any lower seq, so
+  // every candidate at or below it retires. If the adopted grant is
+  // still in the outstanding list we learn its parameters; if it was
+  // pruned as expired, only its autonomous scenario remains.
+  LeaseCandidate adopted{ack_seq, 0.0, kExpiredForever};
+  auto& out = outstanding_[i];
+  for (const LeaseCandidate& cand : out) {
+    if (cand.seq == ack_seq) adopted = cand;
+  }
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [ack_seq](const LeaseCandidate& cand) {
+                             return cand.seq <= ack_seq;
+                           }),
+            out.end());
+  if (expired_unacked_seq_[i] <= ack_seq) expired_unacked_seq_[i] = 0;
+  acked_[i] = adopted;
+  return true;
+}
+
+void LeaseLedger::prune(int t) {
+  for (std::size_t i = 0; i < outstanding_.size(); ++i) {
+    auto& out = outstanding_[i];
+    auto expired = [t](const LeaseCandidate& cand) {
+      return cand.expiry_epoch <= t;
+    };
+    for (const LeaseCandidate& cand : out) {
+      if (expired(cand)) {
+        expired_unacked_seq_[i] = std::max(expired_unacked_seq_[i], cand.seq);
+      }
+    }
+    out.erase(std::remove_if(out.begin(), out.end(), expired), out.end());
+  }
+}
+
+bool LeaseLedger::maybe_autonomous(int node, int t_future) const {
+  const auto i = static_cast<std::size_t>(node);
+  if (acked_[i].seq == 0) return true;  // never adopted any lease
+  if (acked_[i].expiry_epoch <= t_future) return true;
+  // The node may have silently adopted a newer grant that already
+  // expired (ack lost) ...
+  if (expired_unacked_seq_[i] > acked_[i].seq) return true;
+  // ... or may adopt an in-flight grant that expires by t_future.
+  for (const LeaseCandidate& cand : outstanding_[i]) {
+    if (cand.expiry_epoch <= t_future) return true;
+  }
+  return false;
+}
+
+double LeaseLedger::reserve(int node, int t_future) const {
+  const auto i = static_cast<std::size_t>(node);
+  double r = maybe_autonomous(node, t_future) ? autonomous_[i] : 0.0;
+  if (acked_[i].seq != 0 && acked_[i].expiry_epoch > t_future) {
+    r = std::max(r, acked_[i].cap_w);
+  }
+  for (const LeaseCandidate& cand : outstanding_[i]) {
+    if (cand.expiry_epoch > t_future) r = std::max(r, cand.cap_w);
+  }
+  return r;
+}
+
+double LeaseLedger::max_grant(int node, int expiry_epoch, int t) const {
+  STURGEON_CHECK(expiry_epoch > t, "LeaseLedger::max_grant: expiry "
+                                       << expiry_epoch << " not after t=" << t);
+  // Reserves are piecewise constant in t', changing only at candidate
+  // expiries, so checking every breakpoint >= t covers all of time.
+  std::vector<int> breakpoints{t, expiry_epoch};
+  const std::size_t n = autonomous_.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (acked_[j].seq != 0 && acked_[j].expiry_epoch > t) {
+      breakpoints.push_back(acked_[j].expiry_epoch);
+    }
+    for (const LeaseCandidate& cand : outstanding_[j]) {
+      if (cand.expiry_epoch > t) breakpoints.push_back(cand.expiry_epoch);
+    }
+  }
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
+                    breakpoints.end());
+
+  double cap = std::numeric_limits<double>::infinity();
+  for (const int tp : breakpoints) {
+    double others = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (static_cast<int>(j) != node) others += reserve(static_cast<int>(j), tp);
+    }
+    const double room = budget_w_ - others;
+    if (tp < expiry_epoch) {
+      // While the new grant is live its cap joins the candidate max.
+      cap = std::min(cap, room);
+    } else if (std::max(reserve(node, tp), autonomous_w(node)) >
+               room + budget_w_ * 1e-9 + 1e-6) {
+      // Past its expiry the grant adds an autonomous scenario; if the
+      // budget cannot absorb that, no grant with this expiry is safe.
+      // The slack mirrors note_cap_sum's: when the autonomous split
+      // consumes the whole budget, `budget - sum(others)` lands a few
+      // ulps below this node's own share and must not read as overflow.
+      return -1.0;
+    }
+  }
+  return cap;
+}
+
+void LeaseLedger::record_grant(int node, const CapGrant& grant) {
+  outstanding_[static_cast<std::size_t>(node)].push_back(
+      LeaseCandidate{grant.seq, grant.cap_w, grant.expiry_epoch});
+}
+
+}  // namespace sturgeon::comms

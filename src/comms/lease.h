@@ -1,0 +1,149 @@
+// Cap leases: the machinery that keeps sum(true caps) <= budget under
+// arbitrary message loss.
+//
+// Node side (LeaseClient): adopt monotone-seq grants, run at the leased
+// cap while the lease is live, fall back to the conservative autonomous
+// cap the moment it expires. The autonomous cap is the node's
+// static-equal share of the cluster budget floored at idle power
+// (autonomous_split), so a fleet that hears nothing at all degenerates
+// to the static-equal coordinator -- safe by construction.
+//
+// Coordinator side (LeaseLedger): the coordinator cannot know which of
+// its unacked grants arrived, so it must budget for the worst case. Per
+// node it tracks every CANDIDATE lease the node might currently hold:
+// the last acked grant plus all outstanding (sent, unacked, unexpired)
+// grants; expired unacked grants collapse into a "might be autonomous"
+// flag. The node's RESERVE at a future epoch t' is the largest cap any
+// candidate scenario gives it at t':
+//
+//   reserve_i(t') = max( {cap : candidate unexpired at t'}
+//                        u {autonomous_i if any candidate is expired at t'} )
+//
+// and the safety invariant is
+//
+//   for all t' >= now:  sum_i reserve_i(t') <= budget.
+//
+// The invariant is preserved by every transition: time passing changes
+// no candidate set; an ack only SHRINKS a candidate set (the node
+// adopted seq s, so it can never run any seq < s again), so reserves
+// only drop; and a new grant is CLAMPED by max_grant() so the
+// post-grant reserves still satisfy the inequality at every breakpoint
+// (candidate expiries, where the piecewise-constant reserves change).
+// The node's true cap is always one of its candidates' caps (or the
+// autonomous fallback), hence true caps are pointwise below reserves
+// and the STURGEON_CHECKed budget inequality holds every epoch no
+// matter what the channel does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comms/message.h"
+
+namespace sturgeon::comms {
+
+/// Conservative fallback split: equal share of the cluster budget,
+/// floored at each node's idle power, with the float redistributed
+/// (water-filling) so the total never exceeds `budget_w`. Requires
+/// budget_w > sum(idle_w) (build_cluster guarantees it).
+std::vector<double> autonomous_split(double budget_w,
+                                     const std::vector<double>& idle_w);
+
+/// Node-side lease state machine: autonomous -> leased on adoption,
+/// leased -> autonomous on expiry. cap(t) must be called exactly once
+/// per epoch (it advances the autonomy accounting).
+class LeaseClient {
+ public:
+  explicit LeaseClient(double autonomous_w);
+
+  /// Adopt `grant` iff it advances the sequence; duplicates and
+  /// reordered stale grants are no-ops (idempotent by construction).
+  void on_grant(const CapGrant& grant);
+
+  /// The cap actually in force at epoch `t`.
+  double cap(int t);
+
+  /// Highest adopted grant seq (cumulative ack); 0 before any adoption.
+  std::uint64_t ack_seq() const { return lease_.seq; }
+  double autonomous_w() const { return autonomous_w_; }
+  bool leased(int t) const {
+    return lease_.seq != 0 && t < lease_.expiry_epoch;
+  }
+
+  std::uint64_t renewals() const { return renewals_; }
+  std::uint64_t expiries() const { return expiries_; }
+  std::uint64_t autonomy_epochs() const { return autonomy_epochs_; }
+  /// Last epoch spent on the autonomous cap (-1 = never): chaos tests
+  /// measure reconvergence-after-heal with it.
+  int last_autonomy_epoch() const { return last_autonomy_epoch_; }
+
+ private:
+  double autonomous_w_;
+  CapGrant lease_;  ///< seq 0 = no lease yet
+  bool was_leased_ = false;
+  std::uint64_t renewals_ = 0;
+  std::uint64_t expiries_ = 0;
+  std::uint64_t autonomy_epochs_ = 0;
+  int last_autonomy_epoch_ = -1;
+};
+
+/// One possible lease a node might hold, from the coordinator's view.
+struct LeaseCandidate {
+  std::uint64_t seq = 0;
+  double cap_w = 0.0;
+  int expiry_epoch = 0;
+};
+
+class LeaseLedger {
+ public:
+  LeaseLedger(std::vector<double> autonomous_w, double budget_w);
+
+  int nodes() const { return static_cast<int>(autonomous_.size()); }
+
+  /// Next grant sequence number for `node` (monotone from 1).
+  std::uint64_t next_seq(int node);
+
+  /// Process a cumulative ack: the node adopted `ack_seq`, so retire
+  /// every candidate at or below it. Returns true when the ack advanced
+  /// (callers reset their retransmit backoff on progress).
+  bool on_ack(int node, std::uint64_t ack_seq);
+
+  /// Collapse outstanding grants that expired by epoch `t` into the
+  /// might-be-autonomous flag (call once per epoch before granting).
+  void prune(int t);
+
+  /// Worst-case cap node `node` might run at epoch `t_future`.
+  double reserve(int node, int t_future) const;
+
+  /// Largest cap grantable to `node` with the given expiry such that
+  /// the reserve invariant survives at every breakpoint; negative when
+  /// even a zero-cap grant is unsafe (its expiry would add an
+  /// autonomous scenario the budget cannot absorb).
+  double max_grant(int node, int expiry_epoch, int t) const;
+
+  /// Record a sent (clamped) grant as outstanding.
+  void record_grant(int node, const CapGrant& grant);
+
+  /// Last acked candidate (seq 0 = none yet).
+  const LeaseCandidate& acked(int node) const {
+    return acked_[static_cast<std::size_t>(node)];
+  }
+  double autonomous_w(int node) const {
+    return autonomous_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  bool maybe_autonomous(int node, int t_future) const;
+
+  double budget_w_;
+  std::vector<double> autonomous_;
+  std::vector<LeaseCandidate> acked_;
+  std::vector<std::vector<LeaseCandidate>> outstanding_;
+  /// Highest seq among pruned (expired, never acked) grants; the node
+  /// might still be sitting on one of them, i.e. be autonomous now.
+  /// Cleared once an ack at or above it proves otherwise.
+  std::vector<std::uint64_t> expired_unacked_seq_;
+  std::vector<std::uint64_t> seq_;
+};
+
+}  // namespace sturgeon::comms

@@ -142,6 +142,61 @@ bool FaultInjector::tool_call_fails() {
   return fails;
 }
 
+LinkFaultInjector::LinkFaultInjector(NetworkFaultConfig config,
+                                     std::uint64_t seed, int node)
+    : config_(config), rng_(seed), node_(node) {
+  check_probability(config_.drop_p, "network.drop_p");
+  check_probability(config_.delay_p, "network.delay_p");
+  check_probability(config_.duplicate_p, "network.duplicate_p");
+  check_probability(config_.reorder_p, "network.reorder_p");
+  if (config_.delay_p > 0.0 && config_.max_delay_epochs < 1) {
+    throw std::invalid_argument(
+        "LinkFaultInjector: max_delay_epochs must be >= 1");
+  }
+}
+
+bool LinkFaultInjector::partitioned(int t) const {
+  return in_window(t, config_.partition_start_epoch,
+                   config_.partition_epochs) &&
+         (config_.partition_node == -1 || config_.partition_node == node_);
+}
+
+LinkFate LinkFaultInjector::on_send(int t) {
+  // Exactly five draws per send, partitioned or not, so the link's
+  // stream position is a pure function of its send count.
+  const double u_drop = rng_.next_double();
+  const double u_delay = rng_.next_double();
+  const double u_dup = rng_.next_double();
+  const double u_reorder = rng_.next_double();
+  const std::uint64_t u_order = rng_.next_u64();
+
+  LinkFate fate;
+  if (partitioned(t)) {
+    fate.dropped = true;
+    fate.partitioned = true;
+  } else if (u_drop < config_.drop_p) {
+    fate.dropped = true;
+  }
+  if (!fate.dropped) {
+    if (config_.delay_p > 0.0 && u_delay < config_.delay_p) {
+      // Re-use the (uniform-in-[0, delay_p)) draw for the delay length.
+      const int span = config_.max_delay_epochs;
+      fate.delay_epochs = 1 + static_cast<int>(u_delay / config_.delay_p *
+                                               static_cast<double>(span));
+      if (fate.delay_epochs > span) fate.delay_epochs = span;
+    }
+    fate.duplicated = u_dup < config_.duplicate_p;
+  }
+  // FIFO keys live at the top half of the key space; a reordered send
+  // gets a uniform key, landing before (and occasionally between) the
+  // in-order messages of its delivery epoch.
+  fate.order_key = (config_.reorder_p > 0.0 && u_reorder < config_.reorder_p)
+                       ? u_order
+                       : (1ULL << 63) + fifo_key_;
+  ++fifo_key_;
+  return fate;
+}
+
 double FaultInjector::model_error_inflation() const {
   return in_window(epoch_, config_.model.start_epoch, config_.model.epochs)
              ? config_.model.error_inflation

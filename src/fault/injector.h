@@ -78,6 +78,69 @@ struct ModelFaultConfig {
   double error_inflation = 1.5;  ///< factor on the sample the policy sees
 };
 
+/// Coordinator<->node link perturbation (the comms MessageChannel's
+/// fault class). Applied per message send on a per-link injector, so
+/// the two directions of a node's link fault independently.
+struct NetworkFaultConfig {
+  double drop_p = 0.0;       ///< message lost in flight
+  double delay_p = 0.0;      ///< message arrives 1..max_delay_epochs late
+  int max_delay_epochs = 3;
+  double duplicate_p = 0.0;  ///< a second copy of the message is delivered
+  /// Delivery order scrambled among messages landing in the same epoch
+  /// (per-message probability of getting a random order key).
+  double reorder_p = 0.0;
+  /// Full partition window: every send on an affected link is dropped
+  /// for [partition_start_epoch, partition_start_epoch +
+  /// partition_epochs). partition_node selects one node's link pair, or
+  /// -1 for every link (the coordinator itself is unreachable).
+  int partition_start_epoch = -1;
+  int partition_epochs = 0;
+  int partition_node = -1;
+
+  /// Whether any perturbation is configured at all. A channel built
+  /// from an all-zero config is *reliable*: the engines use this to
+  /// keep the zero-fault comms path bit-identical to direct calls.
+  bool any() const {
+    return drop_p > 0.0 || delay_p > 0.0 || duplicate_p > 0.0 ||
+           reorder_p > 0.0 || (partition_start_epoch >= 0 &&
+                               partition_epochs > 0);
+  }
+};
+
+/// What one send drew from the link's fault schedule.
+struct LinkFate {
+  bool dropped = false;     ///< lost (probabilistic drop or partition)
+  bool partitioned = false; ///< dropped specifically by a partition window
+  int delay_epochs = 0;     ///< extra epochs before delivery
+  bool duplicated = false;  ///< deliver a second copy
+  /// Tie-break among messages delivered in the same epoch. Non-reordered
+  /// sends get a monotone key (FIFO); a reordered send gets a random one.
+  std::uint64_t order_key = 0;
+};
+
+/// Deterministic per-link fault schedule for one direction of one
+/// coordinator<->node link. Every on_send() consumes a fixed number of
+/// RNG draws, so a link's stream position depends only on its own send
+/// count -- never on what the faults decided or on other links.
+class LinkFaultInjector {
+ public:
+  /// `seed` should derive from the channel seed and the link identity
+  /// (direction, node) so links are independent streams.
+  LinkFaultInjector(NetworkFaultConfig config, std::uint64_t seed, int node);
+
+  /// Fate for one message sent at epoch `t`.
+  LinkFate on_send(int t);
+
+  /// True while the partition window covers this link at epoch `t`.
+  bool partitioned(int t) const;
+
+ private:
+  NetworkFaultConfig config_;
+  Rng rng_;
+  int node_;
+  std::uint64_t fifo_key_ = 0;
+};
+
 struct FaultConfig {
   bool enabled = false;
   SensorFaultConfig sensor;

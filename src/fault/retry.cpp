@@ -11,11 +11,14 @@
 namespace sturgeon::fault {
 
 RetryingEnforcer::RetryingEnforcer(isolation::ResourceEnforcer& inner,
-                                   RetryConfig config)
-    : inner_(inner), config_(config) {
+                                   RetryConfig config, std::uint64_t jitter_seed)
+    : inner_(inner), config_(config), jitter_rng_(jitter_seed) {
   if (config_.max_attempts < 1 || config_.base_backoff_us < 0 ||
       config_.max_backoff_us < config_.base_backoff_us) {
     throw std::invalid_argument("RetryingEnforcer: bad retry config");
+  }
+  if (!(config_.jitter >= 0.0 && config_.jitter <= 1.0)) {
+    throw std::invalid_argument("RetryingEnforcer: jitter must be in [0, 1]");
   }
 }
 
@@ -44,9 +47,16 @@ bool RetryingEnforcer::apply(const Partition& target) {
       ++stats_.retries;
       if (retries_counter_ != nullptr) retries_counter_->inc();
       // Simulated bounded exponential backoff: recorded, never slept.
-      const std::uint64_t delay = std::min<std::uint64_t>(
+      std::uint64_t delay = std::min<std::uint64_t>(
           static_cast<std::uint64_t>(config_.base_backoff_us) << (attempt - 1),
           static_cast<std::uint64_t>(config_.max_backoff_us));
+      if (config_.jitter > 0.0) {
+        // One draw per backoff, only when jitter is on: the zero-jitter
+        // default consumes no RNG and stays bit-exact with older runs.
+        const double factor =
+            1.0 - config_.jitter / 2.0 + config_.jitter * jitter_rng_.next_double();
+        delay = static_cast<std::uint64_t>(static_cast<double>(delay) * factor);
+      }
       backoff_us += delay;
       stats_.backoff_us += delay;
       if (!retry_span && telemetry_ != nullptr &&

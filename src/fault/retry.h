@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "isolation/enforcer.h"
+#include "util/rng.h"
 #include "util/types.h"
 
 namespace sturgeon::telemetry {
@@ -35,6 +36,12 @@ struct RetryConfig {
   int max_attempts = 4;          ///< total attempts per apply (>= 1)
   int base_backoff_us = 100;     ///< backoff before the 2nd attempt
   int max_backoff_us = 10'000;   ///< exponential growth ceiling
+  /// Deterministic jitter on each backoff delay: the delay is scaled by
+  /// a seeded uniform draw from [1 - jitter/2, 1 + jitter/2), breaking
+  /// the synchronized retry storms a fleet of identical backoff
+  /// schedules produces. 0 (the default) draws nothing at all, keeping
+  /// pre-jitter runs bit-exact. Must lie in [0, 1].
+  double jitter = 0.0;
 };
 
 struct RetryStats {
@@ -48,8 +55,12 @@ struct RetryStats {
 
 class RetryingEnforcer {
  public:
+  /// `jitter_seed` seeds the backoff-jitter stream; pass the node's
+  /// derive_seed(seed, kRetryJitterStream) so each node's jitter is an
+  /// independent deterministic stream. Unused (no draws) while
+  /// config.jitter == 0.
   RetryingEnforcer(isolation::ResourceEnforcer& inner,
-                   RetryConfig config = {});
+                   RetryConfig config = {}, std::uint64_t jitter_seed = 0);
 
   /// Attach counters (fault.actuator.*) and the tracer used for the
   /// "enforce.retry" span opened whenever an apply needs more than one
@@ -69,10 +80,15 @@ class RetryingEnforcer {
   isolation::ResourceEnforcer& inner_;
   RetryConfig config_;
   RetryStats stats_;
+  Rng jitter_rng_;
   std::shared_ptr<telemetry::TelemetryContext> telemetry_;
   telemetry::Counter* retries_counter_ = nullptr;
   telemetry::Counter* verify_counter_ = nullptr;
   telemetry::Counter* gave_up_counter_ = nullptr;
 };
+
+/// derive_seed stream label for the retry backoff jitter, separating it
+/// from the node's fault schedule (kFaultStream) and workload streams.
+inline constexpr std::uint64_t kRetryJitterStream = 0xB0;
 
 }  // namespace sturgeon::fault

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace sturgeon::fleet {
 
@@ -53,6 +54,21 @@ FleetResult FleetSim::run(int epochs) {
   }
   ran_ = true;
   if (epochs <= 0) epochs = max_trace_s_;
+  if (config_.cluster.comms.enabled) {
+    const std::size_t n = nodes_.size();
+    std::vector<NodeReport> initial(n);
+    std::vector<double> idle(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      initial[i] = nodes_[i]->report();
+      idle[i] = initial[i].idle_w;
+    }
+    fabric_ = std::make_unique<comms::CommsFabric>(
+        config_.cluster.comms,
+        derive_seed(config_.cluster.seed, comms::kCommsStream), budget_w_,
+        std::move(initial), std::move(idle));
+    dead_nodes_.assign(n, false);
+    caps_.assign(n, 0.0);
+  }
   return config_.quiescence.enabled ? run_events(epochs)
                                     : run_lockstep(epochs);
 }
@@ -91,17 +107,40 @@ FleetResult FleetSim::run_lockstep(int epochs) {
       }
     }
 
-    for (std::size_t i = 0; i < n; ++i) {
-      reports_[i] = nodes_[i]->report();
-      last_steps_[i] = nodes_[i]->last_step_epoch();
+    // Comms mode mirrors ClusterSim::run exactly: the coordinator sees
+    // what the wire delivered, and each node obeys its lease (or the
+    // autonomous fallback), never the coordinator's wish directly.
+    int dead = 0;
+    if (fabric_) {
+      fabric_->collect(t);
+      reports_ = fabric_->reports();
+      dead = heartbeat_.update(t, fabric_->last_report_epochs(), reports_,
+                               fabric_->lease_lapsed());
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        reports_[i] = nodes_[i]->report();
+        last_steps_[i] = nodes_[i]->last_step_epoch();
+      }
+      dead = heartbeat_.update(t, last_steps_, reports_);
     }
-    const int dead = heartbeat_.update(t, last_steps_, reports_);
     rollup.note_dead(dead);
     const std::vector<double> caps = coordinator_->assign(budget_w_, reports_);
-    double cap_sum = 0.0;
-    for (const double c : caps) cap_sum += c;
-    rollup.note_cap_sum(cap_sum, t);
-    for (std::size_t i = 0; i < n; ++i) nodes_[i]->set_power_cap(caps[i]);
+    if (fabric_) {
+      for (std::size_t i = 0; i < n; ++i) dead_nodes_[i] = reports_[i].dead();
+      fabric_->send_grants(caps, dead_nodes_, t);
+      const std::vector<double>& effective = fabric_->effective_caps(t);
+      double cap_sum = 0.0;
+      for (const double c : effective) cap_sum += c;
+      rollup.note_cap_sum(cap_sum, t);
+      for (std::size_t i = 0; i < n; ++i) {
+        nodes_[i]->set_power_cap(effective[i]);
+      }
+    } else {
+      double cap_sum = 0.0;
+      for (const double c : caps) cap_sum += c;
+      rollup.note_cap_sum(cap_sum, t);
+      for (std::size_t i = 0; i < n; ++i) nodes_[i]->set_power_cap(caps[i]);
+    }
 
     pool_.parallel_for(n, [&](std::size_t i) { nodes_[i]->step(t); });
 
@@ -126,6 +165,17 @@ FleetResult FleetSim::run_lockstep(int epochs) {
       for (std::size_t i = 0; i < n; ++i) {
         reports_[i] = nodes_[i]->report();
         churn_post_step(i, t);
+      }
+    }
+
+    // Comms mode: a report reaches the coordinator only as a message,
+    // sent after a completed healthy step (crashed/hung nodes go silent
+    // for real -- that is what the heartbeat sees next epoch).
+    if (fabric_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (nodes_[i]->last_step_epoch() == t) {
+          fabric_->send_report(static_cast<int>(i), nodes_[i]->report(), t, t);
+        }
       }
     }
 
@@ -208,12 +258,27 @@ FleetResult FleetSim::run_events(int epochs) {
     // Phase 2: heartbeat over the whole fleet. Scheduled sleepers beat
     // virtually (they are healthy by construction -- only nodes without
     // fault injectors may sleep); a crashed node stops beating for real
-    // because it never becomes eligible to sleep.
-    for (std::size_t i = 0; i < n; ++i) {
-      last_steps_[i] =
-          ctl_[i].sleeping ? t - 1 : nodes_[i]->last_step_epoch();
+    // because it never becomes eligible to sleep. In comms mode both
+    // signals cross the wire instead: stepped nodes sent reports,
+    // sleepers sent firmware heartbeats (end of phase 5), and the
+    // tracker reads whatever actually arrived.
+    int dead = 0;
+    if (fabric_) {
+      fabric_->collect(t);
+      reports_ = fabric_->reports();
+      dead = heartbeat_.update(t, fabric_->last_report_epochs(), reports_,
+                               fabric_->lease_lapsed());
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        // A node woken in phase 1 of this very epoch was asleep through
+        // t-1 and gets the same virtual beat: its real last_step_epoch
+        // is stale pre-sleep history, not a missed heartbeat.
+        last_steps_[i] = ctl_[i].sleeping || ctl_[i].woke_at == t
+                             ? t - 1
+                             : nodes_[i]->last_step_epoch();
+      }
+      dead = heartbeat_.update(t, last_steps_, reports_);
     }
-    const int dead = heartbeat_.update(t, last_steps_, reports_);
     rollup.note_dead(dead);
 
     // Phase 3: caps. Rebalance epochs run the full strategy over the
@@ -223,22 +288,72 @@ FleetResult FleetSim::run_events(int epochs) {
       ++rebalances_;
       caps = coordinator_->assign(budget_w_, reports_);
       delta_->rebase(caps);
-      for (std::size_t i = 0; i < n; ++i) {
-        nodes_[i]->set_power_cap(caps[i]);
-        if (ctl_[i].sleeping && caps[i] < power_contrib_[i]) {
-          // The new cap undercuts the frozen draw: the node must wake
-          // and re-govern this epoch (counts as a cap-change wake).
-          ++events_processed_;
-          wake_node(i, t);
+      if (fabric_) {
+        caps_ = caps;  // desired; what binds each node is its lease
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          nodes_[i]->set_power_cap(caps[i]);
+          if (ctl_[i].sleeping && caps[i] < power_contrib_[i]) {
+            // The new cap undercuts the frozen draw: the node must wake
+            // and re-govern this epoch (counts as a cap-change wake).
+            ++events_processed_;
+            wake_node(i, t);
+          }
         }
       }
     } else {
       for (std::size_t i = 0; i < n; ++i) {
         if (ctl_[i].sleeping) continue;
-        nodes_[i]->set_power_cap(delta_->revise(i, reports_[i]));
+        const double revised = delta_->revise(i, reports_[i]);
+        if (fabric_) {
+          caps_[i] = revised;
+        } else {
+          nodes_[i]->set_power_cap(revised);
+        }
       }
     }
-    rollup.note_cap_sum(delta_->cap_sum(), t);
+    if (fabric_) {
+      for (std::size_t i = 0; i < n; ++i) dead_nodes_[i] = reports_[i].dead();
+      fabric_->send_grants(caps_, dead_nodes_, t);
+      const std::vector<double>& eff = fabric_->effective_caps(t);
+      if (fabric_->reliable()) {
+        // Zero-fault channel: eff == caps_, so apply exactly where the
+        // direct path applies (every node on a rebalance epoch, awake
+        // nodes otherwise) and keep the delta pool as the invariant
+        // sum -- the twin stays bit-identical.
+        if (rebalance_due) {
+          for (std::size_t i = 0; i < n; ++i) {
+            nodes_[i]->set_power_cap(eff[i]);
+            if (ctl_[i].sleeping && eff[i] < power_contrib_[i]) {
+              ++events_processed_;
+              wake_node(i, t);
+            }
+          }
+        } else {
+          for (std::size_t i = 0; i < n; ++i) {
+            if (!ctl_[i].sleeping) nodes_[i]->set_power_cap(eff[i]);
+          }
+        }
+        rollup.note_cap_sum(delta_->cap_sum(), t);
+      } else {
+        // Lossy channel: every node obeys its lease (or the autonomous
+        // fallback) every epoch. A lapse can drop a sleeping node's
+        // cap under its frozen draw -- it must wake and re-govern. The
+        // budget check runs over the TRUE caps: the safety claim.
+        double cap_sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          cap_sum += eff[i];
+          nodes_[i]->set_power_cap(eff[i]);
+          if (ctl_[i].sleeping && eff[i] < power_contrib_[i]) {
+            ++events_processed_;
+            wake_node(i, t);
+          }
+        }
+        rollup.note_cap_sum(cap_sum, t);
+      }
+    } else {
+      rollup.note_cap_sum(delta_->cap_sum(), t);
+    }
 
     // Phase 4: step the woken set in parallel (fleet order; nodes share
     // no mutable state, so the schedule cannot change results).
@@ -256,8 +371,27 @@ FleetResult FleetSim::run_events(int epochs) {
       const NodeReport& r = nodes_[i]->report();
       update_contrib(i, r, nodes_[i]->true_power_w());
       reports_[i] = r;
+      // Comms mode: a stepped healthy node reports over the wire (the
+      // engine-local reports_[i] above still feeds this epoch's churn
+      // and sleep decisions -- those are node-local control, not
+      // coordinator state; the coordinator's copy refreshes from the
+      // fabric next epoch).
+      if (fabric_ && nodes_[i]->last_step_epoch() == t) {
+        fabric_->send_report(static_cast<int>(i), r, t, t);
+      }
       if (config_.churn.enabled) churn_post_step(i, t);
       maybe_sleep(i, t);
+    }
+    // Scheduled sleepers are healthy by construction: their firmware
+    // keeps beating so the coordinator does not declare them dead
+    // (nodes that slept THROUGH t, not ones that just decided to sleep
+    // from t+1 -- those sent a report above).
+    if (fabric_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (ctl_[i].sleeping && ctl_[i].sleep_from <= t) {
+          fabric_->send_heartbeat(static_cast<int>(i), t);
+        }
+      }
     }
     rollup.note_power(fleet_power_);
     rollup.note_slices(ls_total_, ls_met_, be_norm_sum_);
@@ -290,6 +424,7 @@ void FleetSim::wake_node(std::size_t i, int t) {
   NodeCtl& c = ctl_[i];
   if (!c.sleeping) return;  // stale event for an already-woken node
   c.sleeping = false;
+  c.woke_at = t;
   ++c.wakes;
   const int skipped = t - c.sleep_from;  // epochs sleep_from .. t-1
   c.skipped += skipped;
@@ -467,10 +602,12 @@ FleetResult FleetSim::finish(ClusterRollup& rollup, int epochs) {
       .set(static_cast<double>(cs.queue_peak));
   registry.gauge("fleet.churn.active_at_end")
       .set(static_cast<double>(churn_.active_total()));
+  if (fabric_) fabric_->export_metrics(registry);
 
   FleetResult out;
   out.cluster = rollup.finalize(epochs, coordinator_->name(), nodes_,
                                 heartbeat_, telemetry_);
+  if (fabric_) cluster::fill_comms_results(*fabric_, out.cluster);
   for (std::size_t i = 0; i < n; ++i) {
     out.cluster.node_results[i].skipped_epochs = ctl_[i].skipped;
     out.cluster.node_results[i].wakes = ctl_[i].wakes;

@@ -109,6 +109,7 @@ class FleetSim {
   struct NodeCtl {
     bool sleeping = false;
     int sleep_from = 0;       ///< first skipped epoch
+    int woke_at = -1;         ///< epoch of the most recent wake
     double frozen_rate = 0.0; ///< BE norm rate at sleep time (job drain)
     int skipped = 0;
     int wakes = 0;
@@ -148,6 +149,11 @@ class FleetSim {
 
   FleetConfig config_;
   std::shared_ptr<telemetry::TelemetryContext> telemetry_;
+  /// Comms mode (config_.cluster.comms.enabled): grants and reports
+  /// cross the message channel. Null otherwise; built at run() start.
+  std::unique_ptr<comms::CommsFabric> fabric_;
+  std::vector<bool> dead_nodes_;  ///< comms scratch: send_grants skip mask
+  std::vector<double> caps_;      ///< comms mode: this epoch's desired caps
   std::vector<std::unique_ptr<cluster::ClusterNode>> nodes_;
   std::unique_ptr<cluster::PowerCoordinator> coordinator_;
   cluster::HeartbeatTracker heartbeat_;

@@ -297,6 +297,40 @@ TEST(HeartbeatTracker, DeclaresDeadAfterMissedEpochsAndRecordsOutage) {
   EXPECT_FALSE(reports[1].rejoined);
 }
 
+TEST(HeartbeatTracker, LeaseLapseStampsOneShotRejoinWithoutOutage) {
+  // Comms mode: a node whose cap lease expired ran autonomously for a
+  // while even though it never missed a heartbeat. When its next
+  // message arrives the coordinator must re-base it exactly like a
+  // dead->alive rejoin (its cap_w predates the lapse), but WITHOUT
+  // recording a recovery outage -- the node was never dead.
+  HeartbeatTracker tracker(2);
+  std::vector<NodeReport> reports(2, report(120, 30, 100, 50, 0.2, true));
+  EXPECT_EQ(tracker.update(1, {0, 0}, reports), 0);
+  EXPECT_FALSE(reports[0].rejoined);
+
+  EXPECT_EQ(tracker.update(2, {1, 1}, reports, {false, true}), 0);
+  EXPECT_EQ(reports[1].liveness, Liveness::kAlive);
+  EXPECT_FALSE(reports[0].rejoined);
+  EXPECT_TRUE(reports[1].rejoined);
+  EXPECT_TRUE(tracker.completed_outages().empty());
+
+  // One-shot: the flag does not leak into the next epoch (a stale
+  // slack-harvest grant must not be re-based twice).
+  EXPECT_EQ(tracker.update(3, {2, 2}, reports), 0);
+  EXPECT_FALSE(reports[1].rejoined);
+
+  // A node mid-death is NOT stamped rejoined by a lapse flag: the
+  // dead->alive transition owns that stamp when the node comes back.
+  HeartbeatConfig config;
+  config.dead_after_epochs = 2;
+  HeartbeatTracker strict(1, config);
+  std::vector<NodeReport> one(1, report(120, 30, 100, 50, 0.2, true));
+  EXPECT_EQ(strict.update(0, {0}, one), 0);
+  EXPECT_EQ(strict.update(3, {0}, one, {true}), 1);  // silent too long
+  EXPECT_TRUE(one[0].dead());
+  EXPECT_FALSE(one[0].rejoined);
+}
+
 TEST(HeartbeatTracker, ResetForgetsStateAndOutages) {
   HeartbeatTracker tracker(1);
   std::vector<NodeReport> reports(1, report(120, 30, 100, 50, 0.2, true));

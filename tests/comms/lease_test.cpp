@@ -1,0 +1,194 @@
+// Lease state machine: the node-side LeaseClient (adopt-newest,
+// fall-back-on-expiry) and the coordinator-side LeaseLedger whose
+// reserve bound is the whole safety argument -- for every future epoch,
+// sum over nodes of the worst cap the node could legitimately be
+// running must stay within the budget, no matter which in-flight
+// grants arrive and which acks are lost.
+#include "comms/lease.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sturgeon::comms {
+namespace {
+
+CapGrant grant(std::uint64_t seq, double cap_w, int expiry, int at = 0) {
+  return CapGrant{seq, cap_w, expiry, at};
+}
+
+TEST(AutonomousSplit, EqualSharesWhenIdleIsLow) {
+  const std::vector<double> split = autonomous_split(120.0, {10.0, 10.0, 10.0});
+  ASSERT_EQ(split.size(), 3u);
+  for (const double s : split) EXPECT_DOUBLE_EQ(s, 40.0);
+}
+
+TEST(AutonomousSplit, FloorsAtIdleAndRedistributes) {
+  // Equal share would be 30 each, but node 0 idles at 50: it is pinned
+  // there and the others split the remainder.
+  const std::vector<double> split = autonomous_split(90.0, {50.0, 5.0, 5.0});
+  ASSERT_EQ(split.size(), 3u);
+  EXPECT_DOUBLE_EQ(split[0], 50.0);
+  EXPECT_DOUBLE_EQ(split[1], 20.0);
+  EXPECT_DOUBLE_EQ(split[2], 20.0);
+  double sum = 0.0;
+  for (const double s : split) sum += s;
+  EXPECT_LE(sum, 90.0 + 1e-9);
+}
+
+TEST(LeaseClient, AdoptsOnlyAdvancingSequences) {
+  LeaseClient client(25.0);
+  client.on_grant(grant(2, 60.0, 10));
+  EXPECT_EQ(client.ack_seq(), 2u);
+  EXPECT_DOUBLE_EQ(client.cap(0), 60.0);
+  // A duplicate or stale delivery must be a no-op (idempotence).
+  client.on_grant(grant(2, 60.0, 10));
+  client.on_grant(grant(1, 99.0, 50));
+  EXPECT_EQ(client.ack_seq(), 2u);
+  EXPECT_DOUBLE_EQ(client.cap(1), 60.0);
+  client.on_grant(grant(3, 70.0, 12));
+  EXPECT_DOUBLE_EQ(client.cap(2), 70.0);
+}
+
+TEST(LeaseClient, FallsBackToAutonomousOnExpiry) {
+  LeaseClient client(25.0);
+  EXPECT_FALSE(client.leased(0));
+  EXPECT_DOUBLE_EQ(client.cap(0), 25.0);  // never leased: autonomous
+  client.on_grant(grant(1, 60.0, 5));
+  EXPECT_DOUBLE_EQ(client.cap(4), 60.0);  // covered through expiry-1
+  EXPECT_DOUBLE_EQ(client.cap(5), 25.0);  // lapsed
+  EXPECT_DOUBLE_EQ(client.cap(6), 25.0);
+  EXPECT_EQ(client.expiries(), 1u);       // one lapse transition...
+  EXPECT_EQ(client.autonomy_epochs(), 3u);  // ...but 3 autonomous epochs
+  EXPECT_EQ(client.last_autonomy_epoch(), 6);
+  // A late renewal re-covers the node (every adoption counts).
+  client.on_grant(grant(2, 55.0, 12));
+  EXPECT_DOUBLE_EQ(client.cap(7), 55.0);
+  EXPECT_EQ(client.renewals(), 2u);
+}
+
+TEST(LeaseLedger, ReserveCoversUnackedGrantsUntilAcked) {
+  LeaseLedger ledger({20.0, 20.0}, 100.0);
+  // Node 0 has no lease: its reserve is the autonomous fallback.
+  EXPECT_DOUBLE_EQ(ledger.reserve(0, 0), 20.0);
+  const CapGrant g = grant(ledger.next_seq(0), 70.0, 10, 0);
+  ledger.record_grant(0, g);
+  // Unacked: the node might or might not hold 70 -- reserve the max.
+  EXPECT_DOUBLE_EQ(ledger.reserve(0, 5), 70.0);
+  // Past expiry the grant dies but the fallback scenario persists.
+  EXPECT_DOUBLE_EQ(ledger.reserve(0, 10), 20.0);
+  EXPECT_TRUE(ledger.on_ack(0, g.seq));
+  // Acked: the node holds exactly 70 until expiry, fallback after.
+  EXPECT_DOUBLE_EQ(ledger.reserve(0, 9), 70.0);
+  EXPECT_DOUBLE_EQ(ledger.reserve(0, 10), 20.0);
+  EXPECT_FALSE(ledger.on_ack(0, g.seq));  // replayed ack: no progress
+}
+
+TEST(LeaseLedger, MaxGrantNeverOversubscribesAnyFutureEpoch) {
+  LeaseLedger ledger({20.0, 20.0}, 100.0);
+  const CapGrant a = grant(ledger.next_seq(0), 70.0, 10, 0);
+  ledger.record_grant(0, a);
+  // Node 1 may get at most 100 - reserve(node 0) at every breakpoint
+  // while its own grant lives; node 0's unacked 70 caps it at 30.
+  const double room = ledger.max_grant(1, 10, 0);
+  EXPECT_LE(room, 30.0 + 1e-9);
+  EXPECT_GE(room, 20.0);  // at least its own fallback is always safe
+  // Once node 0 acks DOWN to a modest cap, room opens.
+  const CapGrant a2 = grant(ledger.next_seq(0), 30.0, 10, 1);
+  ledger.record_grant(0, a2);
+  EXPECT_TRUE(ledger.on_ack(0, a2.seq));
+  EXPECT_GT(ledger.max_grant(1, 10, 1), 60.0);
+}
+
+TEST(LeaseLedger, ExpiredUnackedGrantKeepsFallbackScenarioAlive) {
+  LeaseLedger ledger({20.0, 20.0}, 100.0);
+  const CapGrant a = grant(ledger.next_seq(0), 70.0, 4, 0);
+  ledger.record_grant(0, a);
+  ledger.prune(4);  // expiry passed, never acked
+  // The node may have adopted it and lapsed into autonomy, or never
+  // seen it -- either way its worst case is the fallback now.
+  EXPECT_DOUBLE_EQ(ledger.reserve(0, 4), 20.0);
+  // The lost grant's ack may still arrive late; progress is recorded
+  // but the candidate is long gone.
+  EXPECT_TRUE(ledger.on_ack(0, a.seq));
+  EXPECT_DOUBLE_EQ(ledger.reserve(0, 5), 20.0);
+}
+
+// The coupled safety property, adversarially: drive a ledger and a set
+// of clients through random grant/deliver/drop/ack churn and check that
+// at every epoch (a) each client's true cap is bounded by the ledger's
+// reserve for it, and (b) the sum of true caps stays within budget.
+// This is the unit-level version of the chaos STURGEON_CHECK.
+TEST(LeaseLedger, RandomChurnKeepsTrueCapsWithinBudget) {
+  const int kNodes = 4;
+  const double kBudget = 200.0;
+  const std::vector<double> autonomous(kNodes, 30.0);
+  LeaseLedger ledger(autonomous, kBudget);
+  std::vector<LeaseClient> clients;
+  for (int i = 0; i < kNodes; ++i) clients.emplace_back(autonomous[i]);
+
+  Rng rng(77);
+  struct InFlight {
+    int node;
+    CapGrant grant;
+    int arrive;
+  };
+  std::vector<InFlight> down, up;  // grants down, acks up (as grants)
+
+  for (int t = 0; t < 400; ++t) {
+    ledger.prune(t);
+    // Coordinator: try a random desired cap on a random node.
+    const int node = static_cast<int>(rng.next_double() * kNodes);
+    const double desired = 20.0 + 150.0 * rng.next_double();
+    const int expiry = t + 1 + static_cast<int>(rng.next_double() * 12);
+    const double room = ledger.max_grant(node, expiry, t);
+    const double cap = std::min(desired, room);
+    if (cap >= autonomous[static_cast<std::size_t>(node)] - 1e-9) {
+      const CapGrant g = grant(ledger.next_seq(node), cap, expiry, t);
+      ledger.record_grant(node, g);
+      const double u = rng.next_double();
+      if (u < 0.6) {  // delivered, 0..3 epochs late; else lost
+        down.push_back({node, g, t + static_cast<int>(u * 5.0)});
+      }
+    }
+    // Deliver due grants (order scrambled by arrival epoch only).
+    for (auto it = down.begin(); it != down.end();) {
+      if (it->arrive <= t) {
+        clients[static_cast<std::size_t>(it->node)].on_grant(it->grant);
+        // The ack races back, also lossy and late.
+        if (rng.next_double() < 0.7) {
+          up.push_back({it->node, it->grant,
+                        t + static_cast<int>(rng.next_double() * 4.0)});
+        }
+        it = down.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = up.begin(); it != up.end();) {
+      if (it->arrive <= t) {
+        ledger.on_ack(it->node, it->grant.seq);
+        it = up.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // The invariant: true caps within reserves, reserves within budget.
+    double true_sum = 0.0, reserve_sum = 0.0;
+    for (int i = 0; i < kNodes; ++i) {
+      const double true_cap = clients[static_cast<std::size_t>(i)].cap(t);
+      const double reserve = ledger.reserve(i, t);
+      EXPECT_LE(true_cap, reserve + 1e-9) << "node " << i << " t " << t;
+      true_sum += true_cap;
+      reserve_sum += reserve;
+    }
+    EXPECT_LE(reserve_sum, kBudget + 1e-6) << "t " << t;
+    EXPECT_LE(true_sum, kBudget + 1e-6) << "t " << t;
+  }
+}
+
+}  // namespace
+}  // namespace sturgeon::comms

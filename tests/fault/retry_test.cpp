@@ -132,6 +132,47 @@ TEST(RetryingEnforcer, BackoffIsBoundedExponential) {
   EXPECT_EQ(retry.stats().backoff_us, 100u + 200u + 300u);
 }
 
+TEST(RetryingEnforcer, JitterMustBeAFraction) {
+  Rig rig;
+  isolation::ResourceEnforcer enforcer(rig.server.machine(),
+                                       rig.backend.cpuset(), rig.backend.cat(),
+                                       rig.backend.freq());
+  RetryConfig bad;
+  bad.jitter = 1.5;
+  EXPECT_THROW(RetryingEnforcer(enforcer, bad), std::invalid_argument);
+  bad.jitter = -0.1;
+  EXPECT_THROW(RetryingEnforcer(enforcer, bad), std::invalid_argument);
+}
+
+TEST(RetryingEnforcer, JitterIsBoundedAndSeedDeterministic) {
+  const auto total_backoff = [](double jitter, std::uint64_t seed) {
+    Rig rig;
+    FlakyCpuset flaky(rig.backend.cpuset(), -1);
+    isolation::ResourceEnforcer enforcer(rig.server.machine(), flaky,
+                                         rig.backend.cat(),
+                                         rig.backend.freq());
+    RetryConfig config;
+    config.max_attempts = 4;
+    config.base_backoff_us = 100;
+    config.max_backoff_us = 300;
+    config.jitter = jitter;
+    RetryingEnforcer retry(enforcer, config, seed);
+    EXPECT_FALSE(retry.apply(rig.target()));
+    return retry.stats().backoff_us;
+  };
+  // jitter == 0 (the default) draws nothing: bit-exact with the
+  // pre-jitter schedule regardless of seed.
+  EXPECT_EQ(total_backoff(0.0, 1), 100u + 200u + 300u);
+  EXPECT_EQ(total_backoff(0.0, 2), 100u + 200u + 300u);
+  // Full jitter scales each delay into [0.5x, 1.5x), deterministically
+  // per seed -- same seed, same schedule; fleet seeds diverge.
+  const std::uint64_t a = total_backoff(1.0, 7);
+  EXPECT_EQ(a, total_backoff(1.0, 7));
+  EXPECT_GE(a, (100u + 200u + 300u) / 2);
+  EXPECT_LT(a, (100u + 200u + 300u) * 3 / 2);
+  EXPECT_NE(a, total_backoff(1.0, 8));
+}
+
 TEST(RetryingEnforcer, PermanentErrorsPropagate) {
   Rig rig;
   isolation::ResourceEnforcer enforcer(rig.server.machine(),

@@ -52,6 +52,47 @@ TEST(EventQueue, TracksDepthAndPushCount) {
   EXPECT_EQ(q.size(), 3u);
 }
 
+TEST(EventQueue, DuplicateKeysAllPopInPushOrder) {
+  // The comms layer can deliver the same logical cap change twice; the
+  // engine models that as two events with an identical (time, node)
+  // key. Both must surface, adjacent, in push order (seq tie-break) --
+  // never dropped, never reordered around other keys.
+  EventQueue q;
+  q.push(EventKind::kCapChange, 4, 2);
+  q.push(EventKind::kWake, 4, 1);
+  q.push(EventKind::kCapChange, 4, 2);  // duplicate delivery
+  q.push(EventKind::kCapChange, 4, 2);  // and a third copy
+
+  std::vector<FleetEvent> order;
+  while (!q.empty()) order.push_back(q.pop());
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0].node, 1);
+  for (int k = 1; k < 4; ++k) {
+    EXPECT_EQ(order[k].node, 2);
+    EXPECT_EQ(order[k].kind, EventKind::kCapChange);
+  }
+  EXPECT_LT(order[1].seq, order[2].seq);
+  EXPECT_LT(order[2].seq, order[3].seq);
+}
+
+TEST(EventQueue, ReEnqueuedKeyOrdersByFreshSeq) {
+  // Pop a (time, node) key, then re-enqueue the same key: the re-push
+  // gets a fresh (larger) seq, so it sorts after anything with the same
+  // key still in the heap -- pop order stays a pure function of the
+  // push history even when keys are recycled.
+  EventQueue q;
+  q.push(EventKind::kCapChange, 7, 3);
+  q.push(EventKind::kCapChange, 7, 3);
+  const FleetEvent first = q.pop();
+  const FleetEvent re = q.push(EventKind::kCapChange, 7, 3);
+  EXPECT_GT(re.seq, first.seq);
+  const FleetEvent second = q.pop();
+  const FleetEvent third = q.pop();
+  EXPECT_LT(second.seq, third.seq);
+  EXPECT_EQ(third.seq, re.seq);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueueDeathTest, ChecksMisuse) {
   EventQueue q;
   EXPECT_DEATH(q.push(EventKind::kWake, -1, 0), "negative time");

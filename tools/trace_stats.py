@@ -27,7 +27,16 @@ one cluster line. Checks:
     epoch counts fit inside the run, counters are non-negative and zero
     whenever faults_injected is zero, the cluster's dead_node_epochs and
     recovery fields are present, and caps never oversubscribed the
-    budget (max_cap_sum_ratio <= 1 + tolerance).
+    budget (max_cap_sum_ratio <= 1 + tolerance);
+  - comms accounting is coherent (all counters are zero when the run did
+    not route traffic through the message channel): per-node lease
+    renewals/expiries/autonomy epochs are non-negative with
+    autonomy_epochs bounded by the run and last_autonomy_epoch in
+    [-1, epochs); the cluster line carries the exact per-node lease
+    sums; the grant ledger identity grants_sent == grants_delivered +
+    grants_dropped + grants_in_flight holds; and grants are a subset of
+    channel traffic (grants_sent <= comms_sent, grants_dropped <=
+    comms_dropped, lease_renewals <= grants_sent).
 
 With --fleet the file is a fleet roll-up written by
 fleet::write_fleet_jsonl: the cluster roll-up above followed by one
@@ -138,6 +147,10 @@ def validate_cluster(lines, fleet=False):
     phase_sums = {}
     skipped_sum = 0
     wakes_sum = 0
+    renewals_sum = 0
+    expiries_sum = 0
+    autonomy_sum = 0
+    run_epochs = c.get("epochs", 0)
     for lineno, obj in node_lines:
         where = f"node {obj['node']}"
         if not isinstance(obj.get("span_count"), int):
@@ -183,6 +196,25 @@ def validate_cluster(lines, fleet=False):
                 if obj[key] != 0:
                     fail(f"{where}: {key} {obj[key]} nonzero with zero "
                          f"faults_injected")
+        # Lease accounting (all zero when comms is disabled). A node is
+        # asked for its effective cap at most once per run epoch, so
+        # autonomous node-epochs are bounded by the run even under
+        # quiescence skipping (where per-node stepped epochs are fewer).
+        for key in ("lease_renewals", "lease_expiries", "autonomy_epochs"):
+            check_nonneg(obj, key, where)
+        renewals_sum += obj["lease_renewals"]
+        expiries_sum += obj["lease_expiries"]
+        autonomy_sum += obj["autonomy_epochs"]
+        if obj["autonomy_epochs"] > run_epochs:
+            fail(f"{where}: autonomy_epochs {obj['autonomy_epochs']} "
+                 f"exceeds run epochs {run_epochs}")
+        last = obj.get("last_autonomy_epoch")
+        if not isinstance(last, int) or not -1 <= last < max(run_epochs, 1):
+            fail(f"{where}: last_autonomy_epoch {last!r} not in "
+                 f"[-1, {run_epochs})")
+        if (last == -1) != (obj["autonomy_epochs"] == 0):
+            fail(f"{where}: last_autonomy_epoch {last} inconsistent with "
+                 f"autonomy_epochs {obj['autonomy_epochs']}")
 
     if c.get("span_count") != span_sum:
         fail(f"cluster span_count {c.get('span_count')} != node sum "
@@ -226,6 +258,35 @@ def validate_cluster(lines, fleet=False):
     if c["max_cap_sum_ratio"] > 1.0 + 1e-6:
         fail(f"cluster max_cap_sum_ratio {c['max_cap_sum_ratio']} "
              f"oversubscribes the budget")
+
+    # Comms channel + grant-ledger accounting. Every counter must be
+    # present (zero when the run did not use the message channel).
+    for key in ("comms_sent", "comms_dropped", "comms_delayed",
+                "comms_duplicated", "grants_sent", "grants_delivered",
+                "grants_dropped", "grants_in_flight", "lease_renewals",
+                "lease_expiries", "autonomy_epochs"):
+        check_nonneg(c, key, "cluster")
+    if c["grants_sent"] != (c["grants_delivered"] + c["grants_dropped"]
+                            + c["grants_in_flight"]):
+        fail(f"cluster grant identity broken: grants_sent "
+             f"{c['grants_sent']} != delivered {c['grants_delivered']} + "
+             f"dropped {c['grants_dropped']} + in_flight "
+             f"{c['grants_in_flight']}")
+    if c["grants_sent"] > c["comms_sent"]:
+        fail(f"cluster grants_sent {c['grants_sent']} exceeds comms_sent "
+             f"{c['comms_sent']} (grants are a subset of all traffic)")
+    if c["grants_dropped"] > c["comms_dropped"]:
+        fail(f"cluster grants_dropped {c['grants_dropped']} exceeds "
+             f"comms_dropped {c['comms_dropped']}")
+    if c["lease_renewals"] > c["grants_delivered"]:
+        fail(f"cluster lease_renewals {c['lease_renewals']} exceeds "
+             f"grants_delivered {c['grants_delivered']} (every adoption "
+             f"needs a delivered grant with a fresh seq)")
+    for key, want in (("lease_renewals", renewals_sum),
+                      ("lease_expiries", expiries_sum),
+                      ("autonomy_epochs", autonomy_sum)):
+        if c[key] != want:
+            fail(f"cluster {key} {c[key]} != node sum {want}")
     if c["dead_node_epochs"] > len(node_lines) * c["epochs"]:
         fail(f"cluster dead_node_epochs {c['dead_node_epochs']} exceeds "
              f"{len(node_lines)} nodes x {c['epochs']} epochs")
@@ -236,6 +297,15 @@ def validate_cluster(lines, fleet=False):
           f"dead_node_epochs {c['dead_node_epochs']}, "
           f"recovery_episodes {c['recovery_episodes']} "
           f"(mttr_p95 {c['mttr_p95_epochs']})")
+    if c["comms_sent"]:
+        print(f"trace_stats: comms: {c['comms_sent']} msgs "
+              f"({c['comms_dropped']} dropped, {c['comms_delayed']} "
+              f"delayed, {c['comms_duplicated']} duplicated), grants "
+              f"{c['grants_sent']} = {c['grants_delivered']} delivered + "
+              f"{c['grants_dropped']} dropped + {c['grants_in_flight']} "
+              f"in flight, leases: {c['lease_renewals']} renewals / "
+              f"{c['lease_expiries']} expiries / {c['autonomy_epochs']} "
+              f"autonomous node-epochs")
     print(f"{'node':>4} {'policy':<34} {'epochs':>7} {'qos_rate':>9} "
           f"{'be_thr':>7} {'mean_cap_w':>11} {'throttled':>9} "
           f"{'faults':>7} {'down':>5} {'safe':>5}")
